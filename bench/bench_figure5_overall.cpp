@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces Figure 5 of the paper: overall performance of the seven
+ * optimized benchmarks on the 4-CPU system, as normalized execution
+ * time broken into {idle, failed, latch stall, sync, cache miss, busy}
+ * for the five configurations {SEQUENTIAL, TLS-SEQ, NO SUB-THREAD,
+ * BASELINE, NO SPECULATION}.
+ *
+ * Shape targets from the paper:
+ *  - SEQUENTIAL is 3/4 idle (one CPU of four works);
+ *  - TLS-SEQ lands within 0.93x-1.05x of SEQUENTIAL;
+ *  - BASELINE (8 sub-threads @ 5k insts) speeds up NEW ORDER,
+ *    NEW ORDER 150, DELIVERY, DELIVERY OUTER and STOCK LEVEL, with
+ *    1.9x-2.9x for three of the five distinct transactions, and sits
+ *    close to NO SPECULATION for the NEW ORDER variants and
+ *    DELIVERY OUTER;
+ *  - NO SUB-THREAD leaves large failed-speculation components
+ *    (DELIVERY OUTER more than 2x slower than BASELINE);
+ *  - PAYMENT and ORDER STATUS do not improve (coverage-bound).
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "base/log.h"
+#include "bench/benchutil.h"
+#include "sim/report.h"
+
+using namespace tlsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    setInformEnabled(false);
+
+    std::cout << "Machine configuration (paper Table 1):\n";
+    sim::ExperimentConfig probe =
+        bench::configFor(tpcc::TxnType::NewOrder, args);
+    probe.machine.print(std::cout);
+    std::cout << "\n";
+
+    std::vector<sim::Figure5Row> rows;
+    for (tpcc::TxnType type : tpcc::allBenchmarks()) {
+        std::fprintf(stderr, "running %s...\n",
+                     tpcc::txnTypeName(type));
+        rows.push_back(
+            sim::runFigure5(type, bench::configFor(type, args)));
+        sim::printFigure5Row(std::cout, rows.back());
+    }
+
+    sim::printSpeedupSummary(std::cout, rows);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Figure 6 of the paper: performance of the five
+ * loop-parallelized benchmarks while varying the number of sub-thread
+ * contexts per thread (2, 4, 8) and the spacing between sub-thread
+ * start points (speculative instructions per sub-thread).
+ *
+ * The BASELINE point is 8 sub-threads at 5,000 instructions. Shape
+ * targets from the paper's Section 5.1: more sub-threads never hurt
+ * (the extra contexts either widen coverage or increase checkpoint
+ * density), very large sub-threads forfeit the benefit, and
+ * DELIVERY OUTER shows the early-dependence re-timing effect that
+ * small sub-threads unlock.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "base/log.h"
+#include "bench/benchutil.h"
+#include "sim/report.h"
+
+using namespace tlsim;
+
+int
+main(int argc, char **argv)
+{
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    setInformEnabled(false);
+
+    const std::vector<unsigned> counts = {2, 4, 8};
+    const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
+                                                 10000, 25000, 50000};
+
+    const tpcc::TxnType sweep_benchmarks[] = {
+        tpcc::TxnType::NewOrder, tpcc::TxnType::NewOrder150,
+        tpcc::TxnType::Delivery, tpcc::TxnType::DeliveryOuter,
+        tpcc::TxnType::StockLevel,
+    };
+
+    for (tpcc::TxnType type : sweep_benchmarks) {
+        std::fprintf(stderr, "sweeping %s...\n",
+                     tpcc::txnTypeName(type));
+        sim::ExperimentConfig cfg = bench::configFor(type, args);
+
+        // The SEQUENTIAL reference for normalization.
+        sim::BenchmarkTraces traces = sim::captureTraces(type, cfg);
+        RunResult seq =
+            sim::runBar(sim::Bar::Sequential, traces, cfg);
+
+        std::vector<sim::SweepPoint> points;
+        for (unsigned k : counts) {
+            for (std::uint64_t s : spacings) {
+                MachineConfig mc = cfg.machine;
+                mc.tls.subthreadsPerThread = k;
+                mc.tls.subthreadSpacing = s;
+                TlsMachine m(mc);
+                points.push_back(
+                    {k, s,
+                     m.run(traces.tls, ExecMode::Tls,
+                           cfg.warmupTxns)});
+            }
+        }
+        sim::printFigure6(std::cout, tpcc::txnTypeName(type), points,
+                          seq.makespan);
+    }
+    return 0;
+}

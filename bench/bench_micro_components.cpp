@@ -1,0 +1,187 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's substrates:
+ * simulation-rate engineering numbers rather than paper artifacts.
+ * Useful for keeping the trace-replay loop fast enough that the
+ * Figure 5/6 sweeps stay interactive.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "base/rng.h"
+#include "core/machine.h"
+#include "core/site.h"
+#include "core/tracer.h"
+#include "cpu/gshare.h"
+#include "db/btree.h"
+#include "db/page.h"
+#include "mem/l1cache.h"
+#include "mem/l2cache.h"
+
+using namespace tlsim;
+
+namespace {
+
+void
+BM_L1CacheAccess(benchmark::State &state)
+{
+    L1Cache c(32 * 1024, 4, 32);
+    Rng rng(1);
+    for (Addr l = 0; l < 1024; ++l)
+        c.insert(l);
+    for (auto _ : state) {
+        Addr l = static_cast<Addr>(rng.uniform(0, 2047));
+        benchmark::DoNotOptimize(c.access(l));
+        if (!c.present(l))
+            c.insert(l);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L1CacheAccess);
+
+void
+BM_L2VersionedInsert(benchmark::State &state)
+{
+    MemConfig m;
+    VictimCache victim(64);
+    L2Cache l2(m, victim);
+    Rng rng(2);
+    for (auto _ : state) {
+        Addr l = static_cast<Addr>(rng.uniform(0, 1 << 18));
+        benchmark::DoNotOptimize(
+            l2.insert(l, static_cast<std::uint8_t>(rng.uniform(0, 3))));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2VersionedInsert);
+
+void
+BM_GSharePredict(benchmark::State &state)
+{
+    GShare g(16 * 1024, 8);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(g.predictAndUpdate(
+            static_cast<Pc>(rng.uniform(0, 255)) * 64,
+            rng.chance(0.6)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GSharePredict);
+
+void
+BM_SpecStateLoadStore(benchmark::State &state)
+{
+    SpecState s(32);
+    Rng rng(4);
+    std::uint64_t mask = 0xFF;
+    unsigned i = 0;
+    for (auto _ : state) {
+        Addr line = static_cast<Addr>(rng.uniform(0, 4095));
+        if (i++ & 1)
+            s.recordStore(3, line, 0xF);
+        else
+            benchmark::DoNotOptimize(s.recordLoad(2, mask, line, 0x3));
+        if ((i & 0xFFF) == 0)
+            s.reset();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecStateLoadStore);
+
+void
+BM_PageInsertRemove(benchmark::State &state)
+{
+    alignas(64) std::uint8_t frame[db::kPageSize];
+    db::Page::init(frame, 1, 0);
+    db::Page p(frame);
+    Rng rng(5);
+    for (auto _ : state) {
+        std::string key = strfmt("k%05lld", (long long)rng.uniform(0, 99999));
+        auto [idx, found] = p.lowerBound(key);
+        if (found)
+            p.remove(idx);
+        else if (p.fits(static_cast<unsigned>(key.size()), 24))
+            p.insert(idx, key, "twenty-four-byte-value!!");
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageInsertRemove);
+
+void
+BM_BTreeGet(benchmark::State &state)
+{
+    db::DbConfig cfg;
+    Tracer tracer; // not capturing: traces are no-ops
+    db::BufferPool pool(cfg, tracer);
+    db::BTree tree(pool, tracer, cfg, "bench");
+    for (int i = 0; i < 100000; ++i)
+        tree.put(strfmt("key%06d", i), "some-value-bytes", false);
+    Rng rng(6);
+    db::Bytes v;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.get(
+            strfmt("key%06lld", (long long)rng.uniform(0, 99999)), &v));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeGet);
+
+void
+BM_BTreePut(benchmark::State &state)
+{
+    db::DbConfig cfg;
+    Tracer tracer;
+    db::BufferPool pool(cfg, tracer);
+    db::BTree tree(pool, tracer, cfg, "bench");
+    Rng rng(7);
+    for (auto _ : state) {
+        tree.put(strfmt("key%07lld", (long long)rng.uniform(0, 2000000)),
+                 "value-payload-of-some-size", true);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreePut);
+
+/** End-to-end replay rate of the TLS machine (records/second). */
+void
+BM_MachineReplay(benchmark::State &state)
+{
+    static Pc pc = SiteRegistry::instance().intern("bench.replay");
+    std::vector<std::uint64_t> mem(8192);
+    Tracer::Options o;
+    o.parallelMode = true;
+    Tracer t(o);
+    t.txnBegin();
+    t.loopBegin();
+    for (int e = 0; e < 8; ++e) {
+        t.iterBegin();
+        for (int i = 0; i < 500; ++i) {
+            t.compute(pc, 60);
+            t.load(pc, &mem[512 * e + i % 256], 8);
+            t.store(pc, &mem[512 * e + 256 + i % 256], 8);
+        }
+    }
+    t.loopEnd();
+    t.txnEnd();
+    WorkloadTrace w = t.takeWorkload();
+
+    std::uint64_t records = 0;
+    for (const auto &txn : w.txns)
+        for (const auto &sec : txn.sections)
+            for (const auto &e : sec.epochs)
+                records += e.records.size();
+
+    MachineConfig cfg;
+    TlsMachine m(cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.run(w, ExecMode::Tls));
+    state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_MachineReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: argument
+ * parsing (--quick for a reduced-scale run, --txns=N) and per-benchmark
+ * capture sizing.
+ */
+
+#ifndef BENCH_BENCHUTIL_H
+#define BENCH_BENCHUTIL_H
+
+#include <cstring>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace tlsim {
+namespace bench {
+
+/** Parsed command line for a reproduction bench. */
+struct BenchArgs
+{
+    bool quick = false;     ///< reduced TPC-C scale (CI-friendly)
+    unsigned txns = 0;      ///< 0 = per-benchmark default
+};
+
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--quick")
+            args.quick = true;
+        else if (a.rfind("--txns=", 0) == 0)
+            args.txns = static_cast<unsigned>(
+                std::stoul(a.substr(7)));
+        else if (a == "--help") {
+            std::printf("usage: %s [--quick] [--txns=N]\n", argv[0]);
+            std::exit(0);
+        }
+    }
+    return args;
+}
+
+/**
+ * Experiment configuration for one benchmark. Large-thread benchmarks
+ * (NEW ORDER 150, DELIVERY OUTER) capture fewer transactions since a
+ * single transaction already provides hundreds of thousands of
+ * instructions of parallel work.
+ */
+inline sim::ExperimentConfig
+configFor(tpcc::TxnType type, const BenchArgs &args)
+{
+    sim::ExperimentConfig cfg;
+    if (args.quick) {
+        cfg.scale = tpcc::TpccConfig::tiny();
+        cfg.scale.items = 2000;
+        cfg.scale.customersPerDistrict = 150;
+        cfg.scale.ordersPerDistrict = 150;
+        cfg.scale.firstNewOrder = 76;
+    } else {
+        // Full single-warehouse TPC-C, as in the paper.
+        cfg.scale = tpcc::TpccConfig{};
+    }
+
+    switch (type) {
+      case tpcc::TxnType::NewOrder150:
+        cfg.txns = 6;
+        cfg.warmupTxns = 1;
+        break;
+      case tpcc::TxnType::DeliveryOuter:
+      case tpcc::TxnType::Delivery:
+        cfg.txns = 8;
+        cfg.warmupTxns = 2;
+        break;
+      default:
+        cfg.txns = 12;
+        cfg.warmupTxns = 2;
+        break;
+    }
+    if (args.txns) {
+        cfg.txns = args.txns;
+        cfg.warmupTxns = args.txns > 4 ? 2 : 1;
+    }
+    return cfg;
+}
+
+} // namespace bench
+} // namespace tlsim
+
+#endif // BENCH_BENCHUTIL_H

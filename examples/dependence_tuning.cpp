@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The paper's Section 3 workflow, end to end: treat parallelization as
+ * performance tuning.
+ *
+ *   1. Mark the NEW ORDER order-line loop parallel and run it on the
+ *      TLS machine with the *unmodified* database. Speculation fails
+ *      constantly; the hardware dependence profiler names the
+ *      load/store pairs that caused the most failed cycles (spin
+ *      latches, the log's LSN allocator, buffer-pool LRU updates).
+ *   2. Apply the tuned database (escaped latches, per-epoch log
+ *      buffers, no shared LRU) and re-run: the profiler now shows only
+ *      the real data dependences (B-tree leaf inserts), and the
+ *      speedup appears.
+ *
+ * Sub-threads are what make each step of this loop cheap: every
+ * removed dependence improves performance instead of merely delaying
+ * the inevitable full-thread rewind (paper Figure 2).
+ */
+
+#include <iostream>
+
+#include "core/machine.h"
+#include "sim/experiment.h"
+#include "tpcc/tpcc.h"
+
+using namespace tlsim;
+
+namespace {
+
+struct StepResult
+{
+    RunResult tls;
+    Cycle seqMakespan;
+    std::string profile;
+};
+
+StepResult
+runStep(bool tuned, const tpcc::TpccConfig &scale)
+{
+    tpcc::CaptureOptions opts;
+    opts.scale = scale;
+    opts.txns = 8;
+    opts.parallelMode = true;
+    opts.tlsBuild = tuned;
+    WorkloadTrace parallel_trace =
+        tpcc::captureBenchmark(tpcc::TxnType::NewOrder, opts);
+
+    tpcc::CaptureOptions seq_opts = opts;
+    seq_opts.parallelMode = false;
+    seq_opts.tlsBuild = false;
+    WorkloadTrace seq_trace =
+        tpcc::captureBenchmark(tpcc::TxnType::NewOrder, seq_opts);
+
+    MachineConfig cfg; // paper BASELINE: 8 sub-threads @ 5k insts
+    TlsMachine machine(cfg);
+    StepResult out;
+    out.seqMakespan =
+        machine.run(seq_trace, ExecMode::Serial, 2).makespan;
+    out.tls = machine.run(parallel_trace, ExecMode::Tls, 2);
+    out.profile = machine.profiler().reportText(8);
+    return out;
+}
+
+void
+print(const char *title, const StepResult &r)
+{
+    std::cout << "--- " << title << " ---\n";
+    std::cout << "speedup over sequential: "
+              << static_cast<double>(r.seqMakespan) /
+                     static_cast<double>(r.tls.makespan)
+              << "x\n";
+    std::cout << "violations: " << r.tls.primaryViolations
+              << " primary / " << r.tls.secondaryViolations
+              << " secondary; failed cycles "
+              << r.tls.total[Cat::Failed] << "\n";
+    std::cout << "profiler (top offending dependences):\n"
+              << r.profile << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    tpcc::TpccConfig scale = tpcc::TpccConfig::tiny();
+    scale.items = 4000;
+    scale.customersPerDistrict = 300;
+    scale.ordersPerDistrict = 300;
+    scale.firstNewOrder = 151;
+
+    std::cout << "Iterative feedback-driven parallelization of NEW "
+                 "ORDER (paper Section 3)\n\n";
+
+    StepResult naive = runStep(false, scale);
+    print("step 1: unmodified database, loop marked parallel", naive);
+
+    StepResult tuned = runStep(true, scale);
+    print("step 2: tuned database (escaped latches, per-epoch log "
+          "buffers)",
+          tuned);
+
+    std::cout << "Tuning removed "
+              << (naive.tls.primaryViolations +
+                  naive.tls.secondaryViolations) -
+                     (tuned.tls.primaryViolations +
+                      tuned.tls.secondaryViolations)
+              << " violations per run; the remaining pairs above are "
+                 "the true\ndata dependences (B-tree leaf appends, "
+                 "stock updates) that sub-threads tolerate.\n";
+    return 0;
+}

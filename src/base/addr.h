@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cache-line address arithmetic helpers.
+ */
+
+#ifndef BASE_ADDR_H
+#define BASE_ADDR_H
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** True iff x is a power of two (and nonzero). */
+constexpr bool
+isPowerOf2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for a power of two. */
+constexpr unsigned
+log2Exact(std::uint64_t x)
+{
+    unsigned n = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Address arithmetic for a fixed line size (power of two). */
+class LineGeom
+{
+  public:
+    explicit constexpr LineGeom(unsigned line_bytes)
+        : lineBytes_(line_bytes), shift_(log2Exact(line_bytes))
+    {
+    }
+
+    constexpr unsigned lineBytes() const { return lineBytes_; }
+    constexpr Addr lineAddr(Addr a) const { return a >> shift_ << shift_; }
+    constexpr Addr lineNum(Addr a) const { return a >> shift_; }
+    constexpr unsigned offset(Addr a) const
+    {
+        return static_cast<unsigned>(a & (lineBytes_ - 1));
+    }
+
+    /**
+     * Bitmask of the 32-bit words of the line touched by an access of
+     * `size` bytes at address `a` (clamped to this line).
+     */
+    constexpr std::uint32_t
+    wordMask(Addr a, unsigned size) const
+    {
+        unsigned first = offset(a) / 4;
+        unsigned last_byte = offset(a) + (size ? size - 1 : 0);
+        if (last_byte >= lineBytes_)
+            last_byte = lineBytes_ - 1;
+        unsigned last = last_byte / 4;
+        std::uint32_t mask = 0;
+        for (unsigned w = first; w <= last; ++w)
+            mask |= (1u << w);
+        return mask;
+    }
+
+    /** Number of lines an access [a, a+size) spans. */
+    constexpr unsigned
+    lineSpan(Addr a, unsigned size) const
+    {
+        if (size == 0)
+            return 1;
+        return static_cast<unsigned>(lineNum(a + size - 1) - lineNum(a)) + 1;
+    }
+
+  private:
+    unsigned lineBytes_;
+    unsigned shift_;
+};
+
+} // namespace tlsim
+
+#endif // BASE_ADDR_H

@@ -1,0 +1,96 @@
+#include "base/config.h"
+
+#include "base/addr.h"
+#include "base/log.h"
+
+namespace tlsim {
+
+void
+MachineConfig::validate() const
+{
+    if (!isPowerOf2(mem.lineBytes) || mem.lineBytes < 8 ||
+        mem.lineBytes > 256) {
+        fatal("line size %u is not a supported power of two",
+              mem.lineBytes);
+    }
+    if (mem.lineBytes / 4 > 32)
+        fatal("line size %u exceeds the 32-word SM-mask limit",
+              mem.lineBytes);
+    if (!isPowerOf2(mem.l1Banks) || !isPowerOf2(mem.l2Banks))
+        fatal("cache bank counts must be powers of two");
+    if (mem.l1Bytes % (mem.l1Assoc * mem.lineBytes) != 0)
+        fatal("L1 size %u not divisible into %u-way sets", mem.l1Bytes,
+              mem.l1Assoc);
+    if (mem.l2Bytes % (mem.l2Assoc * mem.lineBytes) != 0)
+        fatal("L2 size %u not divisible into %u-way sets", mem.l2Bytes,
+              mem.l2Assoc);
+    if (!isPowerOf2(mem.l1Bytes / (mem.l1Assoc * mem.lineBytes)))
+        fatal("L1 set count must be a power of two");
+    if (!isPowerOf2(mem.l2Bytes / (mem.l2Assoc * mem.lineBytes)))
+        fatal("L2 set count must be a power of two");
+    if (cpu.issueWidth == 0 || cpu.robSize == 0)
+        fatal("issue width and ROB size must be nonzero");
+    if (tls.numCpus == 0 || tls.numCpus > 64)
+        fatal("unsupported CPU count %u", tls.numCpus);
+    if (tls.subthreadsPerThread == 0)
+        fatal("at least one sub-thread context per thread is required");
+    if (tls.subthreadSpacing == 0)
+        fatal("sub-thread spacing must be nonzero");
+}
+
+void
+MachineConfig::print(std::ostream &os) const
+{
+    os << "Pipeline Parameters\n"
+       << "  Issue Width              " << cpu.issueWidth << "\n"
+       << "  Reorder Buffer Size      " << cpu.robSize << "\n"
+       << "  Integer Multiply         " << cpu.intMulLatency << " cycles\n"
+       << "  Integer Divide           " << cpu.intDivLatency << " cycles\n"
+       << "  All Other Integer        " << cpu.intLatency << " cycle\n"
+       << "  FP Divide                " << cpu.fpDivLatency << " cycles\n"
+       << "  FP Square Root           " << cpu.fpSqrtLatency << " cycles\n"
+       << "  All Other FP             " << cpu.fpLatency << " cycles\n"
+       << "  Branch Prediction        GShare (" << cpu.gshareBytes / 1024
+       << "KB, " << cpu.gshareHistoryBits << " history bits)\n"
+       << "Memory Parameters\n"
+       << "  Cache Line Size          " << mem.lineBytes << "B\n"
+       << "  Instruction Cache        " << mem.l1Bytes / 1024 << "KB, "
+       << mem.l1Assoc << "-way set-assoc\n"
+       << "  Data Cache               " << mem.l1Bytes / 1024 << "KB, "
+       << mem.l1Assoc << "-way set-assoc, " << mem.l1Banks << " banks\n"
+       << "  Unified Secondary Cache  " << mem.l2Bytes / (1024 * 1024)
+       << "MB, " << mem.l2Assoc << "-way set-assoc, " << mem.l2Banks
+       << " banks\n"
+       << "  Speculative Victim Cache " << mem.victimEntries << " entry\n"
+       << "  Miss Handlers            " << mem.dataMshrs << " for data, "
+       << mem.instMshrs << " for insts\n"
+       << "  Crossbar Interconnect    " << mem.crossbarBytesPerCycle
+       << "B per cycle per bank\n"
+       << "  Min Miss Latency to L2   " << mem.l2HitLatency << " cycles\n"
+       << "  Min Miss Latency to Mem  " << mem.memLatency << " cycles\n"
+       << "  Main Memory Bandwidth    1 access per "
+       << mem.memCyclesPerAccess << " cycles\n"
+       << "TLS Parameters\n"
+       << "  CPUs                     " << tls.numCpus << "\n"
+       << "  Sub-threads per thread   " << tls.subthreadsPerThread << "\n"
+       << "  Sub-thread spacing       " << tls.subthreadSpacing
+       << " speculative insts\n"
+       << "  Sub-thread start table   "
+       << (tls.useStartTable ? "yes" : "no") << "\n";
+}
+
+MachineConfig
+baselineConfig()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+noSubthreadConfig()
+{
+    MachineConfig cfg;
+    cfg.tls.subthreadsPerThread = 1;
+    return cfg;
+}
+
+} // namespace tlsim

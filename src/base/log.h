@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 discipline:
+ *
+ *  - panic():  an internal simulator bug — something that must never
+ *              happen regardless of user input. Aborts.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments). Exits with 1.
+ *  - warn():   something is suspicious but the run continues.
+ *  - inform(): plain status output.
+ */
+
+#ifndef BASE_LOG_H
+#define BASE_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace tlsim {
+
+/** printf-style formatting into a std::string. */
+std::string vstrfmt(const char *fmt, std::va_list ap);
+std::string strfmt(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Silence/enable inform() output (benches want clean tables). */
+void setInformEnabled(bool enabled);
+
+} // namespace tlsim
+
+#endif // BASE_LOG_H

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every experiment in the paper uses a fixed seed "for repeatability";
+ * we do the same. This is a SplitMix64-seeded xoshiro256** generator —
+ * small, fast, and with none of the libc rand() portability hazards.
+ */
+
+#ifndef BASE_RNG_H
+#define BASE_RNG_H
+
+#include <cstdint>
+
+#include "base/log.h"
+
+namespace tlsim {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        // SplitMix64 to fill the state; avoids the all-zero state.
+        std::uint64_t x = seed;
+        for (auto &w : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64 random bits. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi], inclusive. */
+    std::int64_t
+    uniform(std::int64_t lo, std::int64_t hi)
+    {
+        if (lo > hi)
+            panic("Rng::uniform: lo %lld > hi %lld",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+        const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+        if (span == 0) // full 64-bit range
+            return static_cast<std::int64_t>(next());
+        return lo + static_cast<std::int64_t>(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniformDouble() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace tlsim
+
+#endif // BASE_RNG_H

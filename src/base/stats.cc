@@ -1,0 +1,100 @@
+#include "base/stats.h"
+
+#include <cmath>
+
+namespace tlsim {
+namespace stats {
+
+Stat::Stat(StatGroup *group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    if (group)
+        group->registerStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+double
+Distribution::stdev() const
+{
+    if (n_ < 2)
+        return 0;
+    const double m = mean();
+    const double var = (sumSq_ - n_ * m * m) / (n_ - 1);
+    return var > 0 ? std::sqrt(var) : 0;
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".count " << n_ << " # " << desc() << "\n";
+    os << prefix << name() << ".mean " << mean() << "\n";
+    os << prefix << name() << ".min " << min() << "\n";
+    os << prefix << name() << ".max " << max() << "\n";
+    os << prefix << name() << ".stdev " << stdev() << "\n";
+}
+
+void
+Distribution::reset()
+{
+    sum_ = 0;
+    sumSq_ = 0;
+    n_ = 0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+Vector::Vector(StatGroup *group, std::string name, std::string desc,
+               std::vector<std::string> bucket_names)
+    : Stat(group, std::move(name), std::move(desc)),
+      bucketNames_(std::move(bucket_names)),
+      values_(bucketNames_.size(), 0)
+{
+}
+
+double
+Vector::total() const
+{
+    double t = 0;
+    for (double v : values_)
+        t += v;
+    return t;
+}
+
+void
+Vector::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+        os << prefix << name() << "." << bucketNames_[i] << " "
+           << values_[i] << " # " << desc() << "\n";
+    }
+}
+
+void
+Vector::reset()
+{
+    for (double &v : values_)
+        v = 0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const std::string prefix = name_ + ".";
+    for (const Stat *s : stats_)
+        s->dump(os, prefix);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : stats_)
+        s->reset();
+}
+
+} // namespace stats
+} // namespace tlsim

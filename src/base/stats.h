@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's Stats:
+ * named scalar counters, distributions and vectors that register with a
+ * StatGroup and can be dumped in one pass at the end of simulation.
+ */
+
+#ifndef BASE_STATS_H
+#define BASE_STATS_H
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tlsim {
+namespace stats {
+
+class StatGroup;
+
+/** Base class for all statistics: a name, a description, and a dump. */
+class Stat
+{
+  public:
+    Stat(StatGroup *group, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Print one or more "prefixname value # desc" lines. */
+    virtual void dump(std::ostream &os,
+                      const std::string &prefix = "") const = 0;
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A simple accumulating scalar (count or sum). */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &operator++() { value_ += 1; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    double value_ = 0;
+};
+
+/** Min/max/mean/stdev summary of a sampled quantity. */
+class Distribution : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    void
+    sample(double v, std::uint64_t count = 1)
+    {
+        sum_ += v * count;
+        sumSq_ += v * v * count;
+        n_ += count;
+        if (v < min_) min_ = v;
+        if (v > max_) max_ = v;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / n_ : 0; }
+    double min() const { return n_ ? min_ : 0; }
+    double max() const { return n_ ? max_ : 0; }
+    double stdev() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    double sum_ = 0;
+    double sumSq_ = 0;
+    std::uint64_t n_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** A fixed-size vector of named scalar buckets. */
+class Vector : public Stat
+{
+  public:
+    Vector(StatGroup *group, std::string name, std::string desc,
+           std::vector<std::string> bucket_names);
+
+    double &operator[](std::size_t i) { return values_.at(i); }
+    double at(std::size_t i) const { return values_.at(i); }
+    std::size_t size() const { return values_.size(); }
+    double total() const;
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    std::vector<std::string> bucketNames_;
+    std::vector<double> values_;
+};
+
+/**
+ * A named collection of statistics. Groups nest by name prefix only —
+ * members register themselves on construction.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    void registerStat(Stat *s) { stats_.push_back(s); }
+    const std::vector<Stat *> &statList() const { return stats_; }
+
+    /** Dump every registered stat, prefixed with the group name. */
+    void dump(std::ostream &os) const;
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::vector<Stat *> stats_;
+};
+
+} // namespace stats
+} // namespace tlsim
+
+#endif // BASE_STATS_H

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The TLS machine: replays a captured workload trace on the simulated
+ * CMP, implementing the paper's execution model —
+ *
+ *  - epochs (speculative threads) assigned round-robin to CPU slots,
+ *    committing in program order via the homefree token;
+ *  - sub-threads: a lightweight checkpoint every `subthreadSpacing`
+ *    speculative instructions, up to `subthreadsPerThread` contexts; a
+ *    violation rewinds only to the sub-thread containing the exposed
+ *    load (Section 2.2);
+ *  - violation detection at the L2 from SL/SM metadata, with primary
+ *    violations and selective secondary violations through the
+ *    sub-thread start table (Figure 4(b));
+ *  - escaped speculation: latch acquire/release and other
+ *    isolation-unsafe work runs non-speculatively, serializes between
+ *    epochs, and is never re-executed after a rewind;
+ *  - speculative-state overflow handling when a line cannot be
+ *    buffered even in the victim cache;
+ *  - the dependence profiler of Section 3.1.
+ *
+ * Execution modes map to the paper's Figure 5 bars: Serial replays
+ * everything on CPU 0 (SEQUENTIAL / TLS-SEQ depending on the trace);
+ * Tls is full TLS; NoSpeculation ignores dependences (upper bound).
+ */
+
+#ifndef CORE_MACHINE_H
+#define CORE_MACHINE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/config.h"
+#include "base/types.h"
+#include "core/profiler.h"
+#include "core/specstate.h"
+#include "core/trace.h"
+#include "cpu/breakdown.h"
+#include "cpu/core.h"
+#include "mem/memsys.h"
+#include "mem/tlshooks.h"
+
+namespace tlsim {
+
+/** How to execute the trace (Figure 5 bars). */
+enum class ExecMode {
+    Serial,        ///< all records on CPU 0, no speculation
+    Tls,           ///< full TLS with sub-threads per the config
+    NoSpeculation, ///< parallel, dependences ignored (upper bound)
+};
+
+const char *execModeName(ExecMode m);
+
+/** Everything a run produces. */
+struct RunResult
+{
+    Cycle makespan = 0;       ///< wall cycles of the measured region
+    Breakdown total;          ///< summed over all CPUs
+    std::uint64_t txns = 0;
+    std::uint64_t epochs = 0;
+    InstCount totalInsts = 0; ///< dynamic instructions (committed work)
+
+    std::uint64_t primaryViolations = 0;
+    std::uint64_t secondaryViolations = 0;
+    std::uint64_t squashes = 0;       ///< rewinds actually applied
+    InstCount rewoundInsts = 0;
+    std::uint64_t subthreadsStarted = 0;
+    std::uint64_t overflowEvents = 0;
+    std::uint64_t latchWaits = 0;
+    std::uint64_t escapeSkips = 0; ///< escaped regions not re-executed
+    std::uint64_t predictorStalls = 0; ///< predictor-synchronized loads
+
+    std::uint64_t l1Hits = 0, l1Misses = 0;
+    std::uint64_t l2Hits = 0, l2Misses = 0, victimHits = 0;
+    std::uint64_t branches = 0, mispredicts = 0;
+
+    double speedupVs(const RunResult &base) const
+    {
+        return makespan ? static_cast<double>(base.makespan) / makespan
+                        : 0.0;
+    }
+};
+
+/** The simulated CMP executing captured traces. */
+class TlsMachine : public TlsHooks
+{
+  public:
+    explicit TlsMachine(const MachineConfig &cfg);
+
+    /**
+     * Execute a workload. The first `warmup_txns` transactions run
+     * with full machine state but are excluded from the measured
+     * statistics (they warm caches and the predictor).
+     */
+    RunResult run(const WorkloadTrace &workload, ExecMode mode,
+                  unsigned warmup_txns = 0);
+
+    /** The Section 3.1 profiler (valid after a Tls-mode run). */
+    const DependenceProfiler &profiler() const { return profiler_; }
+
+    /** Dump machine-level statistics (per-CPU caches, predictor,
+     *  breakdown) in the gem5-style "name value # desc" format. */
+    void dumpStats(std::ostream &os) const;
+
+    const MachineConfig &config() const { return cfg_; }
+
+    // TlsHooks
+    std::uint64_t epochSeq(CpuId cpu) const override;
+    bool lineHasSpecState(Addr line_num) const override;
+
+  private:
+    // ----- runtime structures ----------------------------------------
+
+    struct Checkpoint
+    {
+        std::uint32_t recIdx = 0;
+        CoreCheckpoint core;
+        std::uint64_t specInsts = 0;
+        std::uint32_t deferredCount = 0; ///< deferredChecks high-water
+    };
+
+    enum class RunState { Running, LatchWait, Done, Committed };
+
+    struct EpochRun
+    {
+        const EpochTrace *trace = nullptr;
+        std::uint64_t seq = 0; ///< global program order
+        CpuId cpu = 0;
+        std::uint32_t cursor = 0;
+        RunState st = RunState::Running;
+
+        unsigned curSub = 0;
+        std::vector<Checkpoint> cps;
+        std::uint64_t specInsts = 0;
+        std::uint64_t nextSpawn = 0;
+        std::uint64_t spacing = 0; ///< per-epoch sub-thread spacing
+
+        bool inEscape = false;
+        unsigned escapedDone = 0; ///< completed escape regions (high water)
+        unsigned latchesHeld = 0;
+
+        bool pendingSquash = false;
+        unsigned squashSub = 0;
+        Cycle squashAt = 0;
+        Pc squashStorePc = 0;
+        Addr squashLine = 0;
+        bool squashSecondary = false;
+        std::uint64_t waitLatch = 0; ///< latch id blocked on (LatchWait)
+        std::vector<std::uint64_t> heldLatches;
+
+        /** startTable[ctx] = (origin epoch seq, my sub at that time) */
+        std::vector<std::pair<std::uint64_t, unsigned>> startTable;
+
+        /** Deferred violation checks (non-aggressive update mode). */
+        std::vector<std::pair<Addr, Pc>> deferredChecks;
+    };
+
+    struct LatchState
+    {
+        bool held = false;
+        CpuId owner = 0;
+        std::deque<CpuId> waiters;
+    };
+
+    // ----- helpers -----------------------------------------------------
+
+    ContextId ctxId(CpuId cpu, unsigned sub) const
+    {
+        return cpu * k_ + sub;
+    }
+
+    std::uint64_t threadMask(CpuId cpu, unsigned up_to_sub) const
+    {
+        return ((std::uint64_t{2} << up_to_sub) - 1) << (cpu * k_);
+    }
+
+    EpochRun *runOn(CpuId cpu) { return runs_[cpu].get(); }
+
+    void runParallelSection(const TraceSection &sec, ExecMode mode);
+    void runSerialEpoch(const EpochTrace &e);
+    void startNextEpoch(CpuId cpu);
+
+    /** Process one record (or pending state) on `cpu`. */
+    void stepCpu(CpuId cpu);
+
+    void execLoad(EpochRun &run, const TraceRecord &rec, bool spec);
+    void execStore(EpochRun &run, const TraceRecord &rec, bool spec);
+    void execLatchAcquire(EpochRun &run, const TraceRecord &rec);
+    void execLatchRelease(EpochRun &run, const TraceRecord &rec);
+    void releaseLatch(std::uint64_t latch_id, Cycle at);
+
+    bool isOldest(const EpochRun &run) const;
+    void maybeSpawnSubthread(EpochRun &run);
+    void checkViolations(EpochRun &storer, Addr line, Pc store_pc);
+    void scheduleSquash(EpochRun &victim, unsigned sub, Cycle at,
+                        Pc store_pc, Addr line, bool secondary);
+    void applySquash(EpochRun &run);
+    void handleOverflow(EpochRun &run, const MemAccess &res);
+    void commitEpoch(EpochRun &run);
+    void finishEpochBody(EpochRun &run);
+
+    /** Charge instruction-side costs common to every record. */
+    void chargeRecord(EpochRun &run, const TraceRecord &rec);
+
+    void resetAccounting();
+    void collect(RunResult &out);
+
+    // ----- state --------------------------------------------------------
+
+    MachineConfig cfg_;
+    unsigned k_;       ///< sub-thread contexts per thread
+    unsigned numCpus_;
+    bool tlsActive_ = false;    ///< current section runs parallel epochs
+    bool specTracking_ = false; ///< SL/SM tracking + violations enabled
+
+    MemSystem mem_;
+    std::vector<Core> cores_;
+    SpecState spec_;
+    std::vector<ExposedLoadTable> exposed_;
+    DependenceProfiler profiler_;
+
+    std::vector<std::unique_ptr<EpochRun>> runs_; ///< per CPU slot
+    std::vector<std::deque<std::pair<std::uint64_t, const EpochTrace *>>>
+        queues_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextCommitSeq_ = 0;
+    Cycle lastCommitTime_ = 0;
+
+    std::unordered_map<std::uint64_t, LatchState> latches_;
+
+    /** Load PCs that have caused violations (dependence predictor). */
+    std::unordered_set<Pc> predictedLoads_;
+
+    // measured-region statistics (counter values at measure start)
+    RunResult stats_;
+    std::uint64_t baseL1Hits_ = 0, baseL1Misses_ = 0;
+    std::uint64_t baseL2Hits_ = 0, baseL2Misses_ = 0;
+    std::uint64_t baseVictimHits_ = 0;
+    std::uint64_t baseBranches_ = 0, baseMispredicts_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // CORE_MACHINE_H

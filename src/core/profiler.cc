@@ -1,0 +1,80 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/site.h"
+
+namespace tlsim {
+
+void
+DependenceProfiler::recordViolation(Pc load_pc, Pc store_pc,
+                                    std::uint64_t failed_cycles)
+{
+    totalFailed_ += failed_cycles;
+    ++totalViolations_;
+
+    auto key = std::make_pair(load_pc, store_pc);
+    auto it = pairs_.find(key);
+    if (it == pairs_.end()) {
+        if (pairs_.size() >= maxEntries_) {
+            // Reclaim the entry with the least total cycles (paper:
+            // "when the list overflows, we want to reclaim the entry
+            // with the least total cycles").
+            auto least = pairs_.begin();
+            for (auto i = pairs_.begin(); i != pairs_.end(); ++i) {
+                if (i->second.failedCycles < least->second.failedCycles)
+                    least = i;
+            }
+            pairs_.erase(least);
+        }
+        it = pairs_.emplace(key, PairCost{load_pc, store_pc, 0, 0}).first;
+    }
+    it->second.failedCycles += failed_cycles;
+    ++it->second.violations;
+}
+
+std::vector<DependenceProfiler::PairCost>
+DependenceProfiler::report() const
+{
+    std::vector<PairCost> out;
+    out.reserve(pairs_.size());
+    for (const auto &[key, cost] : pairs_)
+        out.push_back(cost);
+    std::sort(out.begin(), out.end(),
+              [](const PairCost &a, const PairCost &b) {
+                  return a.failedCycles > b.failedCycles;
+              });
+    return out;
+}
+
+std::string
+DependenceProfiler::reportText(unsigned n) const
+{
+    const auto &reg = SiteRegistry::instance();
+    std::ostringstream os;
+    os << "rank  failed-cycles  violations  load-site <- store-site\n";
+    unsigned rank = 0;
+    for (const PairCost &p : report()) {
+        if (rank++ >= n)
+            break;
+        // Load PC 0 means the exposed-load table had lost the entry
+        // (direct-mapped conflict) by the time the violation arrived.
+        std::string load = p.loadPc
+                               ? reg.name(p.loadPc)
+                               : std::string("<exposed-load-table miss>");
+        os << rank << "  " << p.failedCycles << "  " << p.violations
+           << "  " << load << " <- " << reg.name(p.storePc) << "\n";
+    }
+    return os.str();
+}
+
+void
+DependenceProfiler::reset()
+{
+    pairs_.clear();
+    totalFailed_ = 0;
+    totalViolations_ = 0;
+}
+
+} // namespace tlsim

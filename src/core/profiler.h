@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Hardware dependence profiling (Section 3.1): an exposed-load table
+ * per CPU (a direct-mapped table of load PCs indexed by cache tag) and
+ * an L2-side table of (load PC, store PC) pairs accumulating the
+ * failed-speculation cycles each violated dependence caused. Software
+ * reads the table ranked by cost to drive iterative tuning.
+ */
+
+#ifndef CORE_PROFILER_H
+#define CORE_PROFILER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Direct-mapped table of the PC of the last exposed speculative load
+ *  per cache line (one per CPU). */
+class ExposedLoadTable
+{
+  public:
+    explicit ExposedLoadTable(unsigned entries = 4096)
+        : table_(entries)
+    {
+    }
+
+    void
+    record(Addr line, Pc pc)
+    {
+        Entry &e = table_[line & (table_.size() - 1)];
+        e.line = line;
+        e.pc = pc;
+    }
+
+    /** PC of the last exposed load of this line, or 0 on tag mismatch. */
+    Pc
+    lookup(Addr line) const
+    {
+        const Entry &e = table_[line & (table_.size() - 1)];
+        return e.line == line ? e.pc : 0;
+    }
+
+    void
+    reset()
+    {
+        for (Entry &e : table_)
+            e = Entry{};
+    }
+
+  private:
+    struct Entry
+    {
+        Addr line = ~Addr{0};
+        Pc pc = 0;
+    };
+
+    std::vector<Entry> table_;
+};
+
+/** L2-side violation cost table: (load PC, store PC) -> failed cycles. */
+class DependenceProfiler
+{
+  public:
+    struct PairCost
+    {
+        Pc loadPc = 0;
+        Pc storePc = 0;
+        std::uint64_t failedCycles = 0;
+        std::uint64_t violations = 0;
+    };
+
+    explicit DependenceProfiler(unsigned max_entries = 1024)
+        : maxEntries_(max_entries)
+    {
+    }
+
+    /** Record one violation and the speculation cycles it wasted. */
+    void recordViolation(Pc load_pc, Pc store_pc,
+                         std::uint64_t failed_cycles);
+
+    /** All pairs, most-costly first (the software interface). */
+    std::vector<PairCost> report() const;
+
+    /** Pretty-print the top `n` pairs with site names resolved. */
+    std::string reportText(unsigned n = 10) const;
+
+    std::uint64_t totalFailedCycles() const { return totalFailed_; }
+    std::uint64_t totalViolations() const { return totalViolations_; }
+
+    void reset();
+
+  private:
+    unsigned maxEntries_;
+    std::map<std::pair<Pc, Pc>, PairCost> pairs_;
+    std::uint64_t totalFailed_ = 0;
+    std::uint64_t totalViolations_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // CORE_PROFILER_H

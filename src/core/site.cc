@@ -1,0 +1,37 @@
+#include "core/site.h"
+
+#include "base/log.h"
+
+namespace tlsim {
+
+SiteRegistry &
+SiteRegistry::instance()
+{
+    static SiteRegistry registry;
+    return registry;
+}
+
+Pc
+SiteRegistry::intern(const std::string &name)
+{
+    auto it = byName_.find(name);
+    if (it != byName_.end())
+        return it->second;
+    Pc pc = kCodeBase + static_cast<Pc>(names_.size()) * kBlockBytes;
+    byName_.emplace(name, pc);
+    names_.push_back(name);
+    return pc;
+}
+
+std::string
+SiteRegistry::name(Pc pc) const
+{
+    if (pc >= kCodeBase) {
+        std::size_t idx = (pc - kCodeBase) / kBlockBytes;
+        if (idx < names_.size())
+            return names_[idx];
+    }
+    return strfmt("<pc 0x%x>", pc);
+}
+
+} // namespace tlsim

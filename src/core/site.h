@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Synthetic program counters for static code sites.
+ *
+ * The database is instrumented at source level; every static
+ * trace-emission site gets a stable synthetic PC (a 64-byte "code
+ * block") plus a symbolic name. The dependence profiler resolves PCs
+ * back to names so tuning output reads like
+ * "btree.insert.leaf_header <- log.lsn_alloc".
+ */
+
+#ifndef CORE_SITE_H
+#define CORE_SITE_H
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Global registry mapping site names to synthetic PCs and back. */
+class SiteRegistry
+{
+  public:
+    static SiteRegistry &instance();
+
+    /** Get (or create) the PC for a site name. */
+    Pc intern(const std::string &name);
+
+    /** Resolve a PC to its site name ("<pc 0x...>" if unknown). */
+    std::string name(Pc pc) const;
+
+    /** Number of registered sites. */
+    std::size_t size() const { return names_.size(); }
+
+    /** All site names in PC order (trace-file serialization). */
+    const std::vector<std::string> &allNames() const { return names_; }
+
+    /** PC of the site at registration index `idx`. */
+    static constexpr Pc
+    pcOfIndex(std::size_t idx)
+    {
+        return kCodeBase + static_cast<Pc>(idx) * kBlockBytes;
+    }
+
+    /** Base address of the synthetic code segment. */
+    static constexpr Pc kCodeBase = 0x0040'0000;
+    /** Bytes of synthetic code per site (one I-cache line's worth+). */
+    static constexpr Pc kBlockBytes = 64;
+
+  private:
+    SiteRegistry() = default;
+
+    std::unordered_map<std::string, Pc> byName_;
+    std::vector<std::string> names_;
+};
+
+/**
+ * A static code site. Declare once (function-local static or
+ * namespace-scope) and pass `site.pc` to the tracer.
+ */
+struct Site
+{
+    explicit Site(const std::string &name)
+        : pc(SiteRegistry::instance().intern(name))
+    {
+    }
+
+    Pc pc;
+};
+
+} // namespace tlsim
+
+#endif // CORE_SITE_H

@@ -1,0 +1,137 @@
+#include "core/specstate.h"
+
+#include "base/log.h"
+
+namespace tlsim {
+
+SpecState::SpecState(unsigned num_contexts)
+    : numContexts_(num_contexts), ctxLines_(num_contexts)
+{
+    if (num_contexts > kMaxContexts)
+        panic("SpecState supports at most %u contexts (asked for %u)",
+              kMaxContexts, num_contexts);
+}
+
+bool
+SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
+                      std::uint32_t word_mask)
+{
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+        // Words already produced by this thread's own stores are not
+        // exposed (the load reads the thread's own data).
+        std::uint32_t own = 0;
+        std::uint64_t owners = it->second.smOwners & thread_mask;
+        while (owners) {
+            unsigned c = static_cast<unsigned>(__builtin_ctzll(owners));
+            owners &= owners - 1;
+            own |= it->second.sm[c];
+        }
+        if ((word_mask & ~own) == 0)
+            return false; // fully covered: not exposed
+    }
+
+    LineSpec &ls = lines_[line];
+    std::uint64_t bit = std::uint64_t{1} << ctx;
+    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+        ctxLines_[ctx].push_back(line);
+    ls.sl |= bit;
+    return true;
+}
+
+void
+SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
+{
+    LineSpec &ls = lines_[line];
+    std::uint64_t bit = std::uint64_t{1} << ctx;
+    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+        ctxLines_[ctx].push_back(line);
+    ls.sm[ctx] |= word_mask;
+    ls.smOwners |= bit;
+}
+
+std::uint64_t
+SpecState::slHolders(Addr line) const
+{
+    auto it = lines_.find(line);
+    return it == lines_.end() ? 0 : it->second.sl;
+}
+
+std::uint64_t
+SpecState::stateHolders(Addr line) const
+{
+    auto it = lines_.find(line);
+    if (it == lines_.end())
+        return 0;
+    return it->second.sl | it->second.smOwners;
+}
+
+bool
+SpecState::lineHasSpecState(Addr line) const
+{
+    auto it = lines_.find(line);
+    return it != lines_.end() && !it->second.empty();
+}
+
+bool
+SpecState::threadModifiedLine(std::uint64_t thread_mask, Addr line) const
+{
+    auto it = lines_.find(line);
+    return it != lines_.end() && (it->second.smOwners & thread_mask) != 0;
+}
+
+std::vector<Addr>
+SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
+{
+    std::vector<Addr> dead_versions;
+    std::uint64_t bit = std::uint64_t{1} << ctx;
+    for (Addr line : ctxLines_[ctx]) {
+        auto it = lines_.find(line);
+        if (it == lines_.end())
+            continue;
+        LineSpec &ls = it->second;
+        bool had_sm = (ls.smOwners & bit) != 0;
+        ls.sl &= ~bit;
+        ls.sm[ctx] = 0;
+        ls.smOwners &= ~bit;
+        if (had_sm && (ls.smOwners & thread_mask) == 0)
+            dead_versions.push_back(line);
+        if (ls.empty())
+            lines_.erase(it);
+    }
+    ctxLines_[ctx].clear();
+    return dead_versions;
+}
+
+void
+SpecState::clearThread(std::uint64_t thread_mask, ContextId first_ctx,
+                       unsigned num_ctxs)
+{
+    for (unsigned i = 0; i < num_ctxs; ++i) {
+        ContextId ctx = first_ctx + i;
+        std::uint64_t bit = std::uint64_t{1} << ctx;
+        for (Addr line : ctxLines_[ctx]) {
+            auto it = lines_.find(line);
+            if (it == lines_.end())
+                continue;
+            LineSpec &ls = it->second;
+            ls.sl &= ~bit;
+            ls.sm[ctx] = 0;
+            ls.smOwners &= ~bit;
+            if (ls.empty())
+                lines_.erase(it);
+        }
+        ctxLines_[ctx].clear();
+    }
+    (void)thread_mask;
+}
+
+void
+SpecState::reset()
+{
+    lines_.clear();
+    for (auto &v : ctxLines_)
+        v.clear();
+}
+
+} // namespace tlsim

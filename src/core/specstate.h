@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Speculative metadata kept by the L2: for every cache line touched
+ * speculatively, a speculatively-loaded (SL) bit per thread context
+ * (line granularity) and a speculatively-modified (SM) word mask per
+ * thread context (word granularity) — the "2 bits of storage per cache
+ * line per sub-thread tracked" of Section 2.1.
+ *
+ * Context numbering: ctx = cpu * subthreadsPerThread + subIndex, so a
+ * speculative thread's contexts are contiguous and a thread mask is a
+ * contiguous bit run.
+ */
+
+#ifndef CORE_SPECSTATE_H
+#define CORE_SPECSTATE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Per-line, per-context speculative load/store metadata. */
+class SpecState
+{
+  public:
+    static constexpr unsigned kMaxContexts = 64;
+
+    explicit SpecState(unsigned num_contexts);
+
+    /**
+     * Record a speculative load by `ctx` of `word_mask` within `line`.
+     * `thread_mask` covers the live contexts of the loading thread
+     * (subs 0..current). Returns true if the load was *exposed*, i.e.
+     * not fully covered by the thread's own earlier stores; only
+     * exposed loads set the SL bit (and can be violated).
+     */
+    bool recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
+                    std::uint32_t word_mask);
+
+    /** Record a speculative store by `ctx` to `word_mask` of `line`. */
+    void recordStore(ContextId ctx, Addr line, std::uint32_t word_mask);
+
+    /** Bitmask of contexts holding an SL bit on this line. */
+    std::uint64_t slHolders(Addr line) const;
+
+    /** Bitmask of contexts holding any (SL or SM) state on this line. */
+    std::uint64_t stateHolders(Addr line) const;
+
+    /** True if any context has SL or SM state on this line. */
+    bool lineHasSpecState(Addr line) const;
+
+    /** True if any context in `thread_mask` has SM bits on the line. */
+    bool threadModifiedLine(std::uint64_t thread_mask, Addr line) const;
+
+    /**
+     * Clear one context's state. Returns the lines on which the
+     * context had SM bits and, after clearing, no context in
+     * `thread_mask` modifies any more — the thread's L2 line version
+     * is dead and must be dropped.
+     */
+    std::vector<Addr> clearContext(ContextId ctx,
+                                   std::uint64_t thread_mask);
+
+    /** Fast path for commit: clear every context in the mask. */
+    void clearThread(std::uint64_t thread_mask, ContextId first_ctx,
+                     unsigned num_ctxs);
+
+    /** Number of lines with live metadata (tests/debug). */
+    std::size_t liveLines() const { return lines_.size(); }
+
+    void reset();
+
+  private:
+    struct LineSpec
+    {
+        std::uint64_t sl = 0;       ///< SL bit per context
+        std::uint64_t smOwners = 0; ///< contexts with nonzero SM mask
+        std::array<std::uint32_t, kMaxContexts> sm{};
+
+        bool empty() const { return sl == 0 && smOwners == 0; }
+    };
+
+    unsigned numContexts_;
+    std::unordered_map<Addr, LineSpec> lines_;
+    /** Lines each context has metadata on (for O(touched) clears). */
+    std::vector<std::vector<Addr>> ctxLines_;
+};
+
+} // namespace tlsim
+
+#endif // CORE_SPECSTATE_H

@@ -1,0 +1,89 @@
+#include "core/trace.h"
+
+namespace tlsim {
+
+InstCount
+TransactionTrace::totalInsts() const
+{
+    InstCount n = 0;
+    for (const auto &sec : sections)
+        for (const auto &e : sec.epochs)
+            n += e.instCount;
+    return n;
+}
+
+InstCount
+TransactionTrace::parallelInsts() const
+{
+    InstCount n = 0;
+    for (const auto &sec : sections) {
+        if (!sec.parallel)
+            continue;
+        for (const auto &e : sec.epochs)
+            n += e.instCount;
+    }
+    return n;
+}
+
+double
+TransactionTrace::coverage() const
+{
+    InstCount total = totalInsts();
+    return total ? static_cast<double>(parallelInsts()) / total : 0.0;
+}
+
+std::uint64_t
+TransactionTrace::epochCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sec : sections)
+        if (sec.parallel)
+            n += sec.epochs.size();
+    return n;
+}
+
+double
+TransactionTrace::epochsPerLoop() const
+{
+    std::uint64_t loops = 0;
+    std::uint64_t epochs = 0;
+    for (const auto &sec : sections) {
+        if (!sec.parallel)
+            continue;
+        ++loops;
+        epochs += sec.epochs.size();
+    }
+    return loops ? static_cast<double>(epochs) / loops : 0.0;
+}
+
+double
+TransactionTrace::meanEpochInsts() const
+{
+    std::uint64_t epochs = 0;
+    InstCount insts = 0;
+    for (const auto &sec : sections) {
+        if (!sec.parallel)
+            continue;
+        epochs += sec.epochs.size();
+        for (const auto &e : sec.epochs)
+            insts += e.instCount;
+    }
+    return epochs ? static_cast<double>(insts) / epochs : 0.0;
+}
+
+double
+TransactionTrace::meanEpochSpecInsts() const
+{
+    std::uint64_t epochs = 0;
+    InstCount insts = 0;
+    for (const auto &sec : sections) {
+        if (!sec.parallel)
+            continue;
+        epochs += sec.epochs.size();
+        for (const auto &e : sec.epochs)
+            insts += e.specInstCount;
+    }
+    return epochs ? static_cast<double>(insts) / epochs : 0.0;
+}
+
+} // namespace tlsim

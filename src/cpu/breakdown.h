@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cycle attribution categories, matching the stacked bars of the
+ * paper's Figure 5: every simulated CPU cycle lands in exactly one
+ * category, and on a rewind the cycles of the discarded sub-thread
+ * span are re-attributed to Failed.
+ */
+
+#ifndef CPU_BREAKDOWN_H
+#define CPU_BREAKDOWN_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Where a CPU cycle went (Figure 5 legend). */
+enum class Cat : unsigned {
+    Busy = 0,   ///< retiring useful instructions
+    CacheMiss,  ///< stalled on the memory hierarchy
+    LatchStall, ///< stalled acquiring a latch during escaped speculation
+    Sync,       ///< waiting for the homefree token / overflow stalls
+    Idle,       ///< no epoch available to run
+    Failed,     ///< executed work that a violation later rewound
+    NumCats
+};
+
+inline constexpr unsigned kNumCats = static_cast<unsigned>(Cat::NumCats);
+
+inline const char *
+catName(Cat c)
+{
+    switch (c) {
+      case Cat::Busy: return "busy";
+      case Cat::CacheMiss: return "cache_miss";
+      case Cat::LatchStall: return "latch_stall";
+      case Cat::Sync: return "sync";
+      case Cat::Idle: return "idle";
+      case Cat::Failed: return "failed";
+      default: return "?";
+    }
+}
+
+/** Per-CPU cycle accounting with snapshot/rollback for sub-threads. */
+struct Breakdown
+{
+    std::array<std::uint64_t, kNumCats> cycles{};
+
+    std::uint64_t &operator[](Cat c)
+    {
+        return cycles[static_cast<unsigned>(c)];
+    }
+
+    std::uint64_t operator[](Cat c) const
+    {
+        return cycles[static_cast<unsigned>(c)];
+    }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto v : cycles)
+            t += v;
+        return t;
+    }
+
+    Breakdown &
+    operator+=(const Breakdown &o)
+    {
+        for (unsigned i = 0; i < kNumCats; ++i)
+            cycles[i] += o.cycles[i];
+        return *this;
+    }
+
+    /**
+     * Rewind support: everything accumulated since `snap` becomes
+     * Failed work (the wall-clock span is preserved).
+     */
+    void
+    failSince(const Breakdown &snap)
+    {
+        std::uint64_t span = 0;
+        for (unsigned i = 0; i < kNumCats; ++i) {
+            span += cycles[i] - snap.cycles[i];
+            cycles[i] = snap.cycles[i];
+        }
+        (*this)[Cat::Failed] += span;
+    }
+};
+
+} // namespace tlsim
+
+#endif // CPU_BREAKDOWN_H

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Timing model of one out-of-order superscalar core (MIPS R10000-like,
+ * Table 1). This is an interval model built for trace replay:
+ *
+ *  - instructions dispatch at up to issueWidth per cycle;
+ *  - loads become outstanding entries; a load may overlap later work
+ *    until (a) the reorder buffer fills behind it, (b) the per-core
+ *    load MLP limit is reached, or (c) a later load is flagged as
+ *    data-dependent on it (pointer chasing in the trace);
+ *  - long-latency arithmetic (divide, square root) serializes;
+ *  - branch mispredicts (GShare on the trace's real outcomes) redirect
+ *    fetch with a fixed penalty.
+ *
+ * Every cycle the core's clock advances is attributed to exactly one
+ * Cat bucket; sub-thread checkpoints snapshot the attribution so a
+ * rewind can move the discarded span into Cat::Failed.
+ */
+
+#ifndef CPU_CORE_H
+#define CPU_CORE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "base/config.h"
+#include "base/types.h"
+#include "core/trace.h"
+#include "cpu/breakdown.h"
+#include "cpu/gshare.h"
+
+namespace tlsim {
+
+/** Checkpointable timing state of a core (registers of the model). */
+struct CoreCheckpoint
+{
+    Cycle now = 0;
+    Breakdown breakdown;
+    InstCount instSeq = 0;
+    unsigned slotFrac = 0;
+};
+
+/** One CPU core's timing engine. */
+class Core
+{
+  public:
+    Core(const CpuConfig &cfg, CpuId id);
+
+    CpuId id() const { return id_; }
+    Cycle now() const { return now_; }
+
+    /** Jump the clock without attribution (section barriers). */
+    void setNow(Cycle t) { now_ = t; }
+
+    /** Advance the clock to `t`, attributing the span to `cat`. */
+    void advanceTo(Cycle t, Cat cat);
+
+    /** Dynamic instructions dispatched so far (monotonic). */
+    InstCount instSeq() const { return instSeq_; }
+
+    Breakdown &breakdown() { return breakdown_; }
+    const Breakdown &breakdown() const { return breakdown_; }
+
+    // --- Record execution --------------------------------------------
+
+    /** Execute n instructions of the given class. */
+    void doCompute(std::uint64_t n, ComputeClass cls);
+
+    /** Execute one branch; applies mispredict penalty. */
+    void doBranch(Pc pc, bool taken);
+
+    /**
+     * Resolve structural/data hazards before a load issues. Returns
+     * the issue cycle (the clock after any stalls, attributed to
+     * Cat::CacheMiss since the stalls come from outstanding misses).
+     */
+    Cycle prepareLoad(bool dependent);
+
+    /** Register an issued load's completion time. */
+    void finishLoad(Cycle ready_at);
+
+    /** Execute a store (buffered write-through; one dispatch slot). */
+    void doStore(Cycle ready_at);
+
+    /** Wait until every outstanding load completes (epoch end). */
+    void drainLoads();
+
+    // --- Checkpoint / rewind ------------------------------------------
+
+    CoreCheckpoint checkpoint() const;
+
+    /**
+     * Rewind to `cp`, re-attributing all cycles since it to
+     * Cat::Failed and restarting the clock at `restart` (>= the
+     * checkpointed clock; the gap is Failed as well — it covers
+     * squash delivery). Outstanding loads are discarded.
+     */
+    void rewindTo(const CoreCheckpoint &cp, Cycle restart);
+
+    /** Drop in-flight state and reset the clock (experiment reset). */
+    void reset();
+
+    GShare &gshare() { return gshare_; }
+    const GShare &gshare() const { return gshare_; }
+
+    std::uint64_t mispredicts() const { return gshare_.mispredicts(); }
+
+  private:
+    struct OutstandingLoad
+    {
+        InstCount seq;  ///< instSeq_ at dispatch
+        Cycle readyAt;
+    };
+
+    /** Consume n dispatch slots, advancing the clock (Busy). */
+    void dispatchSlots(std::uint64_t n);
+
+    /** Pop loads that completed by now_. */
+    void retireCompleted();
+
+    /** Stall (Cat::CacheMiss) until the oldest load completes. */
+    void waitOldestLoad();
+
+    CpuConfig cfg_;
+    CpuId id_;
+    GShare gshare_;
+
+    Cycle now_ = 0;
+    Breakdown breakdown_;
+    InstCount instSeq_ = 0;
+    unsigned slotFrac_ = 0; ///< dispatch slots used in the current cycle
+
+    std::deque<OutstandingLoad> loads_;
+};
+
+} // namespace tlsim
+
+#endif // CPU_CORE_H

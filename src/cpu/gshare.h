@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GShare branch predictor (Table 1: 16KB of 2-bit counters, 8 bits of
+ * global history). Fed by the Branch records of the trace, whose
+ * outcomes come from the database's real control flow.
+ */
+
+#ifndef CPU_GSHARE_H
+#define CPU_GSHARE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/addr.h"
+#include "base/types.h"
+
+namespace tlsim {
+
+/** A classic GShare predictor over 2-bit saturating counters. */
+class GShare
+{
+  public:
+    GShare(unsigned table_bytes, unsigned history_bits)
+        : counters_(table_bytes * 4, 1), // 4 counters per byte, weakly NT
+          mask_(static_cast<std::uint32_t>(counters_.size() - 1)),
+          historyBits_(history_bits)
+    {
+        if (!isPowerOf2(counters_.size()))
+            counters_.resize(std::uint64_t{1}
+                                 << log2Exact(counters_.size()),
+                             1);
+        mask_ = static_cast<std::uint32_t>(counters_.size() - 1);
+        unsigned index_bits = log2Exact(counters_.size());
+        historyShift_ =
+            index_bits > historyBits_ ? index_bits - historyBits_ : 0;
+    }
+
+    /** Predict, update, and report whether the prediction was right. */
+    bool
+    predictAndUpdate(Pc pc, bool taken)
+    {
+        std::uint32_t idx = index(pc);
+        std::uint8_t &ctr = counters_[idx];
+        bool predict_taken = ctr >= 2;
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+                   ((1u << historyBits_) - 1);
+        bool correct = predict_taken == taken;
+        ++branches_;
+        if (!correct)
+            ++mispredicts_;
+        return correct;
+    }
+
+    void
+    reset()
+    {
+        std::fill(counters_.begin(), counters_.end(), 1);
+        history_ = 0;
+        branches_ = 0;
+        mispredicts_ = 0;
+    }
+
+    std::uint64_t branches() const { return branches_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+
+  private:
+    std::uint32_t
+    index(Pc pc) const
+    {
+        return ((pc >> 2) ^ (history_ << historyShift_)) & mask_;
+    }
+
+    std::vector<std::uint8_t> counters_;
+    std::uint32_t mask_;
+    unsigned historyBits_;
+    unsigned historyShift_ = 0;
+    std::uint32_t history_ = 0;
+    std::uint64_t branches_ = 0;
+    std::uint64_t mispredicts_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // CPU_GSHARE_H

@@ -1,0 +1,92 @@
+#include "db/bufferpool.h"
+
+#include "base/log.h"
+#include "core/site.h"
+#include "db/costs.h"
+
+namespace tlsim {
+namespace db {
+
+BufferPool::BufferPool(const DbConfig &cfg, Tracer &tracer)
+    : cfg_(cfg), tr_(tracer), buckets_(4096, 0)
+{
+}
+
+void *
+BufferPool::frameAddr(PageId pid) const
+{
+    if (pid == kInvalidPage || pid >= nextPage_)
+        panic("buffer pool: bad page id %u", pid);
+    unsigned idx = pid - 1;
+    return chunks_[idx / kPagesPerChunk].mem.get() +
+           static_cast<std::size_t>(idx % kPagesPerChunk) * kPageSize;
+}
+
+PageId
+BufferPool::allocPage(std::uint8_t level)
+{
+    static const Site s_alloc("bufpool.alloc_page");
+    if (nextPage_ - 1 >= cfg_.maxPages)
+        fatal("buffer pool exhausted (%u pages)", cfg_.maxPages);
+
+    unsigned idx = nextPage_ - 1;
+    if (idx / kPagesPerChunk >= chunks_.size()) {
+        chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(
+            static_cast<std::size_t>(kPagesPerChunk) * kPageSize)});
+    }
+
+    // The page-allocator counter is shared; splits running in
+    // different epochs serialize on it. Tuned mode escapes the
+    // allocation (it is isolation-unsafe work anyway).
+    if (cfg_.tuned) {
+        EscapedRegion esc(tr_, s_alloc.pc);
+        tr_.latchAcquire(s_alloc.pc, namedLatch(kLatchPageAlloc));
+        tr_.load(s_alloc.pc, &nextPage_, sizeof(nextPage_));
+        tr_.store(s_alloc.pc, &nextPage_, sizeof(nextPage_));
+        tr_.compute(s_alloc.pc, 60);
+        tr_.latchRelease(s_alloc.pc, namedLatch(kLatchPageAlloc));
+    } else {
+        tr_.load(s_alloc.pc, &nextPage_, sizeof(nextPage_));
+        tr_.store(s_alloc.pc, &nextPage_, sizeof(nextPage_));
+        tr_.compute(s_alloc.pc, 60);
+    }
+
+    PageId pid = nextPage_++;
+    Page::init(frameAddr(pid), pid, level);
+    return pid;
+}
+
+Page
+BufferPool::fetch(PageId pid, bool dependent)
+{
+    static const Site s_hash("bufpool.fetch.hash_probe");
+    static const Site s_lru("bufpool.fetch.lru_update");
+
+    // Hash-bucket probe (shared, read-mostly).
+    unsigned h = pid & (buckets_.size() - 1);
+    tr_.load(s_hash.pc, &buckets_[h], sizeof(buckets_[h]), dependent);
+    tr_.compute(s_hash.pc, cost::kFetchPage);
+
+    if (!cfg_.tuned) {
+        // BerkeleyDB-style global LRU maintenance: every fetch stores
+        // to the shared list head — a dependence between every pair of
+        // concurrent epochs. The tuned build removes it.
+        tr_.load(s_lru.pc, &lruHead_, sizeof(lruHead_));
+        lruHead_ = pid;
+        tr_.store(s_lru.pc, &lruHead_, sizeof(lruHead_));
+        tr_.compute(s_lru.pc, 25);
+    }
+
+    return Page(frameAddr(pid));
+}
+
+void
+BufferPool::unpin(PageId pid)
+{
+    static const Site s_unpin("bufpool.unpin");
+    (void)pid;
+    tr_.compute(s_unpin.pc, cost::kUnpinPage);
+}
+
+} // namespace db
+} // namespace tlsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The buffer pool: owns every page frame (the workload is memory
+ * resident, as in the paper: a buffer pool large enough that reads
+ * never go to disk). fetch() models BerkeleyDB's memp_fget — a hash
+ * probe, frame pinning, and (untuned) global LRU maintenance whose
+ * shared head pointer is one of the cross-epoch dependences the
+ * paper's iterative tuning removes.
+ */
+
+#ifndef DB_BUFFERPOOL_H
+#define DB_BUFFERPOOL_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/tracer.h"
+#include "db/dbtypes.h"
+#include "db/page.h"
+
+namespace tlsim {
+namespace db {
+
+/** All page frames plus the traced metadata around them. */
+class BufferPool
+{
+  public:
+    BufferPool(const DbConfig &cfg, Tracer &tracer);
+
+    /** Allocate and format a fresh page. */
+    PageId allocPage(std::uint8_t level);
+
+    /**
+     * Pin a page and return a view of its frame. `dependent` marks the
+     * probe as consuming a just-loaded pointer (B-tree descent).
+     */
+    Page fetch(PageId pid, bool dependent = false);
+
+    /** Unpin (cost accounting only; frames never leave memory). */
+    void unpin(PageId pid);
+
+    /** Frame address without trace side effects (for assertions). */
+    void *frameAddr(PageId pid) const;
+
+    std::uint64_t pagesAllocated() const { return nextPage_ - 1; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::uint8_t[]> mem;
+    };
+
+    static constexpr unsigned kPagesPerChunk = 1024;
+
+    const DbConfig &cfg_;
+    Tracer &tr_;
+
+    std::vector<Chunk> chunks_;
+    PageId nextPage_ = 1; ///< page 0 is the invalid page
+
+    /** Modelled memp hash buckets (traced shared metadata). */
+    std::vector<std::uint32_t> buckets_;
+    /** Modelled global LRU head (traced hot spot when !tuned). */
+    std::uint64_t lruHead_ = 0;
+};
+
+} // namespace db
+} // namespace tlsim
+
+#endif // DB_BUFFERPOOL_H

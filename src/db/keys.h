@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Order-preserving key encoding: big-endian integer fields and padded
+ * strings concatenate into byte strings whose memcmp order matches the
+ * composite field order (the usual B-tree key trick).
+ */
+
+#ifndef DB_KEYS_H
+#define DB_KEYS_H
+
+#include <cstdint>
+#include <string_view>
+
+#include "db/dbtypes.h"
+
+namespace tlsim {
+namespace db {
+
+/** Builds composite keys field by field. */
+class KeyBuilder
+{
+  public:
+    KeyBuilder &
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(static_cast<char>(v));
+        return *this;
+    }
+
+    KeyBuilder &
+    u16(std::uint16_t v)
+    {
+        return u8(static_cast<std::uint8_t>(v >> 8))
+            .u8(static_cast<std::uint8_t>(v));
+    }
+
+    KeyBuilder &
+    u32(std::uint32_t v)
+    {
+        return u16(static_cast<std::uint16_t>(v >> 16))
+            .u16(static_cast<std::uint16_t>(v));
+    }
+
+    KeyBuilder &
+    u64(std::uint64_t v)
+    {
+        return u32(static_cast<std::uint32_t>(v >> 32))
+            .u32(static_cast<std::uint32_t>(v));
+    }
+
+    /**
+     * Descending-order u32: encodes ~v so larger values sort first
+     * (used for "latest order per customer" lookups).
+     */
+    KeyBuilder &
+    u32Desc(std::uint32_t v)
+    {
+        return u32(~v);
+    }
+
+    /** Fixed-width string field, NUL padded / truncated to `width`. */
+    KeyBuilder &
+    str(std::string_view s, std::size_t width)
+    {
+        for (std::size_t i = 0; i < width; ++i)
+            bytes_.push_back(i < s.size() ? s[i] : '\0');
+        return *this;
+    }
+
+    const Bytes &bytes() const { return bytes_; }
+    operator BytesView() const { return bytes_; }
+
+  private:
+    Bytes bytes_;
+};
+
+} // namespace db
+} // namespace tlsim
+
+#endif // DB_KEYS_H

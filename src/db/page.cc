@@ -1,0 +1,166 @@
+#include "db/page.h"
+
+#include <vector>
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace db {
+
+void
+Page::init(void *frame, PageId id, std::uint8_t level)
+{
+    std::memset(frame, 0, kPageSize);
+    PageHeader h;
+    h.id = id;
+    h.level = level;
+    h.cellStart = kPageSize;
+    std::memcpy(frame, &h, sizeof(h));
+}
+
+BytesView
+Page::key(unsigned idx) const
+{
+    const std::uint8_t *cell = base_ + cellOff(idx);
+    std::uint16_t klen;
+    std::memcpy(&klen, cell, 2);
+    return BytesView(reinterpret_cast<const char *>(cell + 4), klen);
+}
+
+BytesView
+Page::value(unsigned idx) const
+{
+    const std::uint8_t *cell = base_ + cellOff(idx);
+    std::uint16_t klen, vlen;
+    std::memcpy(&klen, cell, 2);
+    std::memcpy(&vlen, cell + 2, 2);
+    return BytesView(reinterpret_cast<const char *>(cell + 4 + klen),
+                     vlen);
+}
+
+PageId
+Page::childAt(unsigned idx) const
+{
+    BytesView v = value(idx);
+    if (v.size() != sizeof(PageId))
+        panic("internal cell %u has a %zu-byte child pointer", idx,
+              v.size());
+    PageId child;
+    std::memcpy(&child, v.data(), sizeof(child));
+    return child;
+}
+
+std::pair<unsigned, bool>
+Page::lowerBound(BytesView k) const
+{
+    unsigned lo = 0, hi = slotCount();
+    while (lo < hi) {
+        unsigned mid = (lo + hi) / 2;
+        int c = key(mid).compare(k);
+        if (c < 0)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    bool found = lo < slotCount() && key(lo) == k;
+    return {lo, found};
+}
+
+unsigned
+Page::freeSpace() const
+{
+    return hdr().cellStart - slotsEnd() + hdr().fragBytes;
+}
+
+void
+Page::compact()
+{
+    // Rebuild cell storage densely at the page tail.
+    unsigned n = slotCount();
+    std::vector<std::vector<std::uint8_t>> cells(n);
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint8_t *cell = base_ + cellOff(i);
+        cells[i].assign(cell, cell + cellLen(i));
+    }
+    unsigned pos = kPageSize;
+    for (unsigned i = 0; i < n; ++i) {
+        pos -= static_cast<unsigned>(cells[i].size());
+        std::memcpy(base_ + pos, cells[i].data(), cells[i].size());
+        slotPtr(i)[0] = static_cast<std::uint16_t>(pos);
+    }
+    hdr().cellStart = static_cast<std::uint16_t>(pos);
+    hdr().fragBytes = 0;
+}
+
+void
+Page::insert(unsigned idx, BytesView key, BytesView val)
+{
+    unsigned cell_bytes = 4 + static_cast<unsigned>(key.size()) +
+                          static_cast<unsigned>(val.size());
+    if (freeSpace() < cell_bytes + 4)
+        panic("page %u: insert without room (free %u, need %u)",
+              hdr().id, freeSpace(), cell_bytes + 4);
+    if (idx > slotCount())
+        panic("page %u: insert at slot %u of %u", hdr().id, idx,
+              slotCount());
+
+    // Contiguous space must fit the cell plus the new slot entry.
+    if (hdr().cellStart < slotsEnd() + 4 + cell_bytes)
+        compact();
+
+    unsigned pos = hdr().cellStart - cell_bytes;
+    std::uint16_t klen = static_cast<std::uint16_t>(key.size());
+    std::uint16_t vlen = static_cast<std::uint16_t>(val.size());
+    std::memcpy(base_ + pos, &klen, 2);
+    std::memcpy(base_ + pos + 2, &vlen, 2);
+    std::memcpy(base_ + pos + 4, key.data(), key.size());
+    std::memcpy(base_ + pos + 4 + key.size(), val.data(), val.size());
+
+    // Shift the slot directory up by one entry.
+    unsigned n = slotCount();
+    std::memmove(slotPtr(idx + 1), slotPtr(idx), (n - idx) * 4);
+    slotPtr(idx)[0] = static_cast<std::uint16_t>(pos);
+    slotPtr(idx)[1] = static_cast<std::uint16_t>(cell_bytes);
+    hdr().nSlots = static_cast<std::uint16_t>(n + 1);
+    hdr().cellStart = static_cast<std::uint16_t>(pos);
+}
+
+void
+Page::remove(unsigned idx)
+{
+    unsigned n = slotCount();
+    if (idx >= n)
+        panic("page %u: remove slot %u of %u", hdr().id, idx, n);
+    unsigned dead = cellLen(idx);
+    if (cellOff(idx) == hdr().cellStart)
+        hdr().cellStart = static_cast<std::uint16_t>(hdr().cellStart +
+                                                     dead);
+    else
+        hdr().fragBytes = static_cast<std::uint16_t>(hdr().fragBytes +
+                                                     dead);
+    std::memmove(slotPtr(idx), slotPtr(idx + 1), (n - idx - 1) * 4);
+    hdr().nSlots = static_cast<std::uint16_t>(n - 1);
+}
+
+bool
+Page::updateValue(unsigned idx, BytesView val)
+{
+    BytesView old = value(idx);
+    if (old.size() == val.size()) {
+        std::memcpy(base_ + cellOff(idx) + 4 + key(idx).size(),
+                    val.data(), val.size());
+        return true;
+    }
+    Bytes k(key(idx));
+    unsigned need = cellSize(static_cast<unsigned>(k.size()),
+                             static_cast<unsigned>(val.size()));
+    // Removing slot idx frees its cell bytes plus one slot entry.
+    if (freeSpace() + cellLen(idx) + 4 < need)
+        return false; // caller must split; the record is untouched
+    remove(idx);
+    insert(idx, k, val);
+    return true;
+}
+
+} // namespace db
+} // namespace tlsim

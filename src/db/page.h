@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Slotted pages: the on-"disk" representation of B-tree nodes. A page
+ * is a 4KB frame with a header, a slot directory growing up, and cell
+ * storage growing down. Cells hold (key, value) pairs; in internal
+ * nodes the value is a 4-byte child page id.
+ *
+ * Page is a non-owning view over a frame owned by the BufferPool; the
+ * B-tree layer traces its accesses against the frame's real addresses.
+ */
+
+#ifndef DB_PAGE_H
+#define DB_PAGE_H
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "db/dbtypes.h"
+
+namespace tlsim {
+namespace db {
+
+/** Fixed header at the start of every page. */
+struct PageHeader
+{
+    PageId id = kInvalidPage;
+    std::uint16_t nSlots = 0;
+    std::uint16_t cellStart = kPageSize; ///< lowest used cell byte
+    std::uint16_t fragBytes = 0;         ///< reclaimable dead cell bytes
+    std::uint8_t level = 0;              ///< 0 = leaf
+    std::uint8_t flags = 0;
+    PageId rightSib = kInvalidPage;
+};
+
+static_assert(sizeof(PageHeader) <= 20, "header should stay small");
+
+/** A mutable view of one 4KB page frame. */
+class Page
+{
+  public:
+    explicit Page(void *frame)
+        : base_(static_cast<std::uint8_t *>(frame))
+    {
+    }
+
+    /** Format a frame as an empty page. */
+    static void init(void *frame, PageId id, std::uint8_t level);
+
+    PageHeader &hdr() { return *reinterpret_cast<PageHeader *>(base_); }
+    const PageHeader &hdr() const
+    {
+        return *reinterpret_cast<const PageHeader *>(base_);
+    }
+
+    unsigned slotCount() const { return hdr().nSlots; }
+    bool leaf() const { return hdr().level == 0; }
+
+    BytesView key(unsigned idx) const;
+    BytesView value(unsigned idx) const;
+
+    /** Child page id stored in slot `idx` of an internal node. */
+    PageId childAt(unsigned idx) const;
+
+    /**
+     * First slot whose key is >= `key` (may equal slotCount()).
+     * `found` reports an exact match.
+     */
+    std::pair<unsigned, bool> lowerBound(BytesView key) const;
+
+    /** Space a cell of this shape consumes (including its slot). */
+    static unsigned cellSize(unsigned klen, unsigned vlen)
+    {
+        return 4 + klen + vlen + sizeof(std::uint16_t) * 2;
+    }
+
+    /** Contiguous + fragmented free bytes. */
+    unsigned freeSpace() const;
+
+    /** True if a (key, value) cell of this shape fits. */
+    bool fits(unsigned klen, unsigned vlen) const
+    {
+        return freeSpace() >= cellSize(klen, vlen);
+    }
+
+    /** Insert a cell at slot `idx`, shifting later slots. Requires
+     *  fits(); compacts if fragmented. */
+    void insert(unsigned idx, BytesView key, BytesView val);
+
+    /** Remove slot `idx` (cell space becomes fragmented). */
+    void remove(unsigned idx);
+
+    /** Replace the value of slot `idx` (any size). Requires room. */
+    bool updateValue(unsigned idx, BytesView val);
+
+    // Addresses for tracing.
+    const void *headerAddr() const { return base_; }
+    const void *slotAddr(unsigned idx) const { return slotPtr(idx); }
+    const void *cellAddr(unsigned idx) const
+    {
+        return base_ + cellOff(idx);
+    }
+
+    std::uint8_t *raw() { return base_; }
+
+  private:
+    using Slot = std::uint16_t; ///< two u16s per slot: off, len
+
+    std::uint16_t *slotPtr(unsigned idx)
+    {
+        return reinterpret_cast<std::uint16_t *>(
+                   base_ + sizeof(PageHeader)) +
+               idx * 2;
+    }
+
+    const std::uint16_t *slotPtr(unsigned idx) const
+    {
+        return const_cast<Page *>(this)->slotPtr(idx);
+    }
+
+    unsigned cellOff(unsigned idx) const { return slotPtr(idx)[0]; }
+    unsigned cellLen(unsigned idx) const { return slotPtr(idx)[1]; }
+
+    unsigned slotsEnd() const
+    {
+        return sizeof(PageHeader) + hdr().nSlots * 4;
+    }
+
+    void compact();
+
+    std::uint8_t *base_;
+};
+
+} // namespace db
+} // namespace tlsim
+
+#endif // DB_PAGE_H

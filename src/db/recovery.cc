@@ -1,0 +1,100 @@
+#include "db/recovery.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/log.h"
+#include "db/db.h"
+
+namespace tlsim {
+namespace db {
+
+std::vector<TxnId>
+LogicalLog::loserTransactions() const
+{
+    std::unordered_set<TxnId> open;
+    for (const LogicalRecord &r : records_) {
+        switch (r.kind) {
+          case LogicalRecord::Kind::Begin:
+            open.insert(r.txn);
+            break;
+          case LogicalRecord::Kind::Commit:
+          case LogicalRecord::Kind::Abort:
+            open.erase(r.txn);
+            break;
+          default:
+            break;
+        }
+    }
+    std::vector<TxnId> losers(open.begin(), open.end());
+    std::sort(losers.begin(), losers.end());
+    return losers;
+}
+
+unsigned
+LogicalLog::recover(Database &db)
+{
+    std::vector<TxnId> loser_list = loserTransactions();
+    std::unordered_set<TxnId> losers(loser_list.begin(),
+                                     loser_list.end());
+    if (losers.empty())
+        return 0;
+
+    // Undo pass: newest record first, loser transactions only.
+    for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+        const LogicalRecord &r = *it;
+        if (!losers.count(r.txn))
+            continue;
+        BTree &tree = db.table(r.table);
+        switch (r.kind) {
+          case LogicalRecord::Kind::Insert:
+            if (!tree.erase(r.key))
+                panic("recovery: undo of insert found no record");
+            break;
+          case LogicalRecord::Kind::Update:
+            if (!tree.put(r.key, r.oldVal, true))
+                panic("recovery: undo of update failed");
+            break;
+          case LogicalRecord::Kind::Delete:
+            if (!tree.put(r.key, r.oldVal, false))
+                panic("recovery: undo of delete found the key present");
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Close out the losers with Abort markers (idempotent recovery).
+    for (TxnId t : loser_list)
+        records_.push_back(
+            {LogicalRecord::Kind::Abort, t, 0, {}, {}, {}});
+    return static_cast<unsigned>(loser_list.size());
+}
+
+void
+LogicalLog::redoCommitted(Database &db) const
+{
+    std::unordered_set<TxnId> committed;
+    for (const LogicalRecord &r : records_)
+        if (r.kind == LogicalRecord::Kind::Commit)
+            committed.insert(r.txn);
+
+    for (const LogicalRecord &r : records_) {
+        if (!committed.count(r.txn))
+            continue;
+        switch (r.kind) {
+          case LogicalRecord::Kind::Insert:
+          case LogicalRecord::Kind::Update:
+            db.table(r.table).put(r.key, r.newVal, true);
+            break;
+          case LogicalRecord::Kind::Delete:
+            db.table(r.table).erase(r.key);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace db
+} // namespace tlsim

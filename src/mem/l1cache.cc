@@ -1,0 +1,138 @@
+#include "mem/l1cache.h"
+
+#include "base/log.h"
+
+namespace tlsim {
+
+L1Cache::L1Cache(unsigned bytes, unsigned assoc, unsigned line_bytes)
+    : assoc_(assoc), numSets_(bytes / (assoc * line_bytes))
+{
+    if (!isPowerOf2(numSets_))
+        panic("L1 set count %u not a power of two", numSets_);
+    lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+L1Cache::Line *
+L1Cache::find(Addr line_num)
+{
+    std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &l = lines_[set + w];
+        if (l.valid && l.lineNum == line_num)
+            return &l;
+    }
+    return nullptr;
+}
+
+const L1Cache::Line *
+L1Cache::find(Addr line_num) const
+{
+    return const_cast<L1Cache *>(this)->find(line_num);
+}
+
+bool
+L1Cache::access(Addr line_num)
+{
+    Line *l = find(line_num);
+    if (l) {
+        l->lru = ++useClock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+L1Cache::present(Addr line_num) const
+{
+    return find(line_num) != nullptr;
+}
+
+void
+L1Cache::insert(Addr line_num)
+{
+    if (find(line_num))
+        return;
+    std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
+    Line *victim = &lines_[set];
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Line &l = lines_[set + w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lru < victim->lru)
+            victim = &l;
+    }
+    // Write-through L1: evicted lines are always clean; silent drop.
+    *victim = Line{line_num, true, false, false, false, ++useClock_};
+}
+
+void
+L1Cache::invalidate(Addr line_num)
+{
+    if (Line *l = find(line_num))
+        l->valid = false;
+}
+
+void
+L1Cache::markSpecRead(Addr line_num)
+{
+    if (Line *l = find(line_num))
+        l->specRead = true;
+}
+
+void
+L1Cache::markSpecWritten(Addr line_num)
+{
+    if (Line *l = find(line_num))
+        l->specWritten = true;
+}
+
+void
+L1Cache::markStale(Addr line_num)
+{
+    if (Line *l = find(line_num))
+        l->stale = true;
+}
+
+unsigned
+L1Cache::squashSpecWrites()
+{
+    unsigned n = 0;
+    for (Line &l : lines_) {
+        if (l.valid && l.specWritten) {
+            l.valid = false;
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+L1Cache::epochBoundary()
+{
+    for (Line &l : lines_) {
+        if (!l.valid)
+            continue;
+        l.specRead = false;
+        l.specWritten = false;
+        if (l.stale) {
+            l.stale = false;
+            l.valid = false;
+        }
+    }
+}
+
+void
+L1Cache::reset()
+{
+    for (Line &l : lines_)
+        l = Line{};
+    useClock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace tlsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Private per-CPU first-level cache model (data or instruction).
+ *
+ * The L1 is write-through (stores propagate immediately to the shared
+ * L2, which is what lets later epochs consume earlier epochs' values
+ * aggressively) and is unaware of sub-threads: a dependence violation
+ * simply invalidates every line the current epoch speculatively
+ * modified. Tag/state only — the simulation is timing-directed, data
+ * values never move.
+ */
+
+#ifndef MEM_L1CACHE_H
+#define MEM_L1CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/addr.h"
+#include "base/types.h"
+
+namespace tlsim {
+
+/** A private, set-associative, write-through L1 cache (tags only). */
+class L1Cache
+{
+  public:
+    L1Cache(unsigned bytes, unsigned assoc, unsigned line_bytes);
+
+    /** Look up a line; updates LRU on hit. Line number, not address. */
+    bool access(Addr line_num);
+
+    /** Presence test without LRU side effects. */
+    bool present(Addr line_num) const;
+
+    /** Fill a line (evicting the set's LRU victim silently). */
+    void insert(Addr line_num);
+
+    /** Drop a line if present. */
+    void invalidate(Addr line_num);
+
+    /** Flag a present line as speculatively read by the current epoch. */
+    void markSpecRead(Addr line_num);
+    /** Flag a present line as speculatively written by the current epoch. */
+    void markSpecWritten(Addr line_num);
+    /**
+     * Flag a present line as stale for the *next* epoch: an older-epoch
+     * CPU may keep using its copy, but the copy must be dropped when a
+     * younger epoch starts on this CPU.
+     */
+    void markStale(Addr line_num);
+
+    /**
+     * Dependence violation on this CPU: invalidate every line the
+     * current epoch speculatively modified (the L1 is sub-thread
+     * unaware, so partial rewinds pay this full cost). Returns the
+     * number of lines invalidated.
+     */
+    unsigned squashSpecWrites();
+
+    /**
+     * Epoch boundary on this CPU: clear speculative flags and apply
+     * deferred stale invalidations.
+     */
+    void epochBoundary();
+
+    /** Drop every line (used between independent experiment runs). */
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Line
+    {
+        Addr lineNum = 0;
+        bool valid = false;
+        bool specRead = false;
+        bool specWritten = false;
+        bool stale = false;
+        std::uint64_t lru = 0;
+    };
+
+    Line *find(Addr line_num);
+    const Line *find(Addr line_num) const;
+
+    unsigned assoc_;
+    unsigned numSets_;
+    std::vector<Line> lines_; ///< numSets_ * assoc_, set-major
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // MEM_L1CACHE_H

@@ -1,0 +1,172 @@
+#include "mem/l2cache.h"
+
+#include "base/addr.h"
+#include "base/log.h"
+
+namespace tlsim {
+
+L2Cache::L2Cache(const MemConfig &cfg, VictimCache &victim)
+    : victim_(victim), assoc_(cfg.l2Assoc),
+      numSets_(cfg.l2Bytes / (cfg.l2Assoc * cfg.lineBytes)),
+      numBanks_(cfg.l2Banks)
+{
+    if (!isPowerOf2(numSets_))
+        panic("L2 set count %u not a power of two", numSets_);
+    entries_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+}
+
+L2Cache::Entry *
+L2Cache::find(Addr line_num, std::uint8_t version)
+{
+    std::size_t base = setBase(line_num);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.lineNum == line_num && e.version == version)
+            return &e;
+    }
+    return nullptr;
+}
+
+const L2Cache::Entry *
+L2Cache::find(Addr line_num, std::uint8_t version) const
+{
+    return const_cast<L2Cache *>(this)->find(line_num, version);
+}
+
+bool
+L2Cache::accessLine(Addr line_num)
+{
+    std::size_t base = setBase(line_num);
+    bool found = false;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.valid && e.lineNum == line_num) {
+            e.lru = ++useClock_;
+            found = true;
+        }
+    }
+    if (found)
+        ++hits_;
+    else
+        ++misses_;
+    return found;
+}
+
+bool
+L2Cache::presentLine(Addr line_num) const
+{
+    std::size_t base = setBase(line_num);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[base + w];
+        if (e.valid && e.lineNum == line_num)
+            return true;
+    }
+    return false;
+}
+
+bool
+L2Cache::hasEntry(Addr line_num, std::uint8_t version) const
+{
+    return find(line_num, version) != nullptr;
+}
+
+L2Cache::InsertResult
+L2Cache::insert(Addr line_num, std::uint8_t version)
+{
+    if (Entry *e = find(line_num, version)) {
+        e->lru = ++useClock_;
+        return {true, {}};
+    }
+
+    std::size_t base = setBase(line_num);
+
+    // 1. An invalid way.
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (!e.valid) {
+            e = Entry{line_num, version, true, ++useClock_};
+            return {true, {}};
+        }
+    }
+
+    // 2. Silently drop the LRU committed line with no speculative
+    //    metadata (write-through discipline above us; the L2 holds the
+    //    only on-chip copy, but committed data can be refetched).
+    Entry *drop = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + w];
+        if (e.version != kCommittedVersion)
+            continue;
+        if (hooks_ && hooks_->lineHasSpecState(e.lineNum))
+            continue;
+        if (!drop || e.lru < drop->lru)
+            drop = &e;
+    }
+    if (drop) {
+        *drop = Entry{line_num, version, true, ++useClock_};
+        return {true, {}};
+    }
+
+    // 3. Every way holds speculative state: spill the LRU way to the
+    //    speculative victim cache.
+    if (victim_.full())
+        victim_.dropOneCommitted([this](Addr l) {
+            return hooks_ && hooks_->lineHasSpecState(l);
+        });
+    if (!victim_.full()) {
+        Entry *spill = &entries_[base];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            Entry &e = entries_[base + w];
+            if (e.lru < spill->lru)
+                spill = &e;
+        }
+        victim_.insert(spill->lineNum, spill->version);
+        ++specEvictions_;
+        *spill = Entry{line_num, version, true, ++useClock_};
+        return {true, {}};
+    }
+
+    // 4. Overflow: not even the victim cache has room. Report the
+    //    set's contents so the TLS engine can resolve it.
+    ++overflows_;
+    InsertResult res;
+    res.ok = false;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const Entry &e = entries_[base + w];
+        res.setEntries.emplace_back(e.lineNum, e.version);
+    }
+    return res;
+}
+
+void
+L2Cache::remove(Addr line_num, std::uint8_t version)
+{
+    if (Entry *e = find(line_num, version))
+        e->valid = false;
+}
+
+bool
+L2Cache::renameToCommitted(Addr line_num, std::uint8_t version)
+{
+    Entry *e = find(line_num, version);
+    if (!e)
+        return false;
+    if (Entry *old = find(line_num, kCommittedVersion))
+        old->valid = false; // merge: the speculative version supersedes
+    e->version = kCommittedVersion;
+    return true;
+}
+
+void
+L2Cache::reset()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+    useClock_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+    specEvictions_ = 0;
+    overflows_ = 0;
+}
+
+} // namespace tlsim

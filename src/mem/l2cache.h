@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared, banked, unified L2 cache with speculative line versioning.
+ *
+ * Multiple speculative threads may modify the same cache line; the L2
+ * keeps one version of the line per modifying thread, using the ways
+ * of the associative set (Section 2.1). A line version is tagged with
+ * the CPU slot whose speculative thread created it, or with
+ * kCommittedVersion for architectural data. Lines that carry
+ * speculative metadata (SL/SM bits, known to the TLS engine via
+ * TlsHooks) may never be silently dropped — they spill to the
+ * speculative victim cache, and when even that is full the access
+ * reports an overflow for the TLS engine to resolve.
+ */
+
+#ifndef MEM_L2CACHE_H
+#define MEM_L2CACHE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/config.h"
+#include "base/types.h"
+#include "mem/tlshooks.h"
+#include "mem/victim.h"
+
+namespace tlsim {
+
+/** The versioned L2 cache (tags only; timing lives in MemSystem). */
+class L2Cache
+{
+  public:
+    L2Cache(const MemConfig &cfg, VictimCache &victim);
+
+    /** The TLS engine is constructed later; wire it in then. */
+    void setHooks(const TlsHooks *hooks) { hooks_ = hooks; }
+
+    /** Result of trying to allocate a line version. */
+    struct InsertResult
+    {
+        bool ok = false;
+        /**
+         * On overflow: every (line, version) entry of the full set, so
+         * the TLS engine can choose a speculative thread to stall or
+         * squash to make progress.
+         */
+        std::vector<std::pair<Addr, std::uint8_t>> setEntries;
+    };
+
+    /** True if any version of the line is present. Touches LRU. */
+    bool accessLine(Addr line_num);
+
+    /** Presence tests without LRU side effects. */
+    bool presentLine(Addr line_num) const;
+    bool hasEntry(Addr line_num, std::uint8_t version) const;
+
+    /** Allocate (or touch) the (line, version) entry. */
+    InsertResult insert(Addr line_num, std::uint8_t version);
+
+    /** Drop a specific version entry (squash path). */
+    void remove(Addr line_num, std::uint8_t version);
+
+    /**
+     * Commit path: rename (line, version) to committed, merging over
+     * any existing committed entry. False if the entry is not here
+     * (it may be in the victim cache).
+     */
+    bool renameToCommitted(Addr line_num, std::uint8_t version);
+
+    /** Bank index of a line (for contention modelling). */
+    unsigned bankOf(Addr line_num) const
+    {
+        return static_cast<unsigned>(line_num) & (numBanks_ - 1);
+    }
+
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t specEvictions() const { return specEvictions_; }
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    struct Entry
+    {
+        Addr lineNum = 0;
+        std::uint8_t version = kCommittedVersion;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    std::size_t setBase(Addr line_num) const
+    {
+        return (line_num & (numSets_ - 1)) * assoc_;
+    }
+
+    Entry *find(Addr line_num, std::uint8_t version);
+    const Entry *find(Addr line_num, std::uint8_t version) const;
+
+    const TlsHooks *hooks_ = nullptr;
+    VictimCache &victim_;
+    unsigned assoc_;
+    unsigned numSets_;
+    unsigned numBanks_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t specEvictions_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // MEM_L2CACHE_H

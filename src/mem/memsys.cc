@@ -1,0 +1,252 @@
+#include "mem/memsys.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace tlsim {
+
+MemSystem::MemSystem(const MachineConfig &cfg)
+    : cfg_(cfg.mem), numCpus_(cfg.tls.numCpus), geom_(cfg.mem.lineBytes),
+      victim_(cfg.tls.useVictimCache ? cfg.mem.victimEntries : 0),
+      l2_(cfg.mem, victim_),
+      lineTransferCycles_(
+          std::max(1u, cfg.mem.lineBytes / cfg.mem.crossbarBytesPerCycle)),
+      versionLines_(numCpus_)
+{
+    dcaches_.reserve(numCpus_);
+    icaches_.reserve(numCpus_);
+    for (unsigned i = 0; i < numCpus_; ++i) {
+        dcaches_.emplace_back(cfg_.l1Bytes, cfg_.l1Assoc, cfg_.lineBytes);
+        icaches_.emplace_back(cfg_.l1Bytes, cfg_.l1Assoc, cfg_.lineBytes);
+    }
+    l1BankFree_.assign(static_cast<std::size_t>(numCpus_) * cfg_.l1Banks, 0);
+    xbarPortFree_.assign(numCpus_, 0);
+    l2BankFree_.assign(cfg_.l2Banks, 0);
+}
+
+void
+MemSystem::setHooks(const TlsHooks *hooks)
+{
+    hooks_ = hooks;
+    l2_.setHooks(hooks);
+}
+
+Cycle
+MemSystem::l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res)
+{
+    unsigned bank = l2_.bankOf(line_num);
+    Cycle start = std::max({t + 1, xbarPortFree_[cpu], l2BankFree_[bank]});
+    xbarPortFree_[cpu] = start + lineTransferCycles_;
+    l2BankFree_[bank] = start + lineTransferCycles_;
+
+    if (l2_.accessLine(line_num)) {
+        res.l2Hit = true;
+        return start + cfg_.l2HitLatency;
+    }
+    if (victim_.accessLine(line_num)) {
+        res.victimHit = true;
+        return start + cfg_.l2HitLatency + 2;
+    }
+
+    // Main memory: bandwidth-limited to one access per
+    // memCyclesPerAccess cycles.
+    res.memFetch = true;
+    Cycle mstart = std::max(start + cfg_.l2HitLatency, memFree_);
+    memFree_ = mstart + cfg_.memCyclesPerAccess;
+    Cycle ready = mstart + cfg_.memLatency;
+
+    auto ins = l2_.insert(line_num, kCommittedVersion);
+    if (!ins.ok) {
+        res.overflow = true;
+        res.overflowSet = std::move(ins.setEntries);
+    }
+    return ready;
+}
+
+MemAccess
+MemSystem::load(CpuId cpu, Addr addr, Cycle now, bool speculative)
+{
+    MemAccess res;
+    Addr line = geom_.lineNum(addr);
+
+    std::size_t bank_idx =
+        static_cast<std::size_t>(cpu) * cfg_.l1Banks +
+        (static_cast<unsigned>(line) & (cfg_.l1Banks - 1));
+    Cycle s = std::max(now, l1BankFree_[bank_idx]);
+    l1BankFree_[bank_idx] = s + 1;
+
+    if (dcaches_[cpu].access(line)) {
+        res.l1Hit = true;
+        res.readyAt = s + cfg_.l1HitLatency;
+    } else {
+        res.readyAt = l2Path(cpu, line, s, res);
+        if (res.overflow && speculative) {
+            // The line could not be allocated, so its SL bit has
+            // nowhere to live: the access is not performed.
+            return res;
+        }
+        res.overflow = false;
+        res.overflowSet.clear();
+        dcaches_[cpu].insert(line);
+    }
+    if (speculative)
+        dcaches_[cpu].markSpecRead(line);
+    return res;
+}
+
+MemAccess
+MemSystem::store(CpuId cpu, Addr addr, Cycle now, bool speculative)
+{
+    MemAccess res;
+    Addr line = geom_.lineNum(addr);
+
+    std::size_t bank_idx =
+        static_cast<std::size_t>(cpu) * cfg_.l1Banks +
+        (static_cast<unsigned>(line) & (cfg_.l1Banks - 1));
+    Cycle s = std::max(now, l1BankFree_[bank_idx]);
+    l1BankFree_[bank_idx] = s + 1;
+
+    // Write-through, no-write-allocate L1.
+    bool l1_present = dcaches_[cpu].access(line);
+    res.l1Hit = l1_present;
+
+    // The write-through path to the L2 consumes crossbar/bank slots but
+    // does not block the core (buffered store).
+    std::uint8_t version =
+        speculative ? static_cast<std::uint8_t>(cpu) : kCommittedVersion;
+
+    if (!l2_.accessLine(line) && !victim_.accessLine(line)) {
+        // Allocate-on-write-miss at the L2: fetch the line so the store
+        // can merge into it. Charge memory occupancy; the core is not
+        // blocked (store buffer).
+        res.memFetch = true;
+        Cycle mstart = std::max(s + cfg_.l2HitLatency, memFree_);
+        memFree_ = mstart + cfg_.memCyclesPerAccess;
+    } else {
+        unsigned bank = l2_.bankOf(line);
+        Cycle start =
+            std::max({s + 1, xbarPortFree_[cpu], l2BankFree_[bank]});
+        xbarPortFree_[cpu] = start + lineTransferCycles_;
+        l2BankFree_[bank] = start + lineTransferCycles_;
+        res.l2Hit = true;
+    }
+
+    auto ins = l2_.insert(line, version);
+    if (!ins.ok) {
+        res.overflow = true;
+        res.overflowSet = std::move(ins.setEntries);
+        return res; // store not performed; TLS engine must resolve
+    }
+
+    if (speculative) {
+        versionLines_[cpu].insert(line);
+        if (l1_present)
+            dcaches_[cpu].markSpecWritten(line);
+        else {
+            // no-write-allocate: the L1 does not take the line
+        }
+    }
+
+    propagateStore(cpu, line);
+    res.readyAt = s + 1;
+    return res;
+}
+
+void
+MemSystem::propagateStore(CpuId cpu, Addr line_num)
+{
+    std::uint64_t my_seq = hooks_ ? hooks_->epochSeq(cpu) : kNoEpoch;
+    for (unsigned d = 0; d < numCpus_; ++d) {
+        if (d == cpu || !dcaches_[d].present(line_num))
+            continue;
+        std::uint64_t d_seq = hooks_ ? hooks_->epochSeq(d) : kNoEpoch;
+        if (my_seq == kNoEpoch || d_seq == kNoEpoch || d_seq > my_seq) {
+            // Plain coherence, or a younger epoch's copy: must see the
+            // new value on its next access.
+            dcaches_[d].invalidate(line_num);
+        } else {
+            // An older epoch may keep using its (older-version) copy,
+            // but the copy is stale for whatever runs there next.
+            dcaches_[d].markStale(line_num);
+        }
+    }
+}
+
+Cycle
+MemSystem::ifetch(CpuId cpu, Pc pc, Cycle now)
+{
+    Addr line = geom_.lineNum(pc);
+    if (icaches_[cpu].access(line))
+        return now; // fetch pipelined with decode; no stall
+    MemAccess res;
+    Cycle ready = l2Path(cpu, line, now, res);
+    icaches_[cpu].insert(line);
+    return ready;
+}
+
+void
+MemSystem::epochBoundary(CpuId cpu)
+{
+    dcaches_[cpu].epochBoundary();
+}
+
+unsigned
+MemSystem::squashL1(CpuId cpu)
+{
+    return dcaches_[cpu].squashSpecWrites();
+}
+
+void
+MemSystem::commitThreadVersions(CpuId cpu)
+{
+    std::uint8_t version = static_cast<std::uint8_t>(cpu);
+    for (Addr line : versionLines_[cpu]) {
+        if (l2_.renameToCommitted(line, version))
+            continue;
+        if (victim_.renameToCommitted(line, version))
+            continue;
+        panic("committed thread version of line %llx lost",
+              static_cast<unsigned long long>(line));
+    }
+    versionLines_[cpu].clear();
+}
+
+void
+MemSystem::dropThreadVersion(CpuId cpu, Addr line_num)
+{
+    std::uint8_t version = static_cast<std::uint8_t>(cpu);
+    l2_.remove(line_num, version);
+    victim_.remove(line_num, version);
+    versionLines_[cpu].erase(line_num);
+}
+
+void
+MemSystem::dropAllThreadVersions(CpuId cpu)
+{
+    std::uint8_t version = static_cast<std::uint8_t>(cpu);
+    for (Addr line : versionLines_[cpu]) {
+        l2_.remove(line, version);
+        victim_.remove(line, version);
+    }
+    versionLines_[cpu].clear();
+}
+
+void
+MemSystem::reset()
+{
+    for (auto &c : dcaches_)
+        c.reset();
+    for (auto &c : icaches_)
+        c.reset();
+    l2_.reset();
+    victim_.reset();
+    std::fill(l1BankFree_.begin(), l1BankFree_.end(), 0);
+    std::fill(xbarPortFree_.begin(), xbarPortFree_.end(), 0);
+    std::fill(l2BankFree_.begin(), l2BankFree_.end(), 0);
+    memFree_ = 0;
+    for (auto &s : versionLines_)
+        s.clear();
+}
+
+} // namespace tlsim

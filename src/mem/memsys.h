@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The chip's memory system: per-CPU L1 I/D caches, the crossbar, the
+ * shared versioned L2 with its speculative victim cache, and the main
+ * memory interface — with bank/port/bandwidth contention modelling
+ * (Table 1 parameters).
+ *
+ * The memory system answers timing ("when is this access's data
+ * ready?") and presence questions, performs write-through update
+ * propagation with cross-L1 invalidation of younger epochs' copies,
+ * and maintains the per-thread L2 line versions. Speculative
+ * *metadata* (SL/SM bits, violations) belongs to the TLS engine.
+ */
+
+#ifndef MEM_MEMSYS_H
+#define MEM_MEMSYS_H
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/addr.h"
+#include "base/config.h"
+#include "base/types.h"
+#include "mem/l1cache.h"
+#include "mem/l2cache.h"
+#include "mem/tlshooks.h"
+#include "mem/victim.h"
+
+namespace tlsim {
+
+/** Outcome of one data access. */
+struct MemAccess
+{
+    Cycle readyAt = 0;     ///< cycle the data is available to the core
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool victimHit = false;
+    bool memFetch = false; ///< went to main memory
+    /**
+     * The access needed to allocate speculative space and not even the
+     * victim cache had room. The TLS engine must stall or squash to
+     * make progress; the access has NOT been performed.
+     */
+    bool overflow = false;
+    /** On overflow: the contents of the full L2 set. */
+    std::vector<std::pair<Addr, std::uint8_t>> overflowSet;
+};
+
+/** The full memory hierarchy of the simulated CMP. */
+class MemSystem
+{
+  public:
+    explicit MemSystem(const MachineConfig &cfg);
+
+    /** Wire in the TLS engine once it exists. */
+    void setHooks(const TlsHooks *hooks);
+
+    /**
+     * Data load by `cpu` of the line containing `addr`, issued at
+     * `now`. `speculative` marks epoch work (vs escaped or non-TLS).
+     */
+    MemAccess load(CpuId cpu, Addr addr, Cycle now, bool speculative);
+
+    /**
+     * Data store (write-through). The store is buffered: `readyAt` is
+     * when the core may proceed, while propagation effects (L2 update,
+     * cross-L1 invalidation) are applied immediately.
+     */
+    MemAccess store(CpuId cpu, Addr addr, Cycle now, bool speculative);
+
+    /** Instruction fetch; returns the cycle the fetch completes. */
+    Cycle ifetch(CpuId cpu, Pc pc, Cycle now);
+
+    // --- TLS lifecycle hooks (called by the TLS engine) --------------
+
+    /** Epoch committed or started on this CPU: clear L1 flags/stales. */
+    void epochBoundary(CpuId cpu);
+
+    /** Violation on this CPU: drop speculatively-modified L1 lines. */
+    unsigned squashL1(CpuId cpu);
+
+    /** Commit: rename this CPU's L2/victim line versions to committed. */
+    void commitThreadVersions(CpuId cpu);
+
+    /** Partial squash: this thread's version of one line is dead. */
+    void dropThreadVersion(CpuId cpu, Addr line_num);
+
+    /** Full squash: drop every line version owned by this thread. */
+    void dropAllThreadVersions(CpuId cpu);
+
+    /** Lines this thread holds speculative versions of. */
+    const std::unordered_set<Addr> &
+    threadVersionLines(CpuId cpu) const
+    {
+        return versionLines_[cpu];
+    }
+
+    /** Drop all cache contents (between experiment runs). */
+    void reset();
+
+    const LineGeom &geom() const { return geom_; }
+    L1Cache &dcache(CpuId cpu) { return dcaches_[cpu]; }
+    L1Cache &icache(CpuId cpu) { return icaches_[cpu]; }
+    L2Cache &l2() { return l2_; }
+    VictimCache &victim() { return victim_; }
+
+  private:
+    /** Shared L2-and-beyond path; returns data-ready cycle. */
+    Cycle l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res);
+
+    /** Invalidate/mark-stale other CPUs' L1 copies after a store. */
+    void propagateStore(CpuId cpu, Addr line_num);
+
+    MemConfig cfg_;
+    unsigned numCpus_;
+    LineGeom geom_;
+    const TlsHooks *hooks_ = nullptr;
+
+    std::vector<L1Cache> dcaches_;
+    std::vector<L1Cache> icaches_;
+    VictimCache victim_;
+    L2Cache l2_;
+
+    unsigned lineTransferCycles_;
+
+    // Contention state: next-free cycles.
+    std::vector<Cycle> l1BankFree_;   ///< [cpu * l1Banks + bank]
+    std::vector<Cycle> xbarPortFree_; ///< [cpu]
+    std::vector<Cycle> l2BankFree_;   ///< [bank]
+    Cycle memFree_ = 0;
+
+    /** Lines each CPU slot's thread holds speculative versions of. */
+    std::vector<std::unordered_set<Addr>> versionLines_;
+};
+
+} // namespace tlsim
+
+#endif // MEM_MEMSYS_H

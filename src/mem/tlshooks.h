@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The narrow interface the memory system uses to ask TLS-level
+ * questions without depending on the TLS engine: epoch ordering of
+ * CPUs (for stale-copy invalidation and overflow victim choice) and
+ * whether a line carries speculative metadata (for eviction policy).
+ */
+
+#ifndef MEM_TLSHOOKS_H
+#define MEM_TLSHOOKS_H
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Sentinel epoch sequence number for a CPU with no epoch. */
+inline constexpr std::uint64_t kNoEpoch = ~std::uint64_t{0};
+
+/** TLS-level queries needed by the memory system. */
+class TlsHooks
+{
+  public:
+    virtual ~TlsHooks() = default;
+
+    /**
+     * Program-order sequence number of the epoch currently running on
+     * `cpu`, or kNoEpoch if the CPU is idle / non-speculative mode.
+     */
+    virtual std::uint64_t epochSeq(CpuId cpu) const = 0;
+
+    /**
+     * True if any speculative context currently has speculatively-
+     * loaded or speculatively-modified state on this line (line
+     * number, not byte address). Lines with speculative state must be
+     * spilled to the victim cache rather than silently evicted.
+     */
+    virtual bool lineHasSpecState(Addr line_num) const = 0;
+};
+
+/** Hooks for non-TLS execution modes: no epochs, no speculative state. */
+class NullTlsHooks : public TlsHooks
+{
+  public:
+    std::uint64_t epochSeq(CpuId) const override { return kNoEpoch; }
+    bool lineHasSpecState(Addr) const override { return false; }
+};
+
+} // namespace tlsim
+
+#endif // MEM_TLSHOOKS_H

@@ -1,0 +1,110 @@
+#include "mem/victim.h"
+
+#include "base/log.h"
+
+namespace tlsim {
+
+unsigned
+VictimCache::occupancy() const
+{
+    unsigned n = 0;
+    for (const Entry &e : entries_)
+        if (e.valid)
+            ++n;
+    return n;
+}
+
+bool
+VictimCache::accessLine(Addr line_num)
+{
+    bool found = false;
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineNum == line_num) {
+            e.lru = ++useClock_;
+            found = true;
+        }
+    }
+    if (found)
+        ++hits_;
+    return found;
+}
+
+bool
+VictimCache::presentLine(Addr line_num) const
+{
+    for (const Entry &e : entries_)
+        if (e.valid && e.lineNum == line_num)
+            return true;
+    return false;
+}
+
+bool
+VictimCache::present(Addr line_num, std::uint8_t version) const
+{
+    for (const Entry &e : entries_)
+        if (e.valid && e.lineNum == line_num && e.version == version)
+            return true;
+    return false;
+}
+
+void
+VictimCache::insert(Addr line_num, std::uint8_t version)
+{
+    for (Entry &e : entries_) {
+        if (!e.valid) {
+            e = Entry{line_num, version, true, ++useClock_};
+            ++inserts_;
+            return;
+        }
+    }
+    panic("VictimCache::insert with no free slot");
+}
+
+bool
+VictimCache::remove(Addr line_num, std::uint8_t version)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineNum == line_num && e.version == version) {
+            e.valid = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Addr>
+VictimCache::takeAllOfVersion(std::uint8_t version)
+{
+    std::vector<Addr> lines;
+    for (Entry &e : entries_) {
+        if (e.valid && e.version == version) {
+            lines.push_back(e.lineNum);
+            e.valid = false;
+        }
+    }
+    return lines;
+}
+
+bool
+VictimCache::renameToCommitted(Addr line_num, std::uint8_t version)
+{
+    for (Entry &e : entries_) {
+        if (e.valid && e.lineNum == line_num && e.version == version) {
+            e.version = kCommittedVersion;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+VictimCache::reset()
+{
+    for (Entry &e : entries_)
+        e = Entry{};
+    useClock_ = 0;
+    hits_ = 0;
+    inserts_ = 0;
+}
+
+} // namespace tlsim

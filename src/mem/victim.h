@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The speculative victim cache: a small fully-associative buffer next
+ * to the L2 that catches speculative cache lines evicted from the L2
+ * sets due to conflict pressure (Section 2.1 of the paper; 64 entries
+ * by default). Speculation only has to stall or fail when even the
+ * victim cache cannot hold a speculative line.
+ */
+
+#ifndef MEM_VICTIM_H
+#define MEM_VICTIM_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** Version tag meaning "committed (architectural) data". */
+inline constexpr std::uint8_t kCommittedVersion = 0xFF;
+
+/** A fully-associative LRU buffer of evicted speculative L2 lines. */
+class VictimCache
+{
+  public:
+    struct Entry
+    {
+        Addr lineNum = 0;
+        std::uint8_t version = kCommittedVersion;
+        bool valid = false;
+        std::uint64_t lru = 0;
+    };
+
+    explicit VictimCache(unsigned entries) : entries_(entries) {}
+
+    unsigned capacity() const { return static_cast<unsigned>(entries_.size()); }
+
+    /** Number of live entries. */
+    unsigned occupancy() const;
+    bool full() const { return occupancy() == capacity(); }
+
+    /** True if any version of this line is buffered. Touches LRU. */
+    bool accessLine(Addr line_num);
+
+    /** Presence test without side effects. */
+    bool presentLine(Addr line_num) const;
+    bool present(Addr line_num, std::uint8_t version) const;
+
+    /**
+     * Insert an evicted line. Requires a free slot (callers make room
+     * first; dropping a speculative line here is an overflow event that
+     * the TLS engine must resolve).
+     */
+    void insert(Addr line_num, std::uint8_t version);
+
+    /** Remove a specific (line, version) entry; false if absent. */
+    bool remove(Addr line_num, std::uint8_t version);
+
+    /**
+     * Drop one committed entry (no speculative metadata) to make room,
+     * preferring LRU. Returns false if every entry is speculative.
+     * `has_spec_state(line)` reports lines that still carry SL/SM bits.
+     */
+    template <typename Pred>
+    bool
+    dropOneCommitted(Pred &&has_spec_state)
+    {
+        Entry *victim = nullptr;
+        for (Entry &e : entries_) {
+            if (!e.valid || e.version != kCommittedVersion ||
+                has_spec_state(e.lineNum)) {
+                continue;
+            }
+            if (!victim || e.lru < victim->lru)
+                victim = &e;
+        }
+        if (!victim)
+            return false;
+        victim->valid = false;
+        return true;
+    }
+
+    /** Collect (and remove) every entry owned by `version`. */
+    std::vector<Addr> takeAllOfVersion(std::uint8_t version);
+
+    /** Rename one entry's version to committed. False if absent. */
+    bool renameToCommitted(Addr line_num, std::uint8_t version);
+
+    void reset();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t inserts() const { return inserts_; }
+
+  private:
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t inserts_ = 0;
+};
+
+} // namespace tlsim
+
+#endif // MEM_VICTIM_H

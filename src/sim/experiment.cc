@@ -1,0 +1,189 @@
+#include "sim/experiment.h"
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace sim {
+
+const char *
+barName(Bar b)
+{
+    switch (b) {
+      case Bar::Sequential: return "SEQUENTIAL";
+      case Bar::TlsSeq: return "TLS-SEQ";
+      case Bar::NoSubthread: return "NO SUB-THREAD";
+      case Bar::Baseline: return "BASELINE";
+      case Bar::NoSpeculation: return "NO SPECULATION";
+    }
+    return "?";
+}
+
+const std::vector<Bar> &
+allBars()
+{
+    static const std::vector<Bar> v = {
+        Bar::Sequential, Bar::TlsSeq, Bar::NoSubthread, Bar::Baseline,
+        Bar::NoSpeculation,
+    };
+    return v;
+}
+
+ExperimentConfig
+ExperimentConfig::testPreset()
+{
+    ExperimentConfig cfg;
+    cfg.scale = tpcc::TpccConfig::tiny();
+    cfg.txns = 6;
+    cfg.warmupTxns = 1;
+    return cfg;
+}
+
+BenchmarkTraces
+captureTraces(tpcc::TxnType type, const ExperimentConfig &cfg)
+{
+    BenchmarkTraces out;
+
+    tpcc::CaptureOptions orig;
+    orig.txns = cfg.txns;
+    orig.tlsBuild = false;
+    orig.parallelMode = false;
+    orig.inputSeed = cfg.inputSeed;
+    orig.loadSeed = cfg.loadSeed;
+    orig.scale = cfg.scale;
+    out.original = tpcc::captureBenchmark(type, orig);
+
+    tpcc::CaptureOptions tls = orig;
+    tls.tlsBuild = true;
+    tls.parallelMode = true;
+    tls.spawnOverheadInsts = cfg.machine.tls.spawnOverheadInsts;
+    out.tls = tpcc::captureBenchmark(type, tls);
+
+    return out;
+}
+
+RunResult
+runBar(Bar bar, const BenchmarkTraces &traces,
+       const ExperimentConfig &cfg)
+{
+    MachineConfig mc = cfg.machine;
+    switch (bar) {
+      case Bar::Sequential: {
+        TlsMachine m(mc);
+        return m.run(traces.original, ExecMode::Serial, cfg.warmupTxns);
+      }
+      case Bar::TlsSeq: {
+        TlsMachine m(mc);
+        return m.run(traces.tls, ExecMode::Serial, cfg.warmupTxns);
+      }
+      case Bar::NoSubthread: {
+        mc.tls.subthreadsPerThread = 1;
+        TlsMachine m(mc);
+        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
+      }
+      case Bar::Baseline: {
+        TlsMachine m(mc);
+        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
+      }
+      case Bar::NoSpeculation: {
+        TlsMachine m(mc);
+        return m.run(traces.tls, ExecMode::NoSpeculation,
+                     cfg.warmupTxns);
+      }
+    }
+    panic("unknown bar");
+}
+
+const RunResult &
+Figure5Row::result(Bar b) const
+{
+    for (const auto &[bar, run] : bars)
+        if (bar == b)
+            return run;
+    panic("Figure5Row: bar %s missing", barName(b));
+}
+
+double
+Figure5Row::speedup(Bar b) const
+{
+    return result(b).speedupVs(result(Bar::Sequential));
+}
+
+Figure5Row
+runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg)
+{
+    BenchmarkTraces traces = captureTraces(type, cfg);
+    Figure5Row row;
+    row.type = type;
+    for (Bar b : allBars())
+        row.bars.emplace_back(b, runBar(b, traces, cfg));
+    return row;
+}
+
+std::vector<SweepPoint>
+runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
+           const std::vector<unsigned> &counts,
+           const std::vector<std::uint64_t> &spacings)
+{
+    BenchmarkTraces traces = captureTraces(type, cfg);
+    std::vector<SweepPoint> out;
+    for (unsigned k : counts) {
+        for (std::uint64_t s : spacings) {
+            MachineConfig mc = cfg.machine;
+            mc.tls.subthreadsPerThread = k;
+            mc.tls.subthreadSpacing = s;
+            TlsMachine m(mc);
+            out.push_back(
+                {k, s, m.run(traces.tls, ExecMode::Tls,
+                             cfg.warmupTxns)});
+        }
+    }
+    return out;
+}
+
+Table2Row
+table2Row(tpcc::TxnType type, const ExperimentConfig &cfg)
+{
+    BenchmarkTraces traces = captureTraces(type, cfg);
+
+    Table2Row row{};
+    row.type = type;
+
+    TlsMachine m(cfg.machine);
+    RunResult seq =
+        m.run(traces.original, ExecMode::Serial, cfg.warmupTxns);
+    row.execMcycles = static_cast<double>(seq.makespan) / 1e6;
+
+    // Workload statistics over the measured transactions of the TLS
+    // trace (the decomposition the parallel bars execute).
+    double cov_num = 0, cov_den = 0;
+    std::uint64_t epochs = 0, loops = 0;
+    double insts = 0, spec_insts = 0;
+    for (std::size_t i = cfg.warmupTxns; i < traces.tls.txns.size();
+         ++i) {
+        const TransactionTrace &t = traces.tls.txns[i];
+        cov_num += static_cast<double>(t.parallelInsts());
+        cov_den += static_cast<double>(t.totalInsts());
+        epochs += t.epochCount();
+        for (const auto &sec : t.sections) {
+            if (!sec.parallel)
+                continue;
+            ++loops;
+            for (const auto &e : sec.epochs) {
+                insts += static_cast<double>(e.instCount);
+                spec_insts += static_cast<double>(e.specInstCount);
+            }
+        }
+    }
+    row.coverage = cov_den > 0 ? cov_num / cov_den : 0;
+    row.threadSizeInsts = epochs ? insts / epochs : 0;
+    row.specInstsPerThread = epochs ? spec_insts / epochs : 0;
+    // threads per transaction = epochs per parallel-loop instance
+    row.threadsPerTxn =
+        loops ? static_cast<double>(epochs) / static_cast<double>(loops)
+              : 0;
+    row.epochs = epochs;
+    return row;
+}
+
+} // namespace sim
+} // namespace tlsim

@@ -1,0 +1,146 @@
+#include "sim/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace sim {
+
+namespace {
+
+/** The breakdown categories in Figure 5 legend order. */
+const Cat kLegend[] = {Cat::Idle, Cat::Failed, Cat::LatchStall,
+                       Cat::Sync, Cat::CacheMiss, Cat::Busy};
+
+} // namespace
+
+void
+printFigure5Row(std::ostream &os, const Figure5Row &row)
+{
+    const RunResult &seq = row.result(Bar::Sequential);
+    double denom = static_cast<double>(seq.total.total());
+    if (denom <= 0)
+        denom = 1;
+
+    os << "=== Figure 5: " << tpcc::txnTypeName(row.type) << " ===\n";
+    os << strfmt("%-15s %8s", "bar", "time");
+    for (Cat c : kLegend)
+        os << strfmt(" %11s", catName(c));
+    os << strfmt(" %8s", "speedup");
+    os << "\n";
+
+    for (const auto &[bar, run] : row.bars) {
+        // Normalized bar height: total CPU-cycles relative to the
+        // sequential execution (all bars ran on the same CPU count, so
+        // this equals makespan / seq makespan).
+        double height = static_cast<double>(run.total.total()) / denom;
+        os << strfmt("%-15s %8.3f", barName(bar), height);
+        for (Cat c : kLegend) {
+            double frac = static_cast<double>(run.total[c]) / denom;
+            os << strfmt(" %11.3f", frac);
+        }
+        os << strfmt(" %8.2f",
+                     run.makespan
+                         ? static_cast<double>(seq.makespan) /
+                               static_cast<double>(run.makespan)
+                         : 0.0);
+        os << "\n";
+    }
+
+    const RunResult &base = row.result(Bar::Baseline);
+    os << strfmt("violations: primary %llu secondary %llu, "
+                 "squashes %llu, rewound insts %llu, "
+                 "sub-threads %llu, latch waits %llu\n\n",
+                 static_cast<unsigned long long>(base.primaryViolations),
+                 static_cast<unsigned long long>(
+                     base.secondaryViolations),
+                 static_cast<unsigned long long>(base.squashes),
+                 static_cast<unsigned long long>(base.rewoundInsts),
+                 static_cast<unsigned long long>(base.subthreadsStarted),
+                 static_cast<unsigned long long>(base.latchWaits));
+}
+
+void
+printSpeedupSummary(std::ostream &os,
+                    const std::vector<Figure5Row> &rows)
+{
+    os << "=== Speedup summary (BASELINE vs SEQUENTIAL) ===\n";
+    os << strfmt("%-16s %9s %9s %9s\n", "benchmark", "no-subth",
+                 "baseline", "no-spec");
+    for (const auto &row : rows) {
+        os << strfmt("%-16s %9.2f %9.2f %9.2f\n",
+                     tpcc::txnTypeName(row.type),
+                     row.speedup(Bar::NoSubthread),
+                     row.speedup(Bar::Baseline),
+                     row.speedup(Bar::NoSpeculation));
+    }
+    os << "\n";
+}
+
+void
+printFigure6(std::ostream &os, const std::string &name,
+             const std::vector<SweepPoint> &points, Cycle seq_makespan)
+{
+    os << "=== Figure 6: " << name
+       << " (normalized execution time vs SEQUENTIAL; lower is "
+          "better) ===\n";
+
+    std::vector<std::uint64_t> spacings;
+    std::vector<unsigned> counts;
+    for (const auto &p : points) {
+        if (std::find(spacings.begin(), spacings.end(), p.spacing) ==
+            spacings.end())
+            spacings.push_back(p.spacing);
+        if (std::find(counts.begin(), counts.end(), p.subthreads) ==
+            counts.end())
+            counts.push_back(p.subthreads);
+    }
+
+    os << strfmt("%-14s", "spacing");
+    for (unsigned k : counts)
+        os << strfmt(" %12s",
+                     strfmt("%u sub-thr", k).c_str());
+    os << "\n";
+    for (std::uint64_t s : spacings) {
+        os << strfmt("%-14llu", static_cast<unsigned long long>(s));
+        for (unsigned k : counts) {
+            const SweepPoint *found = nullptr;
+            for (const auto &p : points)
+                if (p.spacing == s && p.subthreads == k)
+                    found = &p;
+            if (!found) {
+                os << strfmt(" %12s", "-");
+                continue;
+            }
+            double norm = seq_makespan
+                              ? static_cast<double>(found->run.makespan) /
+                                    static_cast<double>(seq_makespan)
+                              : 0;
+            os << strfmt(" %12.3f", norm);
+        }
+        os << "\n";
+    }
+    os << "\n";
+}
+
+void
+printTable2(std::ostream &os, const std::vector<Table2Row> &rows)
+{
+    os << "=== Table 2: Benchmark statistics ===\n";
+    os << strfmt("%-16s %10s %9s %12s %12s %10s\n", "benchmark",
+                 "exec(Mcyc)", "coverage", "thread-size",
+                 "spec-insts", "thr/txn");
+    for (const auto &r : rows) {
+        os << strfmt("%-16s %10.1f %8.0f%% %12.0f %12.0f %10.1f\n",
+                     tpcc::txnTypeName(r.type), r.execMcycles,
+                     r.coverage * 100.0, r.threadSizeInsts,
+                     r.specInstsPerThread, r.threadsPerTxn);
+    }
+    os << "\n";
+}
+
+} // namespace sim
+} // namespace tlsim

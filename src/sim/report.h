@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Text rendering of the evaluation artifacts in the shape of the
+ * paper's tables and figures: normalized stacked-bar breakdowns
+ * (Figure 5), sweep series (Figure 6), and the Table 2 statistics.
+ */
+
+#ifndef SIM_REPORT_H
+#define SIM_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace tlsim {
+namespace sim {
+
+/** Figure 5: one benchmark's bars, normalized to SEQUENTIAL = 1.0. */
+void printFigure5Row(std::ostream &os, const Figure5Row &row);
+
+/** Figure 5 summary line: the speedups the paper quotes in the text. */
+void printSpeedupSummary(std::ostream &os,
+                         const std::vector<Figure5Row> &rows);
+
+/** Figure 6: normalized execution time per (count, spacing) pair.
+ *  `seq_makespan` comes from the benchmark's SEQUENTIAL bar. */
+void printFigure6(std::ostream &os, const std::string &name,
+                  const std::vector<SweepPoint> &points,
+                  Cycle seq_makespan);
+
+/** Table 2 (all rows). */
+void printTable2(std::ostream &os,
+                 const std::vector<Table2Row> &rows);
+
+} // namespace sim
+} // namespace tlsim
+
+#endif // SIM_REPORT_H

@@ -1,0 +1,182 @@
+#include "sim/traceio.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "base/log.h"
+#include "core/site.h"
+
+namespace tlsim {
+namespace sim {
+
+namespace {
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    if (!is)
+        panic("trace file truncated");
+    return v;
+}
+
+void
+putEpoch(std::ostream &os, const EpochTrace &e)
+{
+    put<std::uint64_t>(os, e.records.size());
+    os.write(reinterpret_cast<const char *>(e.records.data()),
+             static_cast<std::streamsize>(e.records.size() *
+                                          sizeof(TraceRecord)));
+    put<std::uint64_t>(os, e.instCount);
+    put<std::uint64_t>(os, e.specInstCount);
+    put<std::uint64_t>(os, e.escapeSpans.size());
+    for (auto [b, en] : e.escapeSpans) {
+        put<std::uint32_t>(os, b);
+        put<std::uint32_t>(os, en);
+    }
+}
+
+EpochTrace
+getEpoch(std::istream &is)
+{
+    EpochTrace e;
+    auto n = get<std::uint64_t>(is);
+    if (n > (std::uint64_t{1} << 32))
+        panic("trace file corrupt: %llu records in one epoch",
+              static_cast<unsigned long long>(n));
+    e.records.resize(n);
+    is.read(reinterpret_cast<char *>(e.records.data()),
+            static_cast<std::streamsize>(n * sizeof(TraceRecord)));
+    if (!is)
+        panic("trace file truncated in record block");
+    e.instCount = get<std::uint64_t>(is);
+    e.specInstCount = get<std::uint64_t>(is);
+    auto spans = get<std::uint64_t>(is);
+    for (std::uint64_t i = 0; i < spans; ++i) {
+        auto b = get<std::uint32_t>(is);
+        auto en = get<std::uint32_t>(is);
+        e.escapeSpans.emplace_back(b, en);
+    }
+    return e;
+}
+
+} // namespace
+
+void
+saveTrace(std::ostream &os, const WorkloadTrace &w)
+{
+    put<std::uint32_t>(os, kTraceMagic);
+    put<std::uint32_t>(os, kTraceVersion);
+
+    // Site-name table: the writer's full registry, in PC order.
+    const auto &names = SiteRegistry::instance().allNames();
+    put<std::uint64_t>(os, names.size());
+    for (const std::string &n : names) {
+        put<std::uint32_t>(os, static_cast<std::uint32_t>(n.size()));
+        os.write(n.data(), static_cast<std::streamsize>(n.size()));
+    }
+
+    put<std::uint64_t>(os, w.txns.size());
+    for (const TransactionTrace &txn : w.txns) {
+        put<std::uint64_t>(os, txn.sections.size());
+        for (const TraceSection &sec : txn.sections) {
+            put<std::uint8_t>(os, sec.parallel ? 1 : 0);
+            put<std::uint64_t>(os, sec.epochs.size());
+            for (const EpochTrace &e : sec.epochs)
+                putEpoch(os, e);
+        }
+    }
+}
+
+bool
+loadTrace(std::istream &is, WorkloadTrace *out)
+{
+    std::uint32_t magic = 0, version = 0;
+    is.read(reinterpret_cast<char *>(&magic), sizeof(magic));
+    is.read(reinterpret_cast<char *>(&version), sizeof(version));
+    if (!is || magic != kTraceMagic || version != kTraceVersion)
+        return false;
+
+    // Rebuild the writer's site table and map its PCs into this
+    // process's registry (indices may differ).
+    auto &reg = SiteRegistry::instance();
+    std::unordered_map<Pc, Pc> remap;
+    auto site_count = get<std::uint64_t>(is);
+    if (site_count > 1'000'000)
+        panic("trace file corrupt: %llu sites",
+              static_cast<unsigned long long>(site_count));
+    for (std::uint64_t i = 0; i < site_count; ++i) {
+        auto len = get<std::uint32_t>(is);
+        if (len > 4096)
+            panic("trace file corrupt: site name of %u bytes", len);
+        std::string name(len, '\0');
+        is.read(name.data(), len);
+        if (!is)
+            panic("trace file truncated in site table");
+        Pc writer_pc = SiteRegistry::pcOfIndex(i);
+        Pc local_pc = reg.intern(name);
+        if (writer_pc != local_pc)
+            remap.emplace(writer_pc, local_pc);
+    }
+
+    WorkloadTrace w;
+    auto txns = get<std::uint64_t>(is);
+    for (std::uint64_t t = 0; t < txns; ++t) {
+        TransactionTrace txn;
+        auto secs = get<std::uint64_t>(is);
+        for (std::uint64_t s = 0; s < secs; ++s) {
+            TraceSection sec;
+            sec.parallel = get<std::uint8_t>(is) != 0;
+            auto epochs = get<std::uint64_t>(is);
+            for (std::uint64_t e = 0; e < epochs; ++e) {
+                EpochTrace et = getEpoch(is);
+                if (!remap.empty()) {
+                    for (TraceRecord &r : et.records) {
+                        auto it = remap.find(r.pc);
+                        if (it != remap.end())
+                            r.pc = it->second;
+                    }
+                }
+                sec.epochs.push_back(std::move(et));
+            }
+            txn.sections.push_back(std::move(sec));
+        }
+        w.txns.push_back(std::move(txn));
+    }
+    *out = std::move(w);
+    return true;
+}
+
+void
+saveTraceFile(const std::string &path, const WorkloadTrace &w)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot write trace file %s", path.c_str());
+    saveTrace(os, w);
+    if (!os)
+        fatal("error writing trace file %s", path.c_str());
+}
+
+bool
+loadTraceFile(const std::string &path, WorkloadTrace *out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        fatal("cannot read trace file %s", path.c_str());
+    return loadTrace(is, out);
+}
+
+} // namespace sim
+} // namespace tlsim

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Binary serialization of captured workload traces.
+ *
+ * Captures are deterministic but capture time (data load + native
+ * transaction execution) dominates short experiments; saving a trace
+ * lets the machine sweeps re-run without the database. The format is
+ * versioned and self-describing enough to reject foreign files.
+ *
+ * Note: traces carry raw heap addresses from the capturing process.
+ * They replay bit-identically (the simulator treats addresses as
+ * opaque), but a reloaded trace is only comparable against runs of
+ * the same file, not against a fresh capture.
+ */
+
+#ifndef SIM_TRACEIO_H
+#define SIM_TRACEIO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trace.h"
+
+namespace tlsim {
+namespace sim {
+
+/** Magic + version of the trace container format. */
+inline constexpr std::uint32_t kTraceMagic = 0x544c5331; // "TLS1"
+inline constexpr std::uint32_t kTraceVersion = 3;
+// v3: embeds the site-name table; PCs are remapped through the
+// loading process's SiteRegistry so profiler output stays symbolic
+// across processes.
+
+/** Serialize a workload to a stream / file. */
+void saveTrace(std::ostream &os, const WorkloadTrace &w);
+void saveTraceFile(const std::string &path, const WorkloadTrace &w);
+
+/**
+ * Deserialize. Panics on corrupt structure; returns false only for
+ * wrong magic/version (foreign file).
+ */
+bool loadTrace(std::istream &is, WorkloadTrace *out);
+bool loadTraceFile(const std::string &path, WorkloadTrace *out);
+
+} // namespace sim
+} // namespace tlsim
+
+#endif // SIM_TRACEIO_H

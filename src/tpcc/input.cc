@@ -1,0 +1,123 @@
+#include "tpcc/input.h"
+
+namespace tlsim {
+namespace tpcc {
+
+std::uint32_t
+nuRand(Rng &rng, std::uint32_t a, std::uint32_t c, std::uint32_t x,
+       std::uint32_t y)
+{
+    std::uint32_t r1 =
+        static_cast<std::uint32_t>(rng.uniform(0, a));
+    std::uint32_t r2 =
+        static_cast<std::uint32_t>(rng.uniform(x, y));
+    return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+std::string
+lastName(unsigned num)
+{
+    static const char *syl[] = {"BAR",  "OUGHT", "ABLE", "PRI",
+                                "PRES", "ESE",   "ANTI", "CALLY",
+                                "ATION", "EING"};
+    std::string s;
+    s += syl[(num / 100) % 10];
+    s += syl[(num / 10) % 10];
+    s += syl[num % 10];
+    return s;
+}
+
+std::string
+randomLastName(Rng &rng, std::uint32_t customers_per_dist)
+{
+    // Clause 4.3.2.3: names drawn from NURand(255, 0, 999); with fewer
+    // than 1000 customers the range shrinks so lookups still hit.
+    std::uint32_t hi =
+        customers_per_dist >= 1000 ? 999 : customers_per_dist - 1;
+    return lastName(nuRand(rng, 255, kCLast, 0, hi));
+}
+
+std::uint32_t
+randomCustomerId(Rng &rng, std::uint32_t customers)
+{
+    return nuRand(rng, 1023, kCId, 1, customers);
+}
+
+std::uint32_t
+randomItemId(Rng &rng, std::uint32_t items)
+{
+    return nuRand(rng, 8191, kColIId, 1, items);
+}
+
+NewOrderInput
+InputGen::newOrder(bool large_orders)
+{
+    NewOrderInput in;
+    in.d_id = static_cast<std::uint32_t>(
+        rng_.uniform(1, cfg_.districts));
+    in.c_id = randomCustomerId(rng_, cfg_.customersPerDistrict);
+    unsigned n = large_orders
+                     ? static_cast<unsigned>(rng_.uniform(50, 150))
+                     : static_cast<unsigned>(rng_.uniform(5, 15));
+    in.lines.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+        NewOrderInput::Line l;
+        l.i_id = randomItemId(rng_, cfg_.items);
+        l.quantity =
+            static_cast<std::uint32_t>(rng_.uniform(1, 10));
+        in.lines.push_back(l);
+    }
+    in.rollback = rng_.uniform(1, 100) == 1;
+    return in;
+}
+
+PaymentInput
+InputGen::payment()
+{
+    PaymentInput in;
+    in.d_id = static_cast<std::uint32_t>(
+        rng_.uniform(1, cfg_.districts));
+    in.byName = rng_.uniform(1, 100) <= 60;
+    if (in.byName)
+        in.c_last = randomLastName(rng_, cfg_.customersPerDistrict);
+    else
+        in.c_id = randomCustomerId(rng_, cfg_.customersPerDistrict);
+    in.amount = static_cast<double>(rng_.uniform(100, 500000)) / 100.0;
+    return in;
+}
+
+OrderStatusInput
+InputGen::orderStatus()
+{
+    OrderStatusInput in;
+    in.d_id = static_cast<std::uint32_t>(
+        rng_.uniform(1, cfg_.districts));
+    in.byName = rng_.uniform(1, 100) <= 60;
+    if (in.byName)
+        in.c_last = randomLastName(rng_, cfg_.customersPerDistrict);
+    else
+        in.c_id = randomCustomerId(rng_, cfg_.customersPerDistrict);
+    return in;
+}
+
+DeliveryInput
+InputGen::delivery()
+{
+    DeliveryInput in;
+    in.carrier_id =
+        static_cast<std::uint32_t>(rng_.uniform(1, 10));
+    return in;
+}
+
+StockLevelInput
+InputGen::stockLevel(std::uint32_t fixed_d_id)
+{
+    StockLevelInput in;
+    in.d_id = fixed_d_id;
+    in.threshold =
+        static_cast<std::uint32_t>(rng_.uniform(10, 20));
+    return in;
+}
+
+} // namespace tpcc
+} // namespace tlsim

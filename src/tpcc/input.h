@@ -1,0 +1,116 @@
+/**
+ * @file
+ * TPC-C input generation (clause 2.1): uniform and non-uniform random
+ * distributions (NURand), customer last names from the syllable table,
+ * and the per-transaction input records. All inputs derive from a
+ * deterministic Rng so that the SEQUENTIAL and TLS captures of a
+ * benchmark see byte-identical transaction streams.
+ */
+
+#ifndef TPCC_INPUT_H
+#define TPCC_INPUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "tpcc/schema.h"
+
+namespace tlsim {
+namespace tpcc {
+
+/** Fixed NURand C constants (clause 2.1.6; fixed for repeatability). */
+inline constexpr std::uint32_t kCLast = 123;
+inline constexpr std::uint32_t kCId = 77;
+inline constexpr std::uint32_t kColIId = 1771;
+
+/** Non-uniform random (clause 2.1.6). */
+std::uint32_t nuRand(Rng &rng, std::uint32_t a, std::uint32_t c,
+                     std::uint32_t x, std::uint32_t y);
+
+/** Customer last name for a number in [0, 999] (clause 4.3.2.3). */
+std::string lastName(unsigned num);
+
+/** A last name drawn for run-time transactions (NURand 255). */
+std::string randomLastName(Rng &rng, std::uint32_t customers_per_dist);
+
+/** Customer id via NURand 1023. */
+std::uint32_t randomCustomerId(Rng &rng, std::uint32_t customers);
+
+/** Item id via NURand 8191. */
+std::uint32_t randomItemId(Rng &rng, std::uint32_t items);
+
+// --------------------------------------------------------------------
+// Per-transaction inputs
+// --------------------------------------------------------------------
+
+struct NewOrderInput
+{
+    std::uint32_t d_id;
+    std::uint32_t c_id;
+    struct Line
+    {
+        std::uint32_t i_id;
+        std::uint32_t quantity;
+    };
+    std::vector<Line> lines;
+    bool rollback = false; ///< clause 2.4.1.4: 1% invalid item
+};
+
+struct PaymentInput
+{
+    std::uint32_t d_id;
+    bool byName;
+    std::uint32_t c_id;     ///< when !byName
+    std::string c_last;     ///< when byName
+    double amount;
+};
+
+struct OrderStatusInput
+{
+    std::uint32_t d_id;
+    bool byName;
+    std::uint32_t c_id;
+    std::string c_last;
+};
+
+struct DeliveryInput
+{
+    std::uint32_t carrier_id;
+};
+
+struct StockLevelInput
+{
+    std::uint32_t d_id;
+    std::uint32_t threshold;
+};
+
+/** Generates spec-conformant inputs for one warehouse. */
+class InputGen
+{
+  public:
+    InputGen(const TpccConfig &cfg, std::uint64_t seed)
+        : cfg_(cfg), rng_(seed)
+    {
+    }
+
+    /** `large_orders` selects the NEW ORDER 150 variant (50-150 items
+     *  instead of 5-15, the paper's scaled workload). */
+    NewOrderInput newOrder(bool large_orders);
+    PaymentInput payment();
+    OrderStatusInput orderStatus();
+    DeliveryInput delivery();
+    StockLevelInput stockLevel(std::uint32_t fixed_d_id);
+
+    Rng &rng() { return rng_; }
+
+  private:
+    const TpccConfig &cfg_;
+    Rng rng_;
+};
+
+} // namespace tpcc
+} // namespace tlsim
+
+#endif // TPCC_INPUT_H

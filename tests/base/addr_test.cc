@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "base/addr.h"
+
+namespace tlsim {
+namespace {
+
+TEST(AddrMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(32));
+    EXPECT_TRUE(isPowerOf2(1ull << 40));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_FALSE(isPowerOf2(33));
+}
+
+TEST(AddrMath, Log2Exact)
+{
+    EXPECT_EQ(log2Exact(1), 0u);
+    EXPECT_EQ(log2Exact(32), 5u);
+    EXPECT_EQ(log2Exact(4096), 12u);
+}
+
+TEST(LineGeom, LineAddressing)
+{
+    LineGeom g(32);
+    EXPECT_EQ(g.lineBytes(), 32u);
+    EXPECT_EQ(g.lineAddr(0x1234), 0x1220u);
+    EXPECT_EQ(g.lineNum(0x1234), 0x1234u >> 5);
+    EXPECT_EQ(g.offset(0x1234), 0x14u);
+}
+
+TEST(LineGeom, WordMaskSingleWord)
+{
+    LineGeom g(32);
+    EXPECT_EQ(g.wordMask(0, 4), 0x1u);
+    EXPECT_EQ(g.wordMask(4, 4), 0x2u);
+    EXPECT_EQ(g.wordMask(28, 4), 0x80u);
+}
+
+TEST(LineGeom, WordMaskSpansWords)
+{
+    LineGeom g(32);
+    // 8 bytes at offset 0 covers words 0 and 1.
+    EXPECT_EQ(g.wordMask(0, 8), 0x3u);
+    // Unaligned 4 bytes at offset 2 covers words 0 and 1.
+    EXPECT_EQ(g.wordMask(2, 4), 0x3u);
+    // Whole line.
+    EXPECT_EQ(g.wordMask(0, 32), 0xFFu);
+}
+
+TEST(LineGeom, WordMaskZeroSizeTouchesOneWord)
+{
+    LineGeom g(32);
+    EXPECT_EQ(g.wordMask(12, 0), 0x8u);
+}
+
+TEST(LineGeom, WordMaskClampsAtLineEnd)
+{
+    LineGeom g(32);
+    // The tracer splits accesses at line boundaries, but the mask must
+    // stay in range even for a nominally overlong access.
+    EXPECT_EQ(g.wordMask(28, 16), 0x80u);
+}
+
+TEST(LineGeom, LineSpan)
+{
+    LineGeom g(32);
+    EXPECT_EQ(g.lineSpan(0, 32), 1u);
+    EXPECT_EQ(g.lineSpan(0, 33), 2u);
+    EXPECT_EQ(g.lineSpan(31, 2), 2u);
+    EXPECT_EQ(g.lineSpan(100, 0), 1u);
+}
+
+} // namespace
+} // namespace tlsim

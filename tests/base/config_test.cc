@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/config.h"
+
+namespace tlsim {
+namespace {
+
+TEST(Config, DefaultsMatchPaperTable1)
+{
+    MachineConfig cfg;
+    EXPECT_EQ(cfg.cpu.issueWidth, 4u);
+    EXPECT_EQ(cfg.cpu.robSize, 128u);
+    EXPECT_EQ(cfg.cpu.intDivLatency, 76u);
+    EXPECT_EQ(cfg.cpu.fpDivLatency, 15u);
+    EXPECT_EQ(cfg.cpu.fpSqrtLatency, 20u);
+    EXPECT_EQ(cfg.cpu.gshareBytes, 16u * 1024);
+    EXPECT_EQ(cfg.cpu.gshareHistoryBits, 8u);
+
+    EXPECT_EQ(cfg.mem.lineBytes, 32u);
+    EXPECT_EQ(cfg.mem.l1Bytes, 32u * 1024);
+    EXPECT_EQ(cfg.mem.l1Assoc, 4u);
+    EXPECT_EQ(cfg.mem.l2Bytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.mem.l2Assoc, 4u);
+    EXPECT_EQ(cfg.mem.l2Banks, 4u);
+    EXPECT_EQ(cfg.mem.victimEntries, 64u);
+    EXPECT_EQ(cfg.mem.l2HitLatency, 10u);
+    EXPECT_EQ(cfg.mem.memLatency, 75u);
+    EXPECT_EQ(cfg.mem.memCyclesPerAccess, 20u);
+    EXPECT_EQ(cfg.mem.crossbarBytesPerCycle, 8u);
+    EXPECT_EQ(cfg.mem.dataMshrs, 128u);
+    EXPECT_EQ(cfg.mem.instMshrs, 2u);
+
+    EXPECT_EQ(cfg.tls.numCpus, 4u);
+    EXPECT_EQ(cfg.tls.subthreadsPerThread, 8u);
+    EXPECT_EQ(cfg.tls.subthreadSpacing, 5000u);
+    EXPECT_TRUE(cfg.tls.useStartTable);
+}
+
+TEST(Config, BaselineValidates)
+{
+    EXPECT_NO_FATAL_FAILURE(baselineConfig().validate());
+}
+
+TEST(Config, NoSubthreadVariant)
+{
+    MachineConfig cfg = noSubthreadConfig();
+    EXPECT_EQ(cfg.tls.subthreadsPerThread, 1u);
+    cfg.validate();
+}
+
+TEST(Config, PrintMentionsKeyParameters)
+{
+    std::ostringstream os;
+    baselineConfig().print(os);
+    std::string t = os.str();
+    EXPECT_NE(t.find("Issue Width              4"), std::string::npos);
+    EXPECT_NE(t.find("GShare (16KB, 8 history bits)"),
+              std::string::npos);
+    EXPECT_NE(t.find("2MB, 4-way set-assoc, 4 banks"),
+              std::string::npos);
+    EXPECT_NE(t.find("64 entry"), std::string::npos);
+}
+
+TEST(ConfigDeathTest, RejectsBadLineSize)
+{
+    MachineConfig cfg;
+    cfg.mem.lineBytes = 48;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "line size");
+}
+
+TEST(ConfigDeathTest, RejectsZeroSubthreads)
+{
+    MachineConfig cfg;
+    cfg.tls.subthreadsPerThread = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "sub-thread");
+}
+
+TEST(ConfigDeathTest, RejectsZeroSpacing)
+{
+    MachineConfig cfg;
+    cfg.tls.subthreadSpacing = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "spacing");
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace {
+
+TEST(Log, StrfmtFormats)
+{
+    EXPECT_EQ(strfmt("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strfmt("%04x", 0x2a), "002a");
+}
+
+TEST(Log, StrfmtEmpty)
+{
+    EXPECT_EQ(strfmt("%s", ""), "");
+}
+
+TEST(Log, StrfmtLongString)
+{
+    std::string big(10000, 'q');
+    EXPECT_EQ(strfmt("%s!", big.c_str()).size(), big.size() + 1);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config %s", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config x");
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.h"
+
+namespace tlsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(42);
+    std::uint64_t first = a.next();
+    a.next();
+    a.reseed(42);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformStaysInClosedRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniform(5, 15);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 15);
+    }
+}
+
+TEST(Rng, UniformSingletonRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(r.uniform(9, 9), 9);
+}
+
+TEST(Rng, UniformNegativeRange)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniform(-10, -1);
+        EXPECT_GE(v, -10);
+        EXPECT_LE(v, -1);
+    }
+}
+
+TEST(Rng, UniformHitsAllValuesOfSmallRange)
+{
+    Rng r(3);
+    std::map<std::int64_t, int> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen[r.uniform(0, 3)]++;
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval)
+{
+    Rng r(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = r.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/stats.h"
+
+namespace tlsim {
+namespace stats {
+namespace {
+
+TEST(Scalar, AccumulatesAndResets)
+{
+    StatGroup g("g");
+    Scalar s(&g, "count", "a counter");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(Scalar, AssignmentOverwrites)
+{
+    Scalar s(nullptr, "x", "");
+    s += 5;
+    s = 2;
+    EXPECT_DOUBLE_EQ(s.value(), 2);
+}
+
+TEST(Distribution, SummaryStatistics)
+{
+    Distribution d(nullptr, "lat", "latency");
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20);
+    EXPECT_DOUBLE_EQ(d.min(), 10);
+    EXPECT_DOUBLE_EQ(d.max(), 30);
+    EXPECT_NEAR(d.stdev(), 10.0, 1e-9);
+}
+
+TEST(Distribution, WeightedSamples)
+{
+    Distribution d(nullptr, "w", "");
+    d.sample(5, 10);
+    EXPECT_EQ(d.count(), 10u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5);
+    EXPECT_DOUBLE_EQ(d.stdev(), 0);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d(nullptr, "e", "");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0);
+    EXPECT_DOUBLE_EQ(d.min(), 0);
+    EXPECT_DOUBLE_EQ(d.max(), 0);
+}
+
+TEST(Vector, BucketsAndTotal)
+{
+    Vector v(nullptr, "cat", "categories", {"a", "b", "c"});
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 3;
+    EXPECT_DOUBLE_EQ(v.total(), 6);
+    EXPECT_DOUBLE_EQ(v.at(1), 2);
+    v.reset();
+    EXPECT_DOUBLE_EQ(v.total(), 0);
+}
+
+TEST(StatGroup, DumpPrefixesEveryLine)
+{
+    StatGroup g("cpu0");
+    Scalar s(&g, "cycles", "total cycles");
+    Vector v(&g, "cat", "breakdown", {"busy", "idle"});
+    s += 7;
+    v[0] = 3;
+    std::ostringstream os;
+    g.dump(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("cpu0.cycles 7"), std::string::npos);
+    EXPECT_NE(text.find("cpu0.cat.busy 3"), std::string::npos);
+    EXPECT_NE(text.find("cpu0.cat.idle 0"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllResetsMembers)
+{
+    StatGroup g("g");
+    Scalar a(&g, "a", ""), b(&g, "b", "");
+    a += 1;
+    b += 2;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(a.value(), 0);
+    EXPECT_DOUBLE_EQ(b.value(), 0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace tlsim

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "core/site.h"
+
+namespace tlsim {
+namespace {
+
+TEST(SiteRegistry, InternIsStable)
+{
+    auto &reg = SiteRegistry::instance();
+    Pc a = reg.intern("test.site.alpha");
+    Pc b = reg.intern("test.site.beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(reg.intern("test.site.alpha"), a);
+}
+
+TEST(SiteRegistry, NameRoundTrip)
+{
+    auto &reg = SiteRegistry::instance();
+    Pc a = reg.intern("test.site.roundtrip");
+    EXPECT_EQ(reg.name(a), "test.site.roundtrip");
+}
+
+TEST(SiteRegistry, UnknownPcFormats)
+{
+    auto &reg = SiteRegistry::instance();
+    EXPECT_EQ(reg.name(0x10), "<pc 0x10>");
+}
+
+TEST(SiteRegistry, PcsAreBlockAligned)
+{
+    auto &reg = SiteRegistry::instance();
+    Pc a = reg.intern("test.site.align1");
+    Pc b = reg.intern("test.site.align2");
+    EXPECT_EQ(a % SiteRegistry::kBlockBytes, 0u);
+    EXPECT_EQ(b % SiteRegistry::kBlockBytes, 0u);
+    EXPECT_GE(a, SiteRegistry::kCodeBase);
+}
+
+TEST(Site, HelperInterns)
+{
+    Site s("test.site.helper");
+    EXPECT_EQ(SiteRegistry::instance().name(s.pc), "test.site.helper");
+    Site s2("test.site.helper");
+    EXPECT_EQ(s.pc, s2.pc);
+}
+
+} // namespace
+} // namespace tlsim

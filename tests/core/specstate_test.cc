@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "core/specstate.h"
+
+namespace tlsim {
+namespace {
+
+// 2 threads x 4 sub-thread contexts: thread 0 = ctx 0..3, thread 1 =
+// ctx 4..7.
+constexpr unsigned kK = 4;
+
+std::uint64_t
+threadMask(unsigned cpu, unsigned up_to_sub)
+{
+    return ((std::uint64_t{2} << up_to_sub) - 1) << (cpu * kK);
+}
+
+TEST(SpecState, ExposedLoadSetsSl)
+{
+    SpecState s(8);
+    EXPECT_TRUE(s.recordLoad(0, threadMask(0, 0), 100, 0x1));
+    EXPECT_EQ(s.slHolders(100), 0x1u);
+    EXPECT_TRUE(s.lineHasSpecState(100));
+}
+
+TEST(SpecState, LoadCoveredByOwnStoreIsNotExposed)
+{
+    SpecState s(8);
+    s.recordStore(0, 100, 0x3);
+    EXPECT_FALSE(s.recordLoad(0, threadMask(0, 0), 100, 0x1));
+    EXPECT_EQ(s.slHolders(100), 0u);
+}
+
+TEST(SpecState, LoadCoveredByEarlierSubthreadStore)
+{
+    SpecState s(8);
+    s.recordStore(0, 100, 0xF); // sub-thread 0 stores words 0-3
+    // Sub-thread 2 loads word 1: covered by the same thread.
+    EXPECT_FALSE(s.recordLoad(2, threadMask(0, 2), 100, 0x2));
+}
+
+TEST(SpecState, PartiallyCoveredLoadIsExposed)
+{
+    SpecState s(8);
+    s.recordStore(0, 100, 0x1);
+    EXPECT_TRUE(s.recordLoad(0, threadMask(0, 0), 100, 0x3));
+    EXPECT_EQ(s.slHolders(100), 0x1u);
+}
+
+TEST(SpecState, OtherThreadsStoreDoesNotCover)
+{
+    SpecState s(8);
+    s.recordStore(4, 100, 0xFF); // thread 1 stores
+    // Thread 0's load is still exposed (it must not read thread 1's
+    // speculative data through its own-store test).
+    EXPECT_TRUE(s.recordLoad(0, threadMask(0, 0), 100, 0x1));
+}
+
+TEST(SpecState, StateHoldersCombinesSlAndSm)
+{
+    SpecState s(8);
+    s.recordLoad(1, threadMask(0, 1), 100, 0x1);
+    s.recordStore(5, 100, 0x2);
+    EXPECT_EQ(s.stateHolders(100), (1ull << 1) | (1ull << 5));
+    EXPECT_EQ(s.slHolders(100), 1ull << 1);
+}
+
+TEST(SpecState, ClearContextReportsDeadVersions)
+{
+    SpecState s(8);
+    s.recordStore(1, 100, 0x1); // thread 0, sub 1
+    s.recordStore(2, 100, 0x2); // thread 0, sub 2
+
+    // Clearing sub 2 first: sub 1 still modifies the line -> alive.
+    auto dead2 = s.clearContext(2, threadMask(0, 1));
+    EXPECT_TRUE(dead2.empty());
+    // Clearing sub 1 with no surviving contexts -> version dead.
+    auto dead1 = s.clearContext(1, 0);
+    ASSERT_EQ(dead1.size(), 1u);
+    EXPECT_EQ(dead1[0], 100u);
+    EXPECT_FALSE(s.lineHasSpecState(100));
+    EXPECT_EQ(s.liveLines(), 0u);
+}
+
+TEST(SpecState, ClearContextDropsSlOnly)
+{
+    SpecState s(8);
+    s.recordLoad(0, threadMask(0, 0), 100, 0x1);
+    auto dead = s.clearContext(0, 0);
+    EXPECT_TRUE(dead.empty()); // loads never create versions
+    EXPECT_EQ(s.slHolders(100), 0u);
+}
+
+TEST(SpecState, ClearThreadWipesAllContexts)
+{
+    SpecState s(8);
+    for (unsigned sub = 0; sub < kK; ++sub) {
+        s.recordLoad(sub, threadMask(0, sub), 200 + sub, 0x1);
+        s.recordStore(sub, 300 + sub, 0x1);
+    }
+    s.clearThread(threadMask(0, kK - 1), 0, kK);
+    for (unsigned sub = 0; sub < kK; ++sub) {
+        EXPECT_FALSE(s.lineHasSpecState(200 + sub));
+        EXPECT_FALSE(s.lineHasSpecState(300 + sub));
+    }
+    EXPECT_EQ(s.liveLines(), 0u);
+}
+
+TEST(SpecState, ThreadModifiedLine)
+{
+    SpecState s(8);
+    s.recordStore(1, 100, 0x1);
+    EXPECT_TRUE(s.threadModifiedLine(threadMask(0, 3), 100));
+    EXPECT_FALSE(s.threadModifiedLine(threadMask(1, 3), 100));
+}
+
+TEST(SpecState, ContextReuseAfterClearIsClean)
+{
+    SpecState s(8);
+    s.recordStore(0, 100, 0x1);
+    s.clearContext(0, 0);
+    // Reused context sees no stale bits.
+    EXPECT_TRUE(s.recordLoad(0, threadMask(0, 0), 100, 0x1));
+}
+
+TEST(SpecStateDeathTest, TooManyContextsPanics)
+{
+    EXPECT_DEATH(SpecState s(65), "at most");
+}
+
+TEST(SpecState, ResetClearsAll)
+{
+    SpecState s(8);
+    s.recordStore(0, 100, 0x1);
+    s.reset();
+    EXPECT_FALSE(s.lineHasSpecState(100));
+    EXPECT_TRUE(s.recordLoad(0, threadMask(0, 0), 100, 0x1));
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "cpu/breakdown.h"
+
+namespace tlsim {
+namespace {
+
+TEST(Breakdown, TotalSumsAllCategories)
+{
+    Breakdown b;
+    b[Cat::Busy] = 10;
+    b[Cat::CacheMiss] = 5;
+    b[Cat::Idle] = 3;
+    EXPECT_EQ(b.total(), 18u);
+}
+
+TEST(Breakdown, PlusEqualsMergesPerCategory)
+{
+    Breakdown a, b;
+    a[Cat::Busy] = 10;
+    a[Cat::Sync] = 2;
+    b[Cat::Busy] = 1;
+    b[Cat::Failed] = 7;
+    a += b;
+    EXPECT_EQ(a[Cat::Busy], 11u);
+    EXPECT_EQ(a[Cat::Sync], 2u);
+    EXPECT_EQ(a[Cat::Failed], 7u);
+    EXPECT_EQ(a.total(), 20u);
+}
+
+TEST(Breakdown, FailSincePreservesWallClockSpan)
+{
+    Breakdown b;
+    b[Cat::Busy] = 100;
+    b[Cat::CacheMiss] = 40;
+    Breakdown snap = b;
+    b[Cat::Busy] += 30;
+    b[Cat::CacheMiss] += 20;
+    b[Cat::LatchStall] += 10;
+
+    std::uint64_t before = b.total();
+    b.failSince(snap);
+    EXPECT_EQ(b.total(), before); // span preserved
+    EXPECT_EQ(b[Cat::Busy], 100u);
+    EXPECT_EQ(b[Cat::CacheMiss], 40u);
+    EXPECT_EQ(b[Cat::LatchStall], 0u);
+    EXPECT_EQ(b[Cat::Failed], 60u);
+}
+
+TEST(Breakdown, FailSinceAccumulatesAcrossRewinds)
+{
+    Breakdown b;
+    Breakdown snap = b;
+    b[Cat::Busy] = 50;
+    b.failSince(snap);
+    // The snapshot's failed count was zero, so a second doomed stretch
+    // adds on top of the first.
+    Breakdown snap2 = b;
+    b[Cat::Busy] += 25;
+    b.failSince(snap2);
+    EXPECT_EQ(b[Cat::Failed], 75u);
+    EXPECT_EQ(b[Cat::Busy], 0u);
+}
+
+TEST(Breakdown, CatNamesAreStable)
+{
+    EXPECT_STREQ(catName(Cat::Busy), "busy");
+    EXPECT_STREQ(catName(Cat::CacheMiss), "cache_miss");
+    EXPECT_STREQ(catName(Cat::LatchStall), "latch_stall");
+    EXPECT_STREQ(catName(Cat::Sync), "sync");
+    EXPECT_STREQ(catName(Cat::Idle), "idle");
+    EXPECT_STREQ(catName(Cat::Failed), "failed");
+}
+
+} // namespace
+} // namespace tlsim

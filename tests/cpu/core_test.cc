@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+
+namespace tlsim {
+namespace {
+
+CpuConfig
+cfg()
+{
+    return CpuConfig{};
+}
+
+TEST(Core, ComputeDispatchesAtIssueWidth)
+{
+    Core c(cfg(), 0);
+    c.doCompute(400, ComputeClass::Int);
+    EXPECT_EQ(c.now(), 100u); // 400 insts / 4-wide
+    EXPECT_EQ(c.breakdown()[Cat::Busy], 100u);
+    EXPECT_EQ(c.instSeq(), 400u);
+}
+
+TEST(Core, FractionalDispatchSlotsCarryOver)
+{
+    Core c(cfg(), 0);
+    c.doCompute(2, ComputeClass::Int);
+    EXPECT_EQ(c.now(), 0u); // still inside the first cycle
+    c.doCompute(2, ComputeClass::Int);
+    EXPECT_EQ(c.now(), 1u);
+}
+
+TEST(Core, DivideSerializes)
+{
+    Core c(cfg(), 0);
+    c.doCompute(2, ComputeClass::IntDiv);
+    EXPECT_EQ(c.now(), 2u * 76);
+}
+
+TEST(Core, FpLatencies)
+{
+    Core c(cfg(), 0);
+    c.doCompute(1, ComputeClass::FpDiv);
+    c.doCompute(1, ComputeClass::FpSqrt);
+    EXPECT_EQ(c.now(), 15u + 20u);
+}
+
+TEST(Core, LoadsOverlapWithinTheWindow)
+{
+    Core c(cfg(), 0);
+    Cycle i1 = c.prepareLoad(false);
+    c.finishLoad(i1 + 100);
+    Cycle i2 = c.prepareLoad(false);
+    c.finishLoad(i2 + 100);
+    // Second load issues immediately after the first: full overlap.
+    EXPECT_LE(i2, i1 + 1);
+    c.drainLoads();
+    EXPECT_LE(c.now(), i1 + 101);
+    EXPECT_GT(c.breakdown()[Cat::CacheMiss], 0u);
+}
+
+TEST(Core, DependentLoadSerializesOnPreviousLoad)
+{
+    Core c(cfg(), 0);
+    Cycle i1 = c.prepareLoad(false);
+    c.finishLoad(i1 + 100);
+    Cycle i2 = c.prepareLoad(true); // pointer chase
+    EXPECT_GE(i2, i1 + 100);
+}
+
+TEST(Core, RobWindowLimitsRunahead)
+{
+    Core c(cfg(), 0);
+    Cycle i1 = c.prepareLoad(false);
+    c.finishLoad(i1 + 1000);
+    // 128-entry ROB: at most ~128 instructions can dispatch behind an
+    // incomplete load; then dispatch stalls on it.
+    c.doCompute(500, ComputeClass::Int);
+    EXPECT_GE(c.now(), i1 + 1000);
+    EXPECT_GT(c.breakdown()[Cat::CacheMiss], 800u);
+}
+
+TEST(Core, MaxOutstandingLoadsEnforced)
+{
+    CpuConfig cc;
+    cc.maxOutstandingLoads = 2;
+    Core c(cc, 0);
+    Cycle i1 = c.prepareLoad(false);
+    c.finishLoad(i1 + 500);
+    Cycle i2 = c.prepareLoad(false);
+    c.finishLoad(i2 + 500);
+    Cycle i3 = c.prepareLoad(false); // must wait for the oldest
+    EXPECT_GE(i3, i1 + 500);
+}
+
+TEST(Core, BranchMispredictPaysPenalty)
+{
+    Core c(cfg(), 0);
+    // Train taken until both the history register and the steady-state
+    // counter saturate.
+    for (int i = 0; i < 20; ++i)
+        c.doBranch(0x100, true);
+    Cycle before = c.now();
+    c.doBranch(0x100, false); // mispredict
+    EXPECT_GE(c.now(), before + cfg().branchPenalty);
+}
+
+TEST(Core, StoresAreBuffered)
+{
+    Core c(cfg(), 0);
+    Cycle before = c.now();
+    for (int i = 0; i < 8; ++i)
+        c.doStore(c.now() + 1);
+    EXPECT_LE(c.now(), before + 8);
+}
+
+TEST(Core, BreakdownSumTracksWallClock)
+{
+    Core c(cfg(), 0);
+    c.doCompute(1000, ComputeClass::Int);
+    Cycle i = c.prepareLoad(false);
+    c.finishLoad(i + 300);
+    c.doCompute(1000, ComputeClass::Int);
+    c.drainLoads();
+    c.doBranch(0x1, true);
+    EXPECT_EQ(c.breakdown().total(), c.now());
+}
+
+TEST(Core, RewindReattributesToFailed)
+{
+    Core c(cfg(), 0);
+    c.doCompute(400, ComputeClass::Int);
+    CoreCheckpoint cp = c.checkpoint();
+    c.doCompute(800, ComputeClass::Int); // 200 busy cycles, doomed
+    Cycle squash_time = c.now();
+    c.rewindTo(cp, squash_time + 10);
+
+    EXPECT_EQ(c.now(), squash_time + 10);
+    EXPECT_EQ(c.instSeq(), 400u);
+    EXPECT_EQ(c.breakdown()[Cat::Busy], 100u); // only pre-checkpoint
+    EXPECT_EQ(c.breakdown()[Cat::Failed], 210u);
+    EXPECT_EQ(c.breakdown().total(), c.now());
+}
+
+TEST(Core, RewindDiscardsOutstandingLoads)
+{
+    Core c(cfg(), 0);
+    CoreCheckpoint cp = c.checkpoint();
+    Cycle i = c.prepareLoad(false);
+    c.finishLoad(i + 10000);
+    c.rewindTo(cp, c.now() + 5);
+    Cycle before = c.now();
+    c.drainLoads(); // nothing outstanding anymore
+    EXPECT_EQ(c.now(), before);
+}
+
+TEST(Core, NestedCheckpointsRewindToTheRightOne)
+{
+    Core c(cfg(), 0);
+    c.doCompute(40, ComputeClass::Int);
+    CoreCheckpoint cp1 = c.checkpoint();
+    c.doCompute(40, ComputeClass::Int);
+    CoreCheckpoint cp2 = c.checkpoint();
+    c.doCompute(40, ComputeClass::Int);
+    c.rewindTo(cp2, c.now());
+    EXPECT_EQ(c.instSeq(), 80u);
+    c.rewindTo(cp1, c.now());
+    EXPECT_EQ(c.instSeq(), 40u);
+    EXPECT_EQ(c.breakdown().total(), c.now());
+}
+
+TEST(Core, AdvanceToAttributesCategory)
+{
+    Core c(cfg(), 0);
+    c.advanceTo(50, Cat::Idle);
+    c.advanceTo(70, Cat::Sync);
+    c.advanceTo(60, Cat::Idle); // no-op: time never goes backwards
+    EXPECT_EQ(c.now(), 70u);
+    EXPECT_EQ(c.breakdown()[Cat::Idle], 50u);
+    EXPECT_EQ(c.breakdown()[Cat::Sync], 20u);
+}
+
+TEST(Core, ResetZeroesEverything)
+{
+    Core c(cfg(), 0);
+    c.doCompute(100, ComputeClass::Int);
+    c.doBranch(1, true);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+    EXPECT_EQ(c.instSeq(), 0u);
+    EXPECT_EQ(c.breakdown().total(), 0u);
+    EXPECT_EQ(c.gshare().branches(), 0u);
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "cpu/gshare.h"
+
+namespace tlsim {
+namespace {
+
+TEST(GShare, LearnsAlwaysTakenBranch)
+{
+    GShare g(16 * 1024, 8);
+    // Warm up past the 2-bit hysteresis AND the 8-bit history register
+    // (the index keeps changing until the history saturates).
+    for (int i = 0; i < 16; ++i)
+        g.predictAndUpdate(0x1000, true);
+    std::uint64_t before = g.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        g.predictAndUpdate(0x1000, true);
+    EXPECT_EQ(g.mispredicts(), before);
+    EXPECT_EQ(g.branches(), 116u);
+}
+
+TEST(GShare, LearnsAlternatingPatternViaHistory)
+{
+    GShare g(16 * 1024, 8);
+    bool taken = false;
+    for (int i = 0; i < 64; ++i) {
+        g.predictAndUpdate(0x2000, taken);
+        taken = !taken;
+    }
+    std::uint64_t before = g.mispredicts();
+    for (int i = 0; i < 200; ++i) {
+        g.predictAndUpdate(0x2000, taken);
+        taken = !taken;
+    }
+    // With 8 history bits the strict alternation becomes perfectly
+    // predictable after warm-up.
+    EXPECT_EQ(g.mispredicts(), before);
+}
+
+TEST(GShare, RandomBranchMispredictsOften)
+{
+    GShare g(16 * 1024, 8);
+    std::uint64_t x = 88172645463325252ULL;
+    for (int i = 0; i < 2000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        g.predictAndUpdate(0x3000, (x & 1) != 0);
+    }
+    // Roughly half the outcomes are unpredictable.
+    EXPECT_GT(g.mispredicts(), 600u);
+}
+
+TEST(GShare, ResetClearsState)
+{
+    GShare g(1024, 4);
+    for (int i = 0; i < 10; ++i)
+        g.predictAndUpdate(0x4000, true);
+    g.reset();
+    EXPECT_EQ(g.branches(), 0u);
+    EXPECT_EQ(g.mispredicts(), 0u);
+}
+
+TEST(GShare, DistinctPcsTrainIndependently)
+{
+    GShare g(16 * 1024, 0); // no history: pure bimodal
+    for (int i = 0; i < 8; ++i) {
+        g.predictAndUpdate(0x1000, true);
+        g.predictAndUpdate(0x2000, false);
+    }
+    std::uint64_t before = g.mispredicts();
+    g.predictAndUpdate(0x1000, true);
+    g.predictAndUpdate(0x2000, false);
+    EXPECT_EQ(g.mispredicts(), before);
+}
+
+} // namespace
+} // namespace tlsim

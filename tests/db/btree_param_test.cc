@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Parameterized B-tree sweeps: the reference-map property test across
+ * value-size regimes (small keys to near-page-limit blobs), insertion
+ * orders, and churn ratios. Catches split/compaction bugs that only
+ * appear at particular fill shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.h"
+#include "db/btree.h"
+
+namespace tlsim {
+namespace db {
+namespace {
+
+struct Shape
+{
+    unsigned minVal;
+    unsigned maxVal;
+    unsigned keySpace;
+    int eraseWeight; ///< of 10
+    const char *name;
+};
+
+class BTreeShapes : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(BTreeShapes, MatchesReferenceMapUnderChurn)
+{
+    const Shape p = GetParam();
+    DbConfig cfg;
+    Tracer tracer;
+    BufferPool pool(cfg, tracer);
+    BTree tree(pool, tracer, cfg, p.name);
+
+    std::map<std::string, std::string> ref;
+    Rng rng(0xB0B0 + p.keySpace + p.maxVal);
+
+    for (int step = 0; step < 6000; ++step) {
+        std::string key = strfmt(
+            "key%05lld",
+            (long long)rng.uniform(0, static_cast<std::int64_t>(
+                                          p.keySpace - 1)));
+        if (rng.uniform(0, 9) < p.eraseWeight) {
+            EXPECT_EQ(tree.erase(key), ref.erase(key) > 0);
+        } else {
+            std::string val(
+                static_cast<std::size_t>(
+                    rng.uniform(p.minVal, p.maxVal)),
+                static_cast<char>('a' + rng.uniform(0, 25)));
+            tree.put(key, val);
+            ref[key] = val;
+        }
+        if (step % 1500 == 1499)
+            tree.checkInvariants();
+    }
+
+    ASSERT_EQ(tree.size(), ref.size());
+    tree.checkInvariants();
+    auto cur = tree.cursor();
+    auto it = ref.begin();
+    if (cur.seek("")) {
+        do {
+            ASSERT_NE(it, ref.end());
+            EXPECT_EQ(cur.key(), it->first);
+            EXPECT_EQ(cur.value(), it->second);
+            ++it;
+        } while (cur.next());
+    }
+    EXPECT_EQ(it, ref.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeShapes,
+    ::testing::Values(
+        Shape{1, 16, 4000, 2, "tiny-values"},
+        Shape{64, 256, 1500, 3, "row-sized"},
+        Shape{600, 900, 400, 3, "fat-rows"},
+        Shape{1500, 1800, 120, 4, "near-limit-blobs"},
+        Shape{1, 1800, 800, 5, "mixed-high-churn"},
+        Shape{32, 64, 40, 5, "hot-keys"}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        std::string n = info.param.name;
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(BTreeOrdering, SequentialAscendingAndDescendingLoadsAgree)
+{
+    DbConfig cfg;
+    Tracer tracer;
+    BufferPool pool_a(cfg, tracer), pool_b(cfg, tracer);
+    BTree asc(pool_a, tracer, cfg, "asc");
+    BTree desc(pool_b, tracer, cfg, "desc");
+    std::string val(120, 'v');
+    for (int i = 0; i < 3000; ++i)
+        asc.put(strfmt("k%05d", i), val, false);
+    for (int i = 3000; i-- > 0;)
+        desc.put(strfmt("k%05d", i), val, false);
+    EXPECT_EQ(asc.size(), desc.size());
+    asc.checkInvariants();
+    desc.checkInvariants();
+
+    auto ca = asc.cursor();
+    auto cb = desc.cursor();
+    bool oa = ca.seek(""), ob = cb.seek("");
+    while (oa && ob) {
+        ASSERT_EQ(ca.key(), cb.key());
+        oa = ca.next();
+        ob = cb.next();
+    }
+    EXPECT_EQ(oa, ob);
+}
+
+TEST(BTreeOrdering, InterleavedKeysRouteCorrectlyAfterManySplits)
+{
+    DbConfig cfg;
+    Tracer tracer;
+    BufferPool pool(cfg, tracer);
+    BTree tree(pool, tracer, cfg, "interleave");
+    // Insert even keys, then odd keys between them.
+    std::string val(200, 'x');
+    for (int i = 0; i < 4000; i += 2)
+        tree.put(strfmt("k%05d", i), val, false);
+    for (int i = 1; i < 4000; i += 2)
+        tree.put(strfmt("k%05d", i), val, false);
+    EXPECT_EQ(tree.size(), 4000u);
+    EXPECT_GE(tree.height(), 3u);
+    tree.checkInvariants();
+    Bytes v;
+    for (int i = 0; i < 4000; i += 777)
+        EXPECT_TRUE(tree.get(strfmt("k%05d", i), &v));
+}
+
+} // namespace
+} // namespace db
+} // namespace tlsim

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "base/rng.h"
+#include "db/btree.h"
+
+namespace tlsim {
+namespace db {
+namespace {
+
+struct BTreeFixture : public ::testing::Test
+{
+    BTreeFixture()
+        : tracer(), pool(cfg, tracer),
+          tree(pool, tracer, cfg, "test")
+    {
+    }
+
+    DbConfig cfg;
+    Tracer tracer;
+    BufferPool pool;
+    BTree tree;
+};
+
+TEST_F(BTreeFixture, EmptyTreeFindsNothing)
+{
+    Bytes v;
+    EXPECT_FALSE(tree.get("missing", &v));
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST_F(BTreeFixture, PutGetRoundTrip)
+{
+    EXPECT_TRUE(tree.put("alpha", "1"));
+    EXPECT_TRUE(tree.put("beta", "2"));
+    Bytes v;
+    ASSERT_TRUE(tree.get("alpha", &v));
+    EXPECT_EQ(v, "1");
+    ASSERT_TRUE(tree.get("beta", &v));
+    EXPECT_EQ(v, "2");
+    EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST_F(BTreeFixture, PutNoUpdateRefusesDuplicates)
+{
+    EXPECT_TRUE(tree.put("k", "v1", false));
+    EXPECT_FALSE(tree.put("k", "v2", false));
+    Bytes v;
+    tree.get("k", &v);
+    EXPECT_EQ(v, "v1");
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BTreeFixture, UpdateReplacesValue)
+{
+    tree.put("k", "old");
+    tree.put("k", "new-and-longer-value");
+    Bytes v;
+    ASSERT_TRUE(tree.get("k", &v));
+    EXPECT_EQ(v, "new-and-longer-value");
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BTreeFixture, EraseRemoves)
+{
+    tree.put("a", "1");
+    tree.put("b", "2");
+    EXPECT_TRUE(tree.erase("a"));
+    EXPECT_FALSE(tree.erase("a"));
+    Bytes v;
+    EXPECT_FALSE(tree.get("a", &v));
+    EXPECT_TRUE(tree.get("b", &v));
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_F(BTreeFixture, SplitsGrowTheTree)
+{
+    std::string val(100, 'v');
+    for (int i = 0; i < 2000; ++i)
+        tree.put(strfmt("key%06d", i), val, false);
+    EXPECT_EQ(tree.size(), 2000u);
+    EXPECT_GE(tree.height(), 2u);
+    tree.checkInvariants();
+    Bytes v;
+    for (int i = 0; i < 2000; i += 37)
+        ASSERT_TRUE(tree.get(strfmt("key%06d", i), &v)) << i;
+}
+
+TEST_F(BTreeFixture, ReverseInsertionOrder)
+{
+    for (int i = 2000; i-- > 0;)
+        tree.put(strfmt("key%06d", i), "x", false);
+    tree.checkInvariants();
+    EXPECT_EQ(tree.size(), 2000u);
+}
+
+TEST_F(BTreeFixture, CursorScansInOrder)
+{
+    for (int i = 0; i < 500; ++i)
+        tree.put(strfmt("k%04d", i), strfmt("v%d", i), false);
+    auto cur = tree.cursor();
+    ASSERT_TRUE(cur.seek("k0100"));
+    int expected = 100;
+    do {
+        ASSERT_EQ(cur.key(), strfmt("k%04d", expected));
+        ++expected;
+    } while (cur.next() && expected < 200);
+    EXPECT_EQ(expected, 200);
+}
+
+TEST_F(BTreeFixture, CursorSeekBetweenKeys)
+{
+    tree.put("b", "1");
+    tree.put("d", "2");
+    auto cur = tree.cursor();
+    ASSERT_TRUE(cur.seek("c"));
+    EXPECT_EQ(cur.key(), "d");
+}
+
+TEST_F(BTreeFixture, CursorPastEndInvalid)
+{
+    tree.put("a", "1");
+    auto cur = tree.cursor();
+    EXPECT_FALSE(cur.seek("z"));
+    EXPECT_FALSE(cur.valid());
+}
+
+TEST_F(BTreeFixture, CursorCrossesLeafBoundaries)
+{
+    std::string val(200, 'v');
+    for (int i = 0; i < 300; ++i)
+        tree.put(strfmt("k%04d", i), val, false);
+    ASSERT_GE(tree.height(), 2u);
+    auto cur = tree.cursor();
+    ASSERT_TRUE(cur.seek(""));
+    int count = 1;
+    while (cur.next())
+        ++count;
+    EXPECT_EQ(count, 300);
+}
+
+TEST_F(BTreeFixture, RandomizedAgainstReferenceMap)
+{
+    std::map<std::string, std::string> ref;
+    Rng rng(4242);
+    for (int step = 0; step < 20000; ++step) {
+        std::string key =
+            strfmt("key%04lld", (long long)rng.uniform(0, 3000));
+        switch (rng.uniform(0, 3)) {
+          case 0:
+          case 1: { // put
+            std::string val(static_cast<std::size_t>(
+                                rng.uniform(1, 300)),
+                            static_cast<char>('a' + rng.uniform(0, 25)));
+            tree.put(key, val);
+            ref[key] = val;
+            break;
+          }
+          case 2: { // erase
+            EXPECT_EQ(tree.erase(key), ref.erase(key) > 0);
+            break;
+          }
+          case 3: { // get
+            Bytes v;
+            bool found = tree.get(key, &v);
+            auto it = ref.find(key);
+            ASSERT_EQ(found, it != ref.end());
+            if (found)
+                EXPECT_EQ(v, it->second);
+            break;
+          }
+        }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+    tree.checkInvariants();
+
+    // Full scan equals the reference map.
+    auto cur = tree.cursor();
+    auto it = ref.begin();
+    if (cur.seek("")) {
+        do {
+            ASSERT_NE(it, ref.end());
+            EXPECT_EQ(cur.key(), it->first);
+            EXPECT_EQ(cur.value(), it->second);
+            ++it;
+        } while (cur.next());
+    }
+    EXPECT_EQ(it, ref.end());
+}
+
+TEST_F(BTreeFixture, LargeValuesNearTheLimit)
+{
+    std::string big(1800, 'B');
+    for (int i = 0; i < 40; ++i)
+        tree.put(strfmt("big%03d", i), big, false);
+    tree.checkInvariants();
+    Bytes v;
+    ASSERT_TRUE(tree.get("big020", &v));
+    EXPECT_EQ(v.size(), 1800u);
+}
+
+TEST_F(BTreeFixture, UpdateGrowingValueAcrossSplit)
+{
+    // Fill one leaf with medium records, then grow one of them so the
+    // update path has to split.
+    std::string med(300, 'm');
+    for (int i = 0; i < 12; ++i)
+        tree.put(strfmt("g%02d", i), med, false);
+    tree.put("g05", std::string(1700, 'X'));
+    tree.checkInvariants();
+    Bytes v;
+    ASSERT_TRUE(tree.get("g05", &v));
+    EXPECT_EQ(v.size(), 1700u);
+    EXPECT_EQ(tree.size(), 12u);
+}
+
+TEST_F(BTreeFixture, TracedOperationsWhileCapturing)
+{
+    // The same operations emit trace records when capturing.
+    tracer.txnBegin();
+    tree.put("traced", "value");
+    Bytes v;
+    tree.get("traced", &v);
+    tracer.txnEnd();
+    const auto &recs = tracer.workload()
+                           .txns.at(0)
+                           .sections.at(0)
+                           .epochs.at(0)
+                           .records;
+    EXPECT_GT(recs.size(), 10u);
+    bool has_load = false, has_store = false;
+    for (const auto &r : recs) {
+        has_load |= r.op == TraceOp::Load;
+        has_store |= r.op == TraceOp::Store;
+    }
+    EXPECT_TRUE(has_load);
+    EXPECT_TRUE(has_store);
+}
+
+} // namespace
+} // namespace db
+} // namespace tlsim

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "db/page.h"
+
+namespace tlsim {
+namespace db {
+namespace {
+
+struct Frame
+{
+    alignas(64) std::uint8_t bytes[kPageSize];
+};
+
+TEST(Page, InitProducesEmptyLeaf)
+{
+    Frame f;
+    Page::init(f.bytes, 7, 0);
+    Page p(f.bytes);
+    EXPECT_EQ(p.hdr().id, 7u);
+    EXPECT_TRUE(p.leaf());
+    EXPECT_EQ(p.slotCount(), 0u);
+    EXPECT_GT(p.freeSpace(), kPageSize - 64u);
+}
+
+TEST(Page, InsertAndReadBack)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    p.insert(0, "bbb", "value-b");
+    p.insert(0, "aaa", "value-a");
+    p.insert(2, "ccc", "value-c");
+    ASSERT_EQ(p.slotCount(), 3u);
+    EXPECT_EQ(p.key(0), "aaa");
+    EXPECT_EQ(p.value(0), "value-a");
+    EXPECT_EQ(p.key(1), "bbb");
+    EXPECT_EQ(p.key(2), "ccc");
+}
+
+TEST(Page, LowerBound)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    p.insert(0, "b", "1");
+    p.insert(1, "d", "2");
+    p.insert(2, "f", "3");
+
+    EXPECT_EQ(p.lowerBound("a"), (std::pair<unsigned, bool>{0, false}));
+    EXPECT_EQ(p.lowerBound("b"), (std::pair<unsigned, bool>{0, true}));
+    EXPECT_EQ(p.lowerBound("c"), (std::pair<unsigned, bool>{1, false}));
+    EXPECT_EQ(p.lowerBound("f"), (std::pair<unsigned, bool>{2, true}));
+    EXPECT_EQ(p.lowerBound("g"), (std::pair<unsigned, bool>{3, false}));
+}
+
+TEST(Page, RemoveKeepsOrderAndFreesSpace)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    p.insert(0, "a", "1");
+    p.insert(1, "b", "2");
+    p.insert(2, "c", "3");
+    unsigned before = p.freeSpace();
+    p.remove(1);
+    ASSERT_EQ(p.slotCount(), 2u);
+    EXPECT_EQ(p.key(0), "a");
+    EXPECT_EQ(p.key(1), "c");
+    EXPECT_GT(p.freeSpace(), before);
+}
+
+TEST(Page, UpdateValueSameSizeInPlace)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    p.insert(0, "k", "aaaa");
+    EXPECT_TRUE(p.updateValue(0, "bbbb"));
+    EXPECT_EQ(p.value(0), "bbbb");
+    EXPECT_EQ(p.slotCount(), 1u);
+}
+
+TEST(Page, UpdateValueGrowsViaReinsert)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    p.insert(0, "k", "short");
+    EXPECT_TRUE(p.updateValue(0, std::string(200, 'x')));
+    EXPECT_EQ(p.value(0).size(), 200u);
+    EXPECT_EQ(p.key(0), "k");
+}
+
+TEST(Page, UpdateValueFailsWhenFullAndKeepsRecord)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    // Fill the page almost completely.
+    std::string big(900, 'y');
+    unsigned i = 0;
+    while (p.fits(3, 900))
+        p.insert(p.slotCount(), strfmt("k%02u", i++), big);
+    ASSERT_GT(p.slotCount(), 2u);
+    EXPECT_FALSE(p.updateValue(0, std::string(3000, 'z')));
+    EXPECT_EQ(p.value(0), big); // untouched on failure
+}
+
+TEST(Page, CompactionReclaimsFragmentedSpace)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    std::string v(400, 'v');
+    for (unsigned i = 0; i < 8; ++i)
+        p.insert(i, strfmt("key%u", i), v);
+    // Remove every other record: space is fragmented.
+    p.remove(6);
+    p.remove(4);
+    p.remove(2);
+    p.remove(0);
+    ASSERT_TRUE(p.fits(8, 1500));
+    p.insert(0, "aaa-fresh", std::string(1500, 'w'));
+    EXPECT_EQ(p.key(0), "aaa-fresh");
+    EXPECT_EQ(p.value(0).size(), 1500u);
+    // Survivors intact after compaction.
+    EXPECT_EQ(p.key(1), "key1");
+    EXPECT_EQ(p.value(1), v);
+}
+
+TEST(Page, RandomizedAgainstReferenceMap)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    std::map<std::string, std::string> ref;
+    Rng rng(99);
+
+    for (int step = 0; step < 2000; ++step) {
+        std::string key = strfmt("k%03lld", (long long)rng.uniform(0, 200));
+        int action = static_cast<int>(rng.uniform(0, 2));
+        auto [idx, found] = p.lowerBound(key);
+        if (action == 0) { // insert/update
+            std::string val(static_cast<std::size_t>(
+                                rng.uniform(1, 40)),
+                            'x');
+            if (found) {
+                if (p.updateValue(idx, val))
+                    ref[key] = val;
+            } else if (p.fits(static_cast<unsigned>(key.size()),
+                              static_cast<unsigned>(val.size()))) {
+                p.insert(idx, key, val);
+                ref[key] = val;
+            }
+        } else if (found) { // remove
+            p.remove(idx);
+            ref.erase(key);
+        }
+    }
+
+    ASSERT_EQ(p.slotCount(), ref.size());
+    unsigned i = 0;
+    for (const auto &[k, v] : ref) {
+        EXPECT_EQ(p.key(i), k);
+        EXPECT_EQ(p.value(i), v);
+        ++i;
+    }
+}
+
+TEST(PageDeathTest, InsertWithoutRoomPanics)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    std::string big(1900, 'x');
+    p.insert(0, "a", big);
+    p.insert(1, "b", big);
+    EXPECT_DEATH(p.insert(2, "c", big), "without room");
+}
+
+TEST(PageDeathTest, RemoveOutOfRangePanics)
+{
+    Frame f;
+    Page::init(f.bytes, 1, 0);
+    Page p(f.bytes);
+    EXPECT_DEATH(p.remove(0), "remove slot");
+}
+
+} // namespace
+} // namespace db
+} // namespace tlsim

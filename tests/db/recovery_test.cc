@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "base/rng.h"
+#include "db/db.h"
+
+namespace tlsim {
+namespace db {
+namespace {
+
+struct RecoveryFixture : public ::testing::Test
+{
+    RecoveryFixture() : database(DbConfig{}, tracer)
+    {
+        table = database.createTable("t");
+    }
+
+    Tracer tracer;
+    Database database;
+    TableId table;
+};
+
+TEST_F(RecoveryFixture, CleanLogHasNoLosers)
+{
+    Txn txn = database.begin();
+    database.put(txn, table, "k", "v");
+    database.commit(txn);
+    EXPECT_TRUE(database.logicalLog().loserTransactions().empty());
+    EXPECT_EQ(database.recover(), 0u);
+}
+
+TEST_F(RecoveryFixture, CrashMidTransactionRollsBack)
+{
+    Txn setup = database.begin();
+    database.put(setup, table, "stable", "original");
+    database.commit(setup);
+
+    // A transaction that "crashes" before committing: its Txn object
+    // (and in-memory undo) are simply abandoned.
+    {
+        Txn doomed = database.begin();
+        database.put(doomed, table, "stable", "dirty");
+        database.insert(doomed, table, "ghost", "boo");
+        database.erase(doomed, table, "stable");
+    }
+
+    ASSERT_EQ(database.logicalLog().loserTransactions().size(), 1u);
+    EXPECT_EQ(database.recover(), 1u);
+
+    Bytes v;
+    Txn check = database.begin();
+    ASSERT_TRUE(database.get(check, table, "stable", &v));
+    EXPECT_EQ(v, "original");
+    EXPECT_FALSE(database.get(check, table, "ghost", &v));
+    database.commit(check);
+}
+
+TEST_F(RecoveryFixture, RecoveryIsIdempotent)
+{
+    Txn doomed = database.begin();
+    database.insert(doomed, table, "a", "1");
+    EXPECT_EQ(database.recover(), 1u);
+    EXPECT_EQ(database.recover(), 0u); // abort marker written
+    Bytes v;
+    EXPECT_FALSE(database.table(table).get("a", &v));
+}
+
+TEST_F(RecoveryFixture, MultipleLosersUndoneNewestFirst)
+{
+    // Two abandoned transactions touching the same key in sequence.
+    {
+        Txn t1 = database.begin();
+        database.put(t1, table, "k", "t1-value");
+        // t1 crashes...
+        Txn t2 = database.begin();
+        database.put(t2, table, "k", "t2-value");
+        // ...and so does t2.
+    }
+    EXPECT_EQ(database.recover(), 2u);
+    Bytes v;
+    EXPECT_FALSE(database.table(table).get("k", &v));
+}
+
+TEST_F(RecoveryFixture, CommittedWorkSurvivesRecovery)
+{
+    Txn good = database.begin();
+    database.put(good, table, "keep", "me");
+    database.commit(good);
+    Txn bad = database.begin();
+    database.put(bad, table, "keep", "overwritten");
+    database.put(bad, table, "drop", "x");
+    database.recover();
+    Bytes v;
+    ASSERT_TRUE(database.table(table).get("keep", &v));
+    EXPECT_EQ(v, "me");
+    EXPECT_FALSE(database.table(table).get("drop", &v));
+}
+
+TEST_F(RecoveryFixture, RedoReproducesCommittedState)
+{
+    // Random committed workload on db1...
+    Rng rng(31337);
+    for (int t = 0; t < 40; ++t) {
+        Txn txn = database.begin();
+        for (int op = 0; op < 10; ++op) {
+            Bytes key = strfmt("key%03lld", (long long)rng.uniform(0, 150));
+            switch (rng.uniform(0, 2)) {
+              case 0:
+                database.put(txn, table, key,
+                             strfmt("v%d.%d", t, op));
+                break;
+              case 1:
+                database.insert(txn, table, key,
+                                strfmt("i%d.%d", t, op));
+                break;
+              case 2:
+                database.erase(txn, table, key);
+                break;
+            }
+        }
+        // Every third transaction aborts.
+        if (t % 3 == 0)
+            database.abort(txn);
+        else
+            database.commit(txn);
+    }
+
+    // ...replayed from the logical log into a fresh database.
+    Tracer tr2;
+    Database db2(DbConfig{}, tr2);
+    TableId t2 = db2.createTable("t");
+    ASSERT_EQ(t2, table);
+    database.logicalLog().redoCommitted(db2);
+
+    // Full-scan equality.
+    auto c1 = database.cursor(table);
+    auto c2 = db2.cursor(t2);
+    bool ok1 = c1.seek("");
+    bool ok2 = c2.seek("");
+    while (ok1 && ok2) {
+        EXPECT_EQ(c1.key(), c2.key());
+        EXPECT_EQ(c1.value(), c2.value());
+        ok1 = c1.next();
+        ok2 = c2.next();
+    }
+    EXPECT_EQ(ok1, ok2);
+    EXPECT_EQ(database.table(table).size(), db2.table(t2).size());
+}
+
+TEST_F(RecoveryFixture, AbortedTransactionsLeaveNoRedoFootprint)
+{
+    Txn txn = database.begin();
+    database.put(txn, table, "k", "aborted-value");
+    database.abort(txn);
+
+    Tracer tr2;
+    Database db2(DbConfig{}, tr2);
+    db2.createTable("t");
+    database.logicalLog().redoCommitted(db2);
+    Bytes v;
+    EXPECT_FALSE(db2.table(table).get("k", &v));
+}
+
+TEST_F(RecoveryFixture, LogCanBeDisabledForLongRuns)
+{
+    database.logicalLog().setEnabled(false);
+    Txn txn = database.begin();
+    database.put(txn, table, "k", "v");
+    database.commit(txn);
+    EXPECT_TRUE(database.logicalLog().records().empty());
+}
+
+} // namespace
+} // namespace db
+} // namespace tlsim

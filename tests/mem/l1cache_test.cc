@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "mem/l1cache.h"
+
+namespace tlsim {
+namespace {
+
+// 4 sets x 2 ways x 32B lines = 256B cache for easy conflict tests.
+L1Cache
+tiny()
+{
+    return L1Cache(256, 2, 32);
+}
+
+TEST(L1Cache, MissThenHit)
+{
+    L1Cache c = tiny();
+    EXPECT_FALSE(c.access(10));
+    c.insert(10);
+    EXPECT_TRUE(c.access(10));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(L1Cache, LruEvictionWithinSet)
+{
+    L1Cache c = tiny();
+    // Lines 0, 4, 8 all map to set 0 (4 sets).
+    c.insert(0);
+    c.insert(4);
+    EXPECT_TRUE(c.access(0)); // 4 becomes LRU
+    c.insert(8);              // evicts 4
+    EXPECT_TRUE(c.present(0));
+    EXPECT_FALSE(c.present(4));
+    EXPECT_TRUE(c.present(8));
+}
+
+TEST(L1Cache, InsertIsIdempotent)
+{
+    L1Cache c = tiny();
+    c.insert(3);
+    c.insert(3);
+    c.insert(7); // same set as 3; both must fit in 2 ways
+    EXPECT_TRUE(c.present(3));
+    EXPECT_TRUE(c.present(7));
+}
+
+TEST(L1Cache, InvalidateDropsLine)
+{
+    L1Cache c = tiny();
+    c.insert(5);
+    c.invalidate(5);
+    EXPECT_FALSE(c.present(5));
+    // Invalidating an absent line is a no-op.
+    c.invalidate(99);
+}
+
+TEST(L1Cache, SquashInvalidatesOnlySpecWrittenLines)
+{
+    L1Cache c = tiny();
+    c.insert(1);
+    c.insert(2);
+    c.insert(3);
+    c.markSpecWritten(1);
+    c.markSpecRead(2);
+    EXPECT_EQ(c.squashSpecWrites(), 1u);
+    EXPECT_FALSE(c.present(1)); // modified: dropped
+    EXPECT_TRUE(c.present(2));  // only read: survives
+    EXPECT_TRUE(c.present(3));  // untouched
+}
+
+TEST(L1Cache, EpochBoundaryClearsFlagsAndAppliesStales)
+{
+    L1Cache c = tiny();
+    c.insert(1);
+    c.insert(2);
+    c.markSpecWritten(1);
+    c.markStale(2);
+    c.epochBoundary();
+    // Spec flags cleared: a squash now invalidates nothing.
+    EXPECT_EQ(c.squashSpecWrites(), 0u);
+    EXPECT_TRUE(c.present(1));
+    // Stale copy dropped at the boundary.
+    EXPECT_FALSE(c.present(2));
+}
+
+TEST(L1Cache, StaleLineStillUsableBeforeBoundary)
+{
+    L1Cache c = tiny();
+    c.insert(2);
+    c.markStale(2);
+    EXPECT_TRUE(c.access(2)); // older epoch may keep reading its copy
+}
+
+TEST(L1Cache, ResetDropsEverything)
+{
+    L1Cache c = tiny();
+    c.insert(1);
+    c.access(1);
+    c.reset();
+    EXPECT_FALSE(c.present(1));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(L1Cache, PaperSizedConfigurationWorks)
+{
+    L1Cache c(32 * 1024, 4, 32); // 256 sets x 4 ways
+    for (Addr l = 0; l < 1024; ++l)
+        c.insert(l);
+    unsigned present = 0;
+    for (Addr l = 0; l < 1024; ++l)
+        present += c.present(l);
+    EXPECT_EQ(present, 1024u); // exactly fills the cache
+    c.insert(1024);            // one conflict eviction
+    EXPECT_TRUE(c.present(1024));
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "mem/l2cache.h"
+
+namespace tlsim {
+namespace {
+
+/** Hooks where the test dictates which lines carry speculative state. */
+class FakeHooks : public TlsHooks
+{
+  public:
+    std::uint64_t epochSeq(CpuId) const override { return kNoEpoch; }
+    bool
+    lineHasSpecState(Addr line) const override
+    {
+        return specLines.count(line) > 0;
+    }
+
+    std::unordered_set<Addr> specLines;
+};
+
+struct L2Fixture : public ::testing::Test
+{
+    L2Fixture() : victim(2), l2(makeCfg(), victim)
+    {
+        l2.setHooks(&hooks);
+    }
+
+    static MemConfig
+    makeCfg()
+    {
+        MemConfig m;
+        m.l2Bytes = 2 * 32 * 4; // 2 sets x 4 ways x 32B
+        m.l2Assoc = 4;
+        m.lineBytes = 32;
+        m.l2Banks = 2;
+        return m;
+    }
+
+    FakeHooks hooks;
+    VictimCache victim;
+    L2Cache l2;
+};
+
+TEST_F(L2Fixture, MissThenHit)
+{
+    EXPECT_FALSE(l2.accessLine(10));
+    EXPECT_TRUE(l2.insert(10, kCommittedVersion).ok);
+    EXPECT_TRUE(l2.accessLine(10));
+    EXPECT_EQ(l2.hits(), 1u);
+    EXPECT_EQ(l2.misses(), 1u);
+}
+
+TEST_F(L2Fixture, MultipleVersionsShareASet)
+{
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(10, 0).ok);
+    ASSERT_TRUE(l2.insert(10, 1).ok);
+    EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
+    EXPECT_TRUE(l2.hasEntry(10, 0));
+    EXPECT_TRUE(l2.hasEntry(10, 1));
+    EXPECT_TRUE(l2.accessLine(10));
+}
+
+TEST_F(L2Fixture, InsertTouchesExistingEntry)
+{
+    ASSERT_TRUE(l2.insert(10, 0).ok);
+    ASSERT_TRUE(l2.insert(10, 0).ok); // same entry; no duplicate ways
+    // Fill the rest of set 0 (lines 10, 12, 14 even => set 0).
+    ASSERT_TRUE(l2.insert(12, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(14, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(16, kCommittedVersion).ok);
+    EXPECT_TRUE(l2.hasEntry(10, 0));
+}
+
+TEST_F(L2Fixture, EvictionPrefersCommittedWithoutSpecState)
+{
+    // Set 0 holds lines with even line numbers (2 sets).
+    ASSERT_TRUE(l2.insert(0, 0).ok);  // speculative version
+    ASSERT_TRUE(l2.insert(2, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(4, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(6, kCommittedVersion).ok);
+    hooks.specLines.insert(2); // committed line pinned by SL bits
+    l2.accessLine(4);          // line 6 is now LRU among {4, 6}
+
+    ASSERT_TRUE(l2.insert(8, kCommittedVersion).ok);
+    EXPECT_TRUE(l2.hasEntry(0, 0));                  // spec survives
+    EXPECT_TRUE(l2.hasEntry(2, kCommittedVersion));  // pinned survives
+    EXPECT_FALSE(l2.hasEntry(6, kCommittedVersion)); // LRU clean gone
+    EXPECT_EQ(victim.occupancy(), 0u); // clean drop, no spill
+}
+
+TEST_F(L2Fixture, SpeculativeEvictionSpillsToVictim)
+{
+    for (Addr l : {0, 2, 4, 6})
+        ASSERT_TRUE(l2.insert(l, 0).ok);
+    for (Addr l : {0, 2, 4, 6})
+        hooks.specLines.insert(l);
+    ASSERT_TRUE(l2.insert(8, 1).ok); // set full of spec lines
+    EXPECT_EQ(victim.occupancy(), 1u);
+    EXPECT_TRUE(victim.present(0, 0)); // LRU way spilled
+    EXPECT_EQ(l2.specEvictions(), 1u);
+}
+
+TEST_F(L2Fixture, OverflowWhenVictimFullToo)
+{
+    for (Addr l : {0, 2, 4, 6})
+        ASSERT_TRUE(l2.insert(l, 0).ok);
+    for (Addr l : {0, 2, 4, 6, 8, 10})
+        hooks.specLines.insert(l);
+    ASSERT_TRUE(l2.insert(8, 1).ok);  // spills 0
+    ASSERT_TRUE(l2.insert(10, 1).ok); // spills 2; victim now full
+
+    auto res = l2.insert(12, 2);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.setEntries.size(), 4u);
+    EXPECT_EQ(l2.overflows(), 1u);
+}
+
+TEST_F(L2Fixture, OverflowReclaimsCommittedVictimEntriesFirst)
+{
+    // Victim holds a committed line with no spec state: reclaimable.
+    victim.insert(100, kCommittedVersion);
+    victim.insert(102, kCommittedVersion);
+    for (Addr l : {0, 2, 4, 6})
+        ASSERT_TRUE(l2.insert(l, 0).ok);
+    for (Addr l : {0, 2, 4, 6})
+        hooks.specLines.insert(l);
+    EXPECT_TRUE(l2.insert(8, 1).ok); // drops a victim entry, spills
+    EXPECT_TRUE(victim.presentLine(0));
+}
+
+TEST_F(L2Fixture, RemoveDropsOnlyThatVersion)
+{
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(10, 3).ok);
+    l2.remove(10, 3);
+    EXPECT_FALSE(l2.hasEntry(10, 3));
+    EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
+}
+
+TEST_F(L2Fixture, RenameToCommittedMergesOverOldCopy)
+{
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(10, 1).ok);
+    EXPECT_TRUE(l2.renameToCommitted(10, 1));
+    EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
+    EXPECT_FALSE(l2.hasEntry(10, 1));
+    // Exactly one entry remains; the set has three free ways again.
+    ASSERT_TRUE(l2.insert(12, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(14, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(16, kCommittedVersion).ok);
+    EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
+}
+
+TEST_F(L2Fixture, RenameMissingVersionFails)
+{
+    EXPECT_FALSE(l2.renameToCommitted(10, 1));
+}
+
+TEST_F(L2Fixture, BankMapping)
+{
+    EXPECT_EQ(l2.bankOf(0), 0u);
+    EXPECT_EQ(l2.bankOf(1), 1u);
+    EXPECT_EQ(l2.bankOf(2), 0u);
+}
+
+TEST_F(L2Fixture, ResetClearsEverything)
+{
+    ASSERT_TRUE(l2.insert(10, 0).ok);
+    l2.reset();
+    EXPECT_FALSE(l2.presentLine(10));
+    EXPECT_EQ(l2.hits(), 0u);
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.h"
+
+namespace tlsim {
+namespace sim {
+namespace {
+
+RunResult
+fakeRun(Cycle makespan, double busy_frac)
+{
+    RunResult r;
+    r.makespan = makespan;
+    Cycle busy = static_cast<Cycle>(makespan * 4 * busy_frac);
+    r.total[Cat::Busy] = busy;
+    r.total[Cat::Idle] = makespan * 4 - busy;
+    r.txns = 10;
+    return r;
+}
+
+Figure5Row
+fakeRow()
+{
+    Figure5Row row;
+    row.type = tpcc::TxnType::NewOrder;
+    row.bars.emplace_back(Bar::Sequential, fakeRun(1000, 0.25));
+    row.bars.emplace_back(Bar::TlsSeq, fakeRun(980, 0.25));
+    row.bars.emplace_back(Bar::NoSubthread, fakeRun(700, 0.30));
+    row.bars.emplace_back(Bar::Baseline, fakeRun(500, 0.40));
+    row.bars.emplace_back(Bar::NoSpeculation, fakeRun(450, 0.45));
+    return row;
+}
+
+TEST(Report, SpeedupHelpers)
+{
+    Figure5Row row = fakeRow();
+    EXPECT_DOUBLE_EQ(row.speedup(Bar::Sequential), 1.0);
+    EXPECT_DOUBLE_EQ(row.speedup(Bar::Baseline), 2.0);
+    EXPECT_NEAR(row.speedup(Bar::NoSpeculation), 1000.0 / 450, 1e-9);
+}
+
+TEST(ReportDeathTest, MissingBarPanics)
+{
+    Figure5Row row;
+    row.type = tpcc::TxnType::Payment;
+    EXPECT_DEATH(row.result(Bar::Baseline), "missing");
+}
+
+TEST(Report, Figure5RowNormalizesToSequential)
+{
+    Figure5Row row = fakeRow();
+    std::ostringstream os;
+    printFigure5Row(os, row);
+    std::string s = os.str();
+    // The SEQUENTIAL bar is exactly 1.000 and 75% idle.
+    EXPECT_NE(s.find("SEQUENTIAL         1.000"), std::string::npos);
+    EXPECT_NE(s.find("0.750"), std::string::npos);
+    // Every bar name appears.
+    for (Bar b : allBars())
+        EXPECT_NE(s.find(barName(b)), std::string::npos) << barName(b);
+}
+
+TEST(Report, SpeedupSummaryListsBenchmarks)
+{
+    std::ostringstream os;
+    printSpeedupSummary(os, {fakeRow()});
+    std::string s = os.str();
+    EXPECT_NE(s.find("NEW ORDER"), std::string::npos);
+    EXPECT_NE(s.find("2.00"), std::string::npos); // baseline speedup
+}
+
+TEST(Report, Figure6GridIsComplete)
+{
+    std::vector<SweepPoint> points;
+    for (unsigned k : {2u, 8u})
+        for (std::uint64_t s : {1000ull, 5000ull}) {
+            SweepPoint p{k, s, RunResult{}};
+            p.run.makespan = 100 * k + s / 100;
+            points.push_back(p);
+        }
+    std::ostringstream os;
+    printFigure6(os, "TESTBENCH", points, 1000);
+    std::string s = os.str();
+    EXPECT_NE(s.find("TESTBENCH"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+    EXPECT_NE(s.find("5000"), std::string::npos);
+    EXPECT_NE(s.find("2 sub-thr"), std::string::npos);
+    EXPECT_NE(s.find("8 sub-thr"), std::string::npos);
+    // Normalized value for k=2, spacing=1000: 210/1000.
+    EXPECT_NE(s.find("0.210"), std::string::npos);
+}
+
+TEST(Report, Table2FormatsPercentages)
+{
+    Table2Row r{};
+    r.type = tpcc::TxnType::StockLevel;
+    r.execMcycles = 12.34;
+    r.coverage = 0.876;
+    r.threadSizeInsts = 18000;
+    r.specInstsPerThread = 15000;
+    r.threadsPerTxn = 196.7;
+    std::ostringstream os;
+    printTable2(os, {r});
+    std::string s = os.str();
+    EXPECT_NE(s.find("STOCK LEVEL"), std::string::npos);
+    EXPECT_NE(s.find("88%"), std::string::npos);
+    EXPECT_NE(s.find("196.7"), std::string::npos);
+}
+
+} // namespace
+} // namespace sim
+} // namespace tlsim

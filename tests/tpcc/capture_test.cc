@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "tpcc/tpcc.h"
+
+namespace tlsim {
+namespace tpcc {
+namespace {
+
+CaptureOptions
+tinyOpts(bool tls)
+{
+    CaptureOptions o;
+    o.scale = TpccConfig::tiny();
+    o.txns = 4;
+    o.tlsBuild = tls;
+    o.parallelMode = tls;
+    return o;
+}
+
+TEST(Capture, SequentialCaptureHasNoParallelSections)
+{
+    WorkloadTrace w =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(false));
+    ASSERT_EQ(w.txns.size(), 4u);
+    for (const auto &txn : w.txns) {
+        EXPECT_EQ(txn.epochCount(), 0u);
+        EXPECT_EQ(txn.coverage(), 0.0);
+        EXPECT_GT(txn.totalInsts(), 1000u);
+    }
+}
+
+TEST(Capture, TlsCaptureSplitsTheOrderLineLoop)
+{
+    WorkloadTrace w =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(true));
+    ASSERT_EQ(w.txns.size(), 4u);
+    unsigned with_loop = 0;
+    for (const auto &txn : w.txns) {
+        if (txn.epochCount() == 0)
+            continue; // a rollback transaction may abort early
+        ++with_loop;
+        EXPECT_GE(txn.epochsPerLoop(), 4.0); // 5-15 lines
+        EXPECT_LE(txn.epochsPerLoop(), 15.0);
+        EXPECT_GT(txn.coverage(), 0.4);
+        EXPECT_GT(txn.meanEpochInsts(), 5000u);
+    }
+    EXPECT_GE(with_loop, 3u);
+}
+
+TEST(Capture, NewOrder150HasTenTimesTheEpochs)
+{
+    WorkloadTrace small =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(true));
+    WorkloadTrace large =
+        captureBenchmark(TxnType::NewOrder150, tinyOpts(true));
+    double small_epochs = 0, large_epochs = 0;
+    for (const auto &t : small.txns)
+        small_epochs += t.epochCount();
+    for (const auto &t : large.txns)
+        large_epochs += t.epochCount();
+    EXPECT_GT(large_epochs, small_epochs * 5);
+}
+
+TEST(Capture, DeliveryVariantsDifferInThreadSize)
+{
+    WorkloadTrace inner =
+        captureBenchmark(TxnType::Delivery, tinyOpts(true));
+    WorkloadTrace outer =
+        captureBenchmark(TxnType::DeliveryOuter, tinyOpts(true));
+
+    double inner_size = 0, outer_size = 0;
+    unsigned n_inner = 0, n_outer = 0;
+    for (const auto &t : inner.txns) {
+        if (t.epochCount()) {
+            inner_size += t.meanEpochInsts();
+            ++n_inner;
+        }
+    }
+    for (const auto &t : outer.txns) {
+        if (t.epochCount()) {
+            outer_size += t.meanEpochInsts();
+            ++n_outer;
+        }
+    }
+    ASSERT_GT(n_inner, 0u);
+    ASSERT_GT(n_outer, 0u);
+    // The outer decomposition's threads are roughly an order of
+    // magnitude larger (a whole district vs one order line).
+    EXPECT_GT(outer_size / n_outer, 5 * inner_size / n_inner);
+
+    // And its coverage is much higher (paper: 63% vs 99%).
+    EXPECT_GT(outer.txns[0].coverage(), 0.9);
+}
+
+TEST(Capture, PaymentCoverageIsTiny)
+{
+    WorkloadTrace w =
+        captureBenchmark(TxnType::Payment, tinyOpts(true));
+    double cov = 0;
+    for (const auto &t : w.txns)
+        cov = std::max(cov, t.coverage());
+    EXPECT_LT(cov, 0.30);
+}
+
+TEST(Capture, StockLevelEpochsAreSmallAndMany)
+{
+    WorkloadTrace w =
+        captureBenchmark(TxnType::StockLevel, tinyOpts(true));
+    for (const auto &t : w.txns) {
+        // One epoch per order line of the last 20 orders.
+        ASSERT_GT(t.epochCount(), 20u);
+        EXPECT_LE(t.epochsPerLoop(), 20.0 * 15.0);
+        // The paper's smallest threads (~7.5k dynamic instructions).
+        EXPECT_LT(t.meanEpochInsts(), 40000);
+    }
+}
+
+TEST(Capture, IdenticalSeedsGiveIdenticalWorkloads)
+{
+    WorkloadTrace a =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(true));
+    WorkloadTrace b =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(true));
+    ASSERT_EQ(a.txns.size(), b.txns.size());
+    for (std::size_t i = 0; i < a.txns.size(); ++i) {
+        EXPECT_EQ(a.txns[i].totalInsts(), b.txns[i].totalInsts());
+        EXPECT_EQ(a.txns[i].epochCount(), b.txns[i].epochCount());
+    }
+}
+
+TEST(Capture, EscapedWorkOnlyInTlsBuild)
+{
+    WorkloadTrace seq =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(false));
+    bool seq_has_latches = false;
+    for (const auto &txn : seq.txns)
+        for (const auto &sec : txn.sections)
+            for (const auto &e : sec.epochs)
+                for (const auto &r : e.records)
+                    seq_has_latches |=
+                        r.op == TraceOp::LatchAcquire;
+    // The original build uses spin latches (plain loads/stores), so no
+    // escaped latch records appear.
+    EXPECT_FALSE(seq_has_latches);
+
+    WorkloadTrace tls =
+        captureBenchmark(TxnType::NewOrder, tinyOpts(true));
+    bool tls_has_latches = false;
+    for (const auto &txn : tls.txns)
+        for (const auto &sec : txn.sections)
+            for (const auto &e : sec.epochs)
+                for (const auto &r : e.records)
+                    tls_has_latches |=
+                        r.op == TraceOp::LatchAcquire;
+    EXPECT_TRUE(tls_has_latches);
+}
+
+} // namespace
+} // namespace tpcc
+} // namespace tlsim

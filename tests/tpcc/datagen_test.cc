@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "tpcc/tpcc.h"
+
+namespace tlsim {
+namespace tpcc {
+namespace {
+
+struct DatagenFixture : public ::testing::Test
+{
+    DatagenFixture()
+        : cfg(TpccConfig::tiny()), tdb(cfg, db::DbConfig{}, tracer)
+    {
+        tdb.load(7);
+    }
+
+    TpccConfig cfg;
+    Tracer tracer;
+    TpccDb tdb;
+};
+
+TEST_F(DatagenFixture, TableCardinalities)
+{
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    EXPECT_EQ(db.table(t.item).size(), cfg.items);
+    EXPECT_EQ(db.table(t.stock).size(), cfg.items);
+    EXPECT_EQ(db.table(t.warehouse).size(), 1u);
+    EXPECT_EQ(db.table(t.district).size(), cfg.districts);
+    EXPECT_EQ(db.table(t.customer).size(),
+              cfg.districts * cfg.customersPerDistrict);
+    EXPECT_EQ(db.table(t.customerName).size(),
+              cfg.districts * cfg.customersPerDistrict);
+    EXPECT_EQ(db.table(t.order).size(),
+              cfg.districts * cfg.ordersPerDistrict);
+    EXPECT_EQ(db.table(t.newOrder).size(),
+              cfg.districts *
+                  (cfg.ordersPerDistrict - cfg.firstNewOrder + 1));
+}
+
+TEST_F(DatagenFixture, DistrictNextOrderIds)
+{
+    for (std::uint32_t d = 1; d <= cfg.districts; ++d)
+        EXPECT_EQ(tdb.districtNextOrderId(d),
+                  cfg.ordersPerDistrict + 1);
+}
+
+TEST_F(DatagenFixture, ConsistencyConditionsHold)
+{
+    EXPECT_NO_FATAL_FAILURE(tdb.checkConsistency());
+}
+
+TEST_F(DatagenFixture, RowsDeserializeSensibly)
+{
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    db::Bytes buf;
+    ASSERT_TRUE(db.table(t.item).get(TpccDb::kItem(1), &buf));
+    auto item = fromBytes<ItemRow>(buf);
+    EXPECT_EQ(item.i_id, 1u);
+    EXPECT_GE(item.price, 1.0);
+    EXPECT_LE(item.price, 100.0);
+
+    ASSERT_TRUE(db.table(t.stock).get(TpccDb::kStock(1), &buf));
+    auto st = fromBytes<StockRow>(buf);
+    EXPECT_GE(st.quantity, 10);
+    EXPECT_LE(st.quantity, 100);
+
+    ASSERT_TRUE(
+        db.table(t.customer).get(TpccDb::kCustomer(1, 1), &buf));
+    auto c = fromBytes<CustomerRow>(buf);
+    EXPECT_EQ(c.c_id, 1u);
+    EXPECT_DOUBLE_EQ(c.balance, -10.0);
+    EXPECT_EQ(std::string(c.last, 9), "BARBARBAR");
+}
+
+TEST_F(DatagenFixture, UndeliveredOrdersHaveNoCarrier)
+{
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    db::Bytes buf;
+    ASSERT_TRUE(db.table(t.order).get(
+        TpccDb::kOrder(1, cfg.ordersPerDistrict), &buf));
+    auto o = fromBytes<OrderRow>(buf);
+    EXPECT_EQ(o.carrier_id, 0u);
+    ASSERT_TRUE(db.table(t.order).get(TpccDb::kOrder(1, 1), &buf));
+    auto first = fromBytes<OrderRow>(buf);
+    EXPECT_GE(first.carrier_id, 1u);
+}
+
+TEST_F(DatagenFixture, OrderLinesMatchOrderCounts)
+{
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    db::Bytes buf;
+    ASSERT_TRUE(db.table(t.order).get(TpccDb::kOrder(2, 5), &buf));
+    auto o = fromBytes<OrderRow>(buf);
+    for (std::uint32_t ol = 1; ol <= o.ol_cnt; ++ol)
+        EXPECT_TRUE(db.table(t.orderLine)
+                        .get(TpccDb::kOrderLine(2, 5, ol), &buf));
+    EXPECT_FALSE(db.table(t.orderLine)
+                     .get(TpccDb::kOrderLine(2, 5, o.ol_cnt + 1),
+                          &buf));
+}
+
+TEST_F(DatagenFixture, LoadIsDeterministic)
+{
+    Tracer tr2;
+    TpccDb other(cfg, db::DbConfig{}, tr2);
+    other.load(7);
+    EXPECT_EQ(other.orderCount(), tdb.orderCount());
+    EXPECT_EQ(other.newOrderCount(), tdb.newOrderCount());
+    EXPECT_DOUBLE_EQ(other.customerBalance(1, 5),
+                     tdb.customerBalance(1, 5));
+}
+
+TEST_F(DatagenFixture, BTreeInvariantsAfterLoad)
+{
+    auto &db = tdb.database();
+    for (std::size_t t = 0; t < db.tableCount(); ++t)
+        EXPECT_NO_FATAL_FAILURE(
+            db.table(static_cast<db::TableId>(t)).checkInvariants());
+}
+
+} // namespace
+} // namespace tpcc
+} // namespace tlsim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpcc/input.h"
+
+namespace tlsim {
+namespace tpcc {
+namespace {
+
+TEST(NuRand, StaysInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = nuRand(rng, 8191, kColIId, 1, 100000);
+        EXPECT_GE(v, 1u);
+        EXPECT_LE(v, 100000u);
+    }
+}
+
+TEST(NuRand, IsNonUniform)
+{
+    // NURand concentrates mass; the most popular decile should get
+    // noticeably more than 10% of draws.
+    Rng rng(5);
+    std::vector<unsigned> decile(10, 0);
+    for (int i = 0; i < 20000; ++i) {
+        auto v = nuRand(rng, 1023, kCId, 1, 3000);
+        ++decile[(v - 1) * 10 / 3000];
+    }
+    unsigned max_d = *std::max_element(decile.begin(), decile.end());
+    EXPECT_GT(max_d, 20000u / 10 * 13 / 10);
+}
+
+TEST(LastName, MatchesSyllableTable)
+{
+    EXPECT_EQ(lastName(0), "BARBARBAR");
+    EXPECT_EQ(lastName(1), "BARBAROUGHT");
+    EXPECT_EQ(lastName(371), "PRICALLYOUGHT");
+    EXPECT_EQ(lastName(999), "EINGEINGEING");
+}
+
+TEST(InputGen, DeterministicForSameSeed)
+{
+    TpccConfig cfg;
+    InputGen a(cfg, 99), b(cfg, 99);
+    for (int i = 0; i < 20; ++i) {
+        NewOrderInput x = a.newOrder(false);
+        NewOrderInput y = b.newOrder(false);
+        ASSERT_EQ(x.d_id, y.d_id);
+        ASSERT_EQ(x.c_id, y.c_id);
+        ASSERT_EQ(x.lines.size(), y.lines.size());
+        for (std::size_t j = 0; j < x.lines.size(); ++j)
+            ASSERT_EQ(x.lines[j].i_id, y.lines[j].i_id);
+    }
+}
+
+TEST(InputGen, NewOrderLineCounts)
+{
+    TpccConfig cfg;
+    InputGen g(cfg, 1);
+    for (int i = 0; i < 200; ++i) {
+        auto in = g.newOrder(false);
+        EXPECT_GE(in.lines.size(), 5u);
+        EXPECT_LE(in.lines.size(), 15u);
+        EXPECT_GE(in.d_id, 1u);
+        EXPECT_LE(in.d_id, cfg.districts);
+        for (const auto &l : in.lines) {
+            EXPECT_GE(l.quantity, 1u);
+            EXPECT_LE(l.quantity, 10u);
+            EXPECT_LE(l.i_id, cfg.items);
+        }
+    }
+}
+
+TEST(InputGen, NewOrder150HasLargeOrders)
+{
+    TpccConfig cfg;
+    InputGen g(cfg, 1);
+    for (int i = 0; i < 50; ++i) {
+        auto in = g.newOrder(true);
+        EXPECT_GE(in.lines.size(), 50u);
+        EXPECT_LE(in.lines.size(), 150u);
+    }
+}
+
+TEST(InputGen, RollbackRateRoughlyOnePercent)
+{
+    TpccConfig cfg;
+    InputGen g(cfg, 123);
+    int rollbacks = 0;
+    for (int i = 0; i < 5000; ++i)
+        rollbacks += g.newOrder(false).rollback;
+    EXPECT_GT(rollbacks, 10);
+    EXPECT_LT(rollbacks, 120);
+}
+
+TEST(InputGen, PaymentByNameShare)
+{
+    TpccConfig cfg;
+    InputGen g(cfg, 77);
+    int by_name = 0;
+    for (int i = 0; i < 2000; ++i)
+        by_name += g.payment().byName;
+    EXPECT_NEAR(by_name / 2000.0, 0.60, 0.05);
+}
+
+TEST(InputGen, StockLevelThresholdRange)
+{
+    TpccConfig cfg;
+    InputGen g(cfg, 3);
+    for (int i = 0; i < 100; ++i) {
+        auto in = g.stockLevel(4);
+        EXPECT_EQ(in.d_id, 4u);
+        EXPECT_GE(in.threshold, 10u);
+        EXPECT_LE(in.threshold, 20u);
+    }
+}
+
+TEST(InputGen, SmallScaleLastNamesAreFindable)
+{
+    TpccConfig cfg = TpccConfig::tiny();
+    Rng rng(1);
+    std::set<std::string> names;
+    for (unsigned c = 1; c <= std::min(cfg.customersPerDistrict, 1000u);
+         ++c)
+        names.insert(lastName(c - 1));
+    for (int i = 0; i < 500; ++i)
+        EXPECT_TRUE(names.count(
+            randomLastName(rng, cfg.customersPerDistrict)));
+}
+
+} // namespace
+} // namespace tpcc
+} // namespace tlsim

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Value-level semantics of the TPC-C transaction implementations:
+ * the spec's arithmetic rules (stock decrement wrap, amount formula,
+ * payment credit handling) and edge-case behaviour (delivery of an
+ * empty district, repeated deliveries draining the queue).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpcc/tpcc.h"
+
+namespace tlsim {
+namespace tpcc {
+namespace {
+
+struct SemanticsFixture : public ::testing::Test
+{
+    SemanticsFixture()
+        : cfg(TpccConfig::tiny()), tdb(cfg, db::DbConfig{}, tracer)
+    {
+        tdb.load(7);
+    }
+
+    StockRow
+    stock(std::uint32_t i)
+    {
+        db::Bytes buf;
+        if (!tdb.database().table(tdb.tables().stock).get(
+                TpccDb::kStock(i), &buf))
+            panic("stock %u missing", i);
+        return fromBytes<StockRow>(buf);
+    }
+
+    /** Run NEW ORDER with a generator seeded to avoid rollback. */
+    NewOrderInput
+    runNonRollbackNewOrder(std::uint64_t base_seed)
+    {
+        for (std::uint64_t seed = base_seed;; ++seed) {
+            InputGen probe(cfg, seed);
+            NewOrderInput in = probe.newOrder(false);
+            if (in.rollback)
+                continue;
+            InputGen gen(cfg, seed);
+            tdb.runTransaction(TxnType::NewOrder, gen);
+            return in;
+        }
+    }
+
+    TpccConfig cfg;
+    Tracer tracer;
+    TpccDb tdb;
+};
+
+TEST_F(SemanticsFixture, StockDecrementFollowsTheSpecRule)
+{
+    NewOrderInput in = runNonRollbackNewOrder(500);
+
+    // Recompute the expected quantities from the pre-load state: the
+    // same seed reproduces the initial stock via a parallel database.
+    Tracer tr2;
+    TpccDb fresh(cfg, db::DbConfig{}, tr2);
+    fresh.load(7);
+
+    for (const auto &line : in.lines) {
+        db::Bytes buf;
+        ASSERT_TRUE(fresh.database().table(fresh.tables().stock).get(
+            TpccDb::kStock(line.i_id), &buf));
+        auto before = fromBytes<StockRow>(buf);
+        // Apply the clause 2.4.2.2 rule (accumulate duplicates).
+        // (Walk every line with this item in order.)
+        std::int32_t q = before.quantity;
+        for (const auto &l2 : in.lines) {
+            if (l2.i_id != line.i_id)
+                continue;
+            if (q >= static_cast<std::int32_t>(l2.quantity) + 10)
+                q -= static_cast<std::int32_t>(l2.quantity);
+            else
+                q += 91 - static_cast<std::int32_t>(l2.quantity);
+        }
+        EXPECT_EQ(stock(line.i_id).quantity, q) << "item " << line.i_id;
+        EXPECT_GE(stock(line.i_id).quantity, 10);
+    }
+}
+
+TEST_F(SemanticsFixture, OrderLineAmountUsesTaxesAndDiscount)
+{
+    NewOrderInput in = runNonRollbackNewOrder(500);
+
+    db::Bytes buf;
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    ASSERT_TRUE(db.table(t.warehouse).get(TpccDb::kWarehouse(), &buf));
+    auto w = fromBytes<WarehouseRow>(buf);
+    ASSERT_TRUE(
+        db.table(t.district).get(TpccDb::kDistrict(in.d_id), &buf));
+    auto d = fromBytes<DistrictRow>(buf);
+    ASSERT_TRUE(db.table(t.customer).get(
+        TpccDb::kCustomer(in.d_id, in.c_id), &buf));
+    auto c = fromBytes<CustomerRow>(buf);
+
+    std::uint32_t o_id = tdb.districtNextOrderId(in.d_id) - 1;
+    for (std::size_t ol = 0; ol < in.lines.size(); ++ol) {
+        ASSERT_TRUE(db.table(t.orderLine).get(
+            TpccDb::kOrderLine(in.d_id, o_id,
+                               static_cast<std::uint32_t>(ol + 1)),
+            &buf));
+        auto lr = fromBytes<OrderLineRow>(buf);
+        ASSERT_TRUE(
+            db.table(t.item).get(TpccDb::kItem(lr.i_id), &buf));
+        auto item = fromBytes<ItemRow>(buf);
+        double expected = in.lines[ol].quantity * item.price *
+                          (1.0 + w.tax + d.tax) * (1.0 - c.discount);
+        EXPECT_NEAR(lr.amount, expected, 1e-9);
+        EXPECT_EQ(lr.quantity, in.lines[ol].quantity);
+        EXPECT_EQ(lr.delivery_d, 0u);
+    }
+}
+
+TEST_F(SemanticsFixture, PaymentBadCreditCustomersGetDataUpdate)
+{
+    // Find a bad-credit customer and pay them by id.
+    std::uint32_t bad_c = 0;
+    db::Bytes buf;
+    for (std::uint32_t c = 1;
+         c <= cfg.customersPerDistrict && !bad_c; ++c) {
+        tdb.database().table(tdb.tables().customer)
+            .get(TpccDb::kCustomer(1, c), &buf);
+        if (fromBytes<CustomerRow>(buf).credit[0] == 'B')
+            bad_c = c;
+    }
+    ASSERT_NE(bad_c, 0u) << "tiny scale should have ~10% BC customers";
+
+    // Drive the transaction body directly through the dispatcher by
+    // searching for an input that hits this customer by id.
+    for (std::uint64_t seed = 900; seed < 900 + 500000; ++seed) {
+        InputGen probe(cfg, seed);
+        PaymentInput in = probe.payment();
+        if (in.byName || in.d_id != 1 || in.c_id != bad_c)
+            continue;
+        double balance_before = tdb.customerBalance(1, bad_c);
+        InputGen gen(cfg, seed);
+        tdb.runTransaction(TxnType::Payment, gen);
+        EXPECT_NEAR(tdb.customerBalance(1, bad_c),
+                    balance_before - in.amount, 1e-6);
+        tdb.database().table(tdb.tables().customer)
+            .get(TpccDb::kCustomer(1, bad_c), &buf);
+        auto c = fromBytes<CustomerRow>(buf);
+        // The C_DATA prefix was rewritten with the payment info.
+        EXPECT_NE(std::string(c.data, 40).find('|'),
+                  std::string::npos);
+        break;
+    }
+}
+
+TEST_F(SemanticsFixture, RepeatedDeliveriesDrainTheNewOrderQueue)
+{
+    InputGen gen(cfg, 42);
+    std::uint64_t pending = tdb.newOrderCount();
+    unsigned rounds = 0;
+    while (tdb.newOrderCount() > 0 && rounds < 200) {
+        tdb.runTransaction(TxnType::Delivery, gen);
+        ++rounds;
+    }
+    EXPECT_EQ(tdb.newOrderCount(), 0u);
+    EXPECT_EQ(rounds,
+              (pending + cfg.districts - 1) / cfg.districts);
+
+    // Delivering with nothing pending is a no-op (clause 2.7.4.2).
+    tdb.runTransaction(TxnType::Delivery, gen);
+    EXPECT_EQ(tdb.newOrderCount(), 0u);
+    tdb.checkConsistency();
+}
+
+TEST_F(SemanticsFixture, NewOrderRefillsWhatDeliveryDrains)
+{
+    InputGen gen(cfg, 42);
+    while (tdb.newOrderCount() > 0)
+        tdb.runTransaction(TxnType::Delivery, gen);
+    unsigned added = 0;
+    for (int i = 0; i < 30; ++i) {
+        std::uint64_t before = tdb.newOrderCount();
+        tdb.runTransaction(TxnType::NewOrder, gen);
+        added += tdb.newOrderCount() > before;
+    }
+    EXPECT_GE(added, 25u); // all but the ~1% rollbacks
+    tdb.runTransaction(TxnType::Delivery, gen);
+    tdb.checkConsistency();
+}
+
+TEST_F(SemanticsFixture, StockLevelMatchesBruteForceCount)
+{
+    InputGen gen(cfg, 42);
+    std::uint32_t d_id = 2;
+    InputGen peek(cfg, 42);
+    StockLevelInput in = peek.stockLevel(d_id);
+
+    // Brute-force reference over the same 20 orders.
+    auto &db = tdb.database();
+    const auto &t = tdb.tables();
+    db::Bytes buf;
+    std::uint32_t next = tdb.districtNextOrderId(d_id);
+    std::uint32_t lo = next > 20 ? next - 20 : 1;
+    std::set<std::uint32_t> low;
+    for (std::uint32_t o = lo; o < next; ++o) {
+        if (!db.table(t.order).get(TpccDb::kOrder(d_id, o), &buf))
+            continue;
+        auto orow = fromBytes<OrderRow>(buf);
+        for (std::uint32_t ol = 1; ol <= orow.ol_cnt; ++ol) {
+            ASSERT_TRUE(db.table(t.orderLine).get(
+                TpccDb::kOrderLine(d_id, o, ol), &buf));
+            auto lr = fromBytes<OrderLineRow>(buf);
+            ASSERT_TRUE(
+                db.table(t.stock).get(TpccDb::kStock(lr.i_id), &buf));
+            if (fromBytes<StockRow>(buf).quantity <
+                static_cast<std::int32_t>(in.threshold))
+                low.insert(lr.i_id);
+        }
+    }
+
+    tdb.runTransaction(TxnType::StockLevel, gen, d_id);
+    EXPECT_EQ(tdb.lastStockLevelResult(), low.size());
+}
+
+TEST_F(SemanticsFixture, OrderStatusFindsTheLatestOrder)
+{
+    // Create a fresh order for a known customer, then ORDER STATUS by
+    // id must see it as the latest.
+    NewOrderInput in = runNonRollbackNewOrder(500);
+    std::uint32_t latest = tdb.districtNextOrderId(in.d_id) - 1;
+
+    // Verify via the descending index directly.
+    auto cur = tdb.database().cursor(tdb.tables().orderCust);
+    db::Bytes lo = TpccDb::kOrderCust(in.d_id, in.c_id,
+                                      ~std::uint32_t{0});
+    ASSERT_TRUE(cur.seek(lo));
+    std::uint32_t found;
+    std::memcpy(&found, cur.value().data(), 4);
+    EXPECT_EQ(found, latest);
+}
+
+} // namespace
+} // namespace tpcc
+} // namespace tlsim

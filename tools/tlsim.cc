@@ -1,0 +1,314 @@
+/**
+ * @file
+ * tlsim — command-line driver for the sub-threads TLS simulator.
+ *
+ *   tlsim capture  --benchmark=NEW_ORDER --out=no.trace [options]
+ *   tlsim info     --trace=no.trace
+ *   tlsim replay   --trace=no.trace [machine options]
+ *   tlsim figure5  --benchmark=NEW_ORDER [options]
+ *   tlsim table2   [options]
+ *
+ * Common options:
+ *   --quick            reduced TPC-C scale
+ *   --txns=N           transactions to capture
+ *   --original         capture the untuned, unparallelized build
+ * Machine options (replay):
+ *   --mode=tls|serial|nospec   execution mode (default tls)
+ *   --subthreads=K --spacing=N --cpus=N --adaptive
+ *   --no-start-table --no-victim --lazy-updates
+ *   --warmup=N         transactions excluded from statistics
+ *   --profile          print the dependence profiler afterwards
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/log.h"
+#include "core/machine.h"
+#include "sim/experiment.h"
+#include "sim/report.h"
+#include "sim/traceio.h"
+#include "tpcc/tpcc.h"
+
+using namespace tlsim;
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> kv;
+    bool has(const std::string &k) const { return kv.count(k) > 0; }
+
+    std::string
+    str(const std::string &k, const std::string &dflt = "") const
+    {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : it->second;
+    }
+
+    std::uint64_t
+    num(const std::string &k, std::uint64_t dflt) const
+    {
+        auto it = kv.find(k);
+        return it == kv.end() ? dflt : std::stoull(it->second);
+    }
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    if (argc >= 2)
+        a.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string s = argv[i];
+        if (s.rfind("--", 0) != 0)
+            fatal("unexpected argument '%s'", s.c_str());
+        s = s.substr(2);
+        auto eq = s.find('=');
+        if (eq == std::string::npos)
+            a.kv[s] = "1";
+        else
+            a.kv[s.substr(0, eq)] = s.substr(eq + 1);
+    }
+    return a;
+}
+
+tpcc::TxnType
+benchmarkByName(const std::string &name)
+{
+    static const std::map<std::string, tpcc::TxnType> names = {
+        {"NEW_ORDER", tpcc::TxnType::NewOrder},
+        {"NEW_ORDER_150", tpcc::TxnType::NewOrder150},
+        {"DELIVERY", tpcc::TxnType::Delivery},
+        {"DELIVERY_OUTER", tpcc::TxnType::DeliveryOuter},
+        {"STOCK_LEVEL", tpcc::TxnType::StockLevel},
+        {"PAYMENT", tpcc::TxnType::Payment},
+        {"ORDER_STATUS", tpcc::TxnType::OrderStatus},
+    };
+    auto it = names.find(name);
+    if (it == names.end()) {
+        std::string known;
+        for (const auto &[n, t] : names)
+            known += n + " ";
+        fatal("unknown benchmark '%s' (known: %s)", name.c_str(),
+              known.c_str());
+    }
+    return it->second;
+}
+
+sim::ExperimentConfig
+experimentConfig(const Args &a)
+{
+    sim::ExperimentConfig cfg;
+    if (a.has("quick")) {
+        cfg.scale = tpcc::TpccConfig::tiny();
+        cfg.scale.items = 2000;
+        cfg.scale.customersPerDistrict = 150;
+        cfg.scale.ordersPerDistrict = 150;
+        cfg.scale.firstNewOrder = 76;
+        cfg.txns = 8;
+    }
+    cfg.txns = static_cast<unsigned>(a.num("txns", cfg.txns));
+    cfg.warmupTxns = static_cast<unsigned>(
+        a.num("warmup", std::min(2u, cfg.txns / 2)));
+    return cfg;
+}
+
+MachineConfig
+machineConfig(const Args &a)
+{
+    MachineConfig mc;
+    mc.tls.subthreadsPerThread = static_cast<unsigned>(
+        a.num("subthreads", mc.tls.subthreadsPerThread));
+    mc.tls.subthreadSpacing =
+        a.num("spacing", mc.tls.subthreadSpacing);
+    mc.tls.numCpus =
+        static_cast<unsigned>(a.num("cpus", mc.tls.numCpus));
+    mc.tls.adaptiveSpacing = a.has("adaptive");
+    if (a.has("no-start-table"))
+        mc.tls.useStartTable = false;
+    if (a.has("no-victim"))
+        mc.tls.useVictimCache = false;
+    if (a.has("lazy-updates"))
+        mc.tls.aggressiveUpdates = false;
+    return mc;
+}
+
+ExecMode
+modeByName(const std::string &m)
+{
+    if (m == "tls")
+        return ExecMode::Tls;
+    if (m == "serial")
+        return ExecMode::Serial;
+    if (m == "nospec")
+        return ExecMode::NoSpeculation;
+    fatal("unknown mode '%s' (tls|serial|nospec)", m.c_str());
+}
+
+void
+printRun(const RunResult &r)
+{
+    std::printf("makespan           %llu cycles\n",
+                static_cast<unsigned long long>(r.makespan));
+    std::printf("transactions       %llu (%.0f cycles each)\n",
+                static_cast<unsigned long long>(r.txns),
+                r.txns ? static_cast<double>(r.makespan) /
+                             static_cast<double>(r.txns)
+                       : 0.0);
+    std::printf("epochs committed   %llu\n",
+                static_cast<unsigned long long>(r.epochs));
+    std::printf("violations         %llu primary, %llu secondary\n",
+                static_cast<unsigned long long>(r.primaryViolations),
+                static_cast<unsigned long long>(r.secondaryViolations));
+    std::printf("squashes           %llu (%llu insts rewound)\n",
+                static_cast<unsigned long long>(r.squashes),
+                static_cast<unsigned long long>(r.rewoundInsts));
+    std::printf("sub-threads        %llu started\n",
+                static_cast<unsigned long long>(r.subthreadsStarted));
+    std::printf("latch waits        %llu; overflow events %llu\n",
+                static_cast<unsigned long long>(r.latchWaits),
+                static_cast<unsigned long long>(r.overflowEvents));
+    std::printf("breakdown          ");
+    for (unsigned c = 0; c < kNumCats; ++c) {
+        double frac = r.total.total()
+                          ? 100.0 * static_cast<double>(
+                                        r.total.cycles[c]) /
+                                static_cast<double>(r.total.total())
+                          : 0.0;
+        std::printf("%s %.1f%%  ", catName(static_cast<Cat>(c)), frac);
+    }
+    std::printf("\n");
+    std::printf("caches             L1 %.2f%% miss, L2 %.2f%% miss, "
+                "%llu victim hits\n",
+                r.l1Hits + r.l1Misses
+                    ? 100.0 * static_cast<double>(r.l1Misses) /
+                          static_cast<double>(r.l1Hits + r.l1Misses)
+                    : 0.0,
+                r.l2Hits + r.l2Misses
+                    ? 100.0 * static_cast<double>(r.l2Misses) /
+                          static_cast<double>(r.l2Hits + r.l2Misses)
+                    : 0.0,
+                static_cast<unsigned long long>(r.victimHits));
+    std::printf("branches           %llu (%.2f%% mispredicted)\n",
+                static_cast<unsigned long long>(r.branches),
+                r.branches ? 100.0 * static_cast<double>(
+                                         r.mispredicts) /
+                                 static_cast<double>(r.branches)
+                           : 0.0);
+}
+
+int
+cmdCapture(const Args &a)
+{
+    tpcc::TxnType type = benchmarkByName(a.str("benchmark"));
+    sim::ExperimentConfig cfg = experimentConfig(a);
+
+    tpcc::CaptureOptions opts;
+    opts.scale = cfg.scale;
+    opts.txns = cfg.txns;
+    opts.tlsBuild = !a.has("original");
+    opts.parallelMode = !a.has("original");
+    std::fprintf(stderr, "capturing %u %s transactions...\n",
+                 opts.txns, tpcc::txnTypeName(type));
+    WorkloadTrace w = tpcc::captureBenchmark(type, opts);
+
+    std::string out = a.str("out", "workload.trace");
+    sim::saveTraceFile(out, w);
+    std::printf("wrote %s (%zu transactions)\n", out.c_str(),
+                w.txns.size());
+    return 0;
+}
+
+int
+cmdInfo(const Args &a)
+{
+    WorkloadTrace w;
+    if (!sim::loadTraceFile(a.str("trace", "workload.trace"), &w))
+        fatal("not a tlsim trace file");
+    std::printf("transactions: %zu\n", w.txns.size());
+    for (std::size_t i = 0; i < w.txns.size(); ++i) {
+        const auto &t = w.txns[i];
+        std::printf("  txn %2zu: %llu insts, coverage %.0f%%, "
+                    "%llu epochs (%.1f per loop, %.0f insts each)\n",
+                    i,
+                    static_cast<unsigned long long>(t.totalInsts()),
+                    100.0 * t.coverage(),
+                    static_cast<unsigned long long>(t.epochCount()),
+                    t.epochsPerLoop(), t.meanEpochInsts());
+    }
+    return 0;
+}
+
+int
+cmdReplay(const Args &a)
+{
+    WorkloadTrace w;
+    if (!sim::loadTraceFile(a.str("trace", "workload.trace"), &w))
+        fatal("not a tlsim trace file");
+    MachineConfig mc = machineConfig(a);
+    ExecMode mode = modeByName(a.str("mode", "tls"));
+    unsigned warmup = static_cast<unsigned>(a.num("warmup", 0));
+
+    TlsMachine m(mc);
+    RunResult r = m.run(w, mode, warmup);
+    printRun(r);
+    if (a.has("profile"))
+        std::printf("\n%s", m.profiler().reportText(12).c_str());
+    if (a.has("stats"))
+        m.dumpStats(std::cout);
+    return 0;
+}
+
+int
+cmdFigure5(const Args &a)
+{
+    tpcc::TxnType type = benchmarkByName(a.str("benchmark"));
+    sim::ExperimentConfig cfg = experimentConfig(a);
+    cfg.machine = machineConfig(a);
+    sim::Figure5Row row = sim::runFigure5(type, cfg);
+    sim::printFigure5Row(std::cout, row);
+    return 0;
+}
+
+int
+cmdTable2(const Args &a)
+{
+    std::vector<sim::Table2Row> rows;
+    for (tpcc::TxnType type : tpcc::allBenchmarks()) {
+        std::fprintf(stderr, "capturing %s...\n",
+                     tpcc::txnTypeName(type));
+        rows.push_back(sim::table2Row(type, experimentConfig(a)));
+    }
+    sim::printTable2(std::cout, rows);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setInformEnabled(false);
+    Args a = parse(argc, argv);
+    if (a.command == "capture")
+        return cmdCapture(a);
+    if (a.command == "info")
+        return cmdInfo(a);
+    if (a.command == "replay")
+        return cmdReplay(a);
+    if (a.command == "figure5")
+        return cmdFigure5(a);
+    if (a.command == "table2")
+        return cmdTable2(a);
+    std::fprintf(stderr,
+                 "usage: tlsim <capture|info|replay|figure5|table2> "
+                 "[--key=value ...]\n");
+    return a.command.empty() ? 1 : (a.command == "help" ? 0 : 1);
+}
