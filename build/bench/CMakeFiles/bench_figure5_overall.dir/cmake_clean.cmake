@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure5_overall.dir/bench_figure5_overall.cpp.o"
+  "CMakeFiles/bench_figure5_overall.dir/bench_figure5_overall.cpp.o.d"
+  "bench_figure5_overall"
+  "bench_figure5_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure5_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure6_sweep.dir/bench_figure6_sweep.cpp.o"
+  "CMakeFiles/bench_figure6_sweep.dir/bench_figure6_sweep.cpp.o.d"
+  "bench_figure6_sweep"
+  "bench_figure6_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure6_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_tuning.dir/dependence_tuning.cpp.o"
+  "CMakeFiles/dependence_tuning.dir/dependence_tuning.cpp.o.d"
+  "dependence_tuning"
+  "dependence_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

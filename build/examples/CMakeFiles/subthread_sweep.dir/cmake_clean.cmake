@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subthread_sweep.dir/subthread_sweep.cpp.o"
+  "CMakeFiles/subthread_sweep.dir/subthread_sweep.cpp.o.d"
+  "subthread_sweep"
+  "subthread_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subthread_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_base.dir/config.cc.o"
+  "CMakeFiles/tlsim_base.dir/config.cc.o.d"
+  "CMakeFiles/tlsim_base.dir/log.cc.o"
+  "CMakeFiles/tlsim_base.dir/log.cc.o.d"
+  "CMakeFiles/tlsim_base.dir/stats.cc.o"
+  "CMakeFiles/tlsim_base.dir/stats.cc.o.d"
+  "libtlsim_base.a"
+  "libtlsim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_core.dir/machine.cc.o"
+  "CMakeFiles/tlsim_core.dir/machine.cc.o.d"
+  "CMakeFiles/tlsim_core.dir/profiler.cc.o"
+  "CMakeFiles/tlsim_core.dir/profiler.cc.o.d"
+  "CMakeFiles/tlsim_core.dir/specstate.cc.o"
+  "CMakeFiles/tlsim_core.dir/specstate.cc.o.d"
+  "libtlsim_core.a"
+  "libtlsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_core_trace.dir/site.cc.o"
+  "CMakeFiles/tlsim_core_trace.dir/site.cc.o.d"
+  "CMakeFiles/tlsim_core_trace.dir/trace.cc.o"
+  "CMakeFiles/tlsim_core_trace.dir/trace.cc.o.d"
+  "CMakeFiles/tlsim_core_trace.dir/tracer.cc.o"
+  "CMakeFiles/tlsim_core_trace.dir/tracer.cc.o.d"
+  "libtlsim_core_trace.a"
+  "libtlsim_core_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_core_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

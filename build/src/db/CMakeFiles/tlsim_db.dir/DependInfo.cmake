@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/btree.cc" "src/db/CMakeFiles/tlsim_db.dir/btree.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/btree.cc.o.d"
+  "/root/repo/src/db/bufferpool.cc" "src/db/CMakeFiles/tlsim_db.dir/bufferpool.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/bufferpool.cc.o.d"
+  "/root/repo/src/db/db.cc" "src/db/CMakeFiles/tlsim_db.dir/db.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/db.cc.o.d"
+  "/root/repo/src/db/lockmgr.cc" "src/db/CMakeFiles/tlsim_db.dir/lockmgr.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/lockmgr.cc.o.d"
+  "/root/repo/src/db/log.cc" "src/db/CMakeFiles/tlsim_db.dir/log.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/log.cc.o.d"
+  "/root/repo/src/db/page.cc" "src/db/CMakeFiles/tlsim_db.dir/page.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/page.cc.o.d"
+  "/root/repo/src/db/recovery.cc" "src/db/CMakeFiles/tlsim_db.dir/recovery.cc.o" "gcc" "src/db/CMakeFiles/tlsim_db.dir/recovery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_db.dir/btree.cc.o"
+  "CMakeFiles/tlsim_db.dir/btree.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/bufferpool.cc.o"
+  "CMakeFiles/tlsim_db.dir/bufferpool.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/db.cc.o"
+  "CMakeFiles/tlsim_db.dir/db.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/lockmgr.cc.o"
+  "CMakeFiles/tlsim_db.dir/lockmgr.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/log.cc.o"
+  "CMakeFiles/tlsim_db.dir/log.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/page.cc.o"
+  "CMakeFiles/tlsim_db.dir/page.cc.o.d"
+  "CMakeFiles/tlsim_db.dir/recovery.cc.o"
+  "CMakeFiles/tlsim_db.dir/recovery.cc.o.d"
+  "libtlsim_db.a"
+  "libtlsim_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/l1cache.cc" "src/mem/CMakeFiles/tlsim_mem.dir/l1cache.cc.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/l1cache.cc.o.d"
+  "/root/repo/src/mem/l2cache.cc" "src/mem/CMakeFiles/tlsim_mem.dir/l2cache.cc.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/l2cache.cc.o.d"
+  "/root/repo/src/mem/memsys.cc" "src/mem/CMakeFiles/tlsim_mem.dir/memsys.cc.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/memsys.cc.o.d"
+  "/root/repo/src/mem/victim.cc" "src/mem/CMakeFiles/tlsim_mem.dir/victim.cc.o" "gcc" "src/mem/CMakeFiles/tlsim_mem.dir/victim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cc" "src/sim/CMakeFiles/tlsim_sim.dir/experiment.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/experiment.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/tlsim_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/traceio.cc" "src/sim/CMakeFiles/tlsim_sim.dir/traceio.cc.o" "gcc" "src/sim/CMakeFiles/tlsim_sim.dir/traceio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/tlsim_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tlsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_sim.dir/experiment.cc.o"
+  "CMakeFiles/tlsim_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/report.cc.o"
+  "CMakeFiles/tlsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/tlsim_sim.dir/traceio.cc.o"
+  "CMakeFiles/tlsim_sim.dir/traceio.cc.o.d"
+  "libtlsim_sim.a"
+  "libtlsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcc/delivery.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/delivery.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/delivery.cc.o.d"
+  "/root/repo/src/tpcc/input.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/input.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/input.cc.o.d"
+  "/root/repo/src/tpcc/neworder.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/neworder.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/neworder.cc.o.d"
+  "/root/repo/src/tpcc/orderstatus.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/orderstatus.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/orderstatus.cc.o.d"
+  "/root/repo/src/tpcc/payment.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/payment.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/payment.cc.o.d"
+  "/root/repo/src/tpcc/stocklevel.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/stocklevel.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/stocklevel.cc.o.d"
+  "/root/repo/src/tpcc/tpcc.cc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/tpcc.cc.o" "gcc" "src/tpcc/CMakeFiles/tlsim_tpcc.dir/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/tlsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim_tpcc.dir/delivery.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/delivery.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/input.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/input.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/neworder.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/neworder.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/orderstatus.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/orderstatus.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/payment.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/payment.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/stocklevel.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/stocklevel.cc.o.d"
+  "CMakeFiles/tlsim_tpcc.dir/tpcc.cc.o"
+  "CMakeFiles/tlsim_tpcc.dir/tpcc.cc.o.d"
+  "libtlsim_tpcc.a"
+  "libtlsim_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

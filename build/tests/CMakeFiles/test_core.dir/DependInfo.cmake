@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/machine_ablation_test.cc" "tests/CMakeFiles/test_core.dir/core/machine_ablation_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/machine_ablation_test.cc.o.d"
+  "/root/repo/tests/core/machine_latch_test.cc" "tests/CMakeFiles/test_core.dir/core/machine_latch_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/machine_latch_test.cc.o.d"
+  "/root/repo/tests/core/machine_property_test.cc" "tests/CMakeFiles/test_core.dir/core/machine_property_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/machine_property_test.cc.o.d"
+  "/root/repo/tests/core/machine_test.cc" "tests/CMakeFiles/test_core.dir/core/machine_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/machine_test.cc.o.d"
+  "/root/repo/tests/core/profiler_test.cc" "tests/CMakeFiles/test_core.dir/core/profiler_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/profiler_test.cc.o.d"
+  "/root/repo/tests/core/site_test.cc" "tests/CMakeFiles/test_core.dir/core/site_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/site_test.cc.o.d"
+  "/root/repo/tests/core/specstate_test.cc" "tests/CMakeFiles/test_core.dir/core/specstate_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/specstate_test.cc.o.d"
+  "/root/repo/tests/core/tracer_chunk_test.cc" "tests/CMakeFiles/test_core.dir/core/tracer_chunk_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tracer_chunk_test.cc.o.d"
+  "/root/repo/tests/core/tracer_test.cc" "tests/CMakeFiles/test_core.dir/core/tracer_test.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tracer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/tlsim_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tlsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

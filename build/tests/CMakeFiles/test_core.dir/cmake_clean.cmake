@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/machine_ablation_test.cc.o"
+  "CMakeFiles/test_core.dir/core/machine_ablation_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/machine_latch_test.cc.o"
+  "CMakeFiles/test_core.dir/core/machine_latch_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/machine_property_test.cc.o"
+  "CMakeFiles/test_core.dir/core/machine_property_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/machine_test.cc.o"
+  "CMakeFiles/test_core.dir/core/machine_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/profiler_test.cc.o"
+  "CMakeFiles/test_core.dir/core/profiler_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/site_test.cc.o"
+  "CMakeFiles/test_core.dir/core/site_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/specstate_test.cc.o"
+  "CMakeFiles/test_core.dir/core/specstate_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/tracer_chunk_test.cc.o"
+  "CMakeFiles/test_core.dir/core/tracer_chunk_test.cc.o.d"
+  "CMakeFiles/test_core.dir/core/tracer_test.cc.o"
+  "CMakeFiles/test_core.dir/core/tracer_test.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_db.dir/db/btree_param_test.cc.o"
+  "CMakeFiles/test_db.dir/db/btree_param_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/btree_test.cc.o"
+  "CMakeFiles/test_db.dir/db/btree_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/bufferpool_test.cc.o"
+  "CMakeFiles/test_db.dir/db/bufferpool_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/db_test.cc.o"
+  "CMakeFiles/test_db.dir/db/db_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/keys_test.cc.o"
+  "CMakeFiles/test_db.dir/db/keys_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/page_test.cc.o"
+  "CMakeFiles/test_db.dir/db/page_test.cc.o.d"
+  "CMakeFiles/test_db.dir/db/recovery_test.cc.o"
+  "CMakeFiles/test_db.dir/db/recovery_test.cc.o.d"
+  "test_db"
+  "test_db.pdb"
+  "test_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

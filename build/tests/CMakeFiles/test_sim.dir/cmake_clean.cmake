@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/allbench_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/allbench_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/experiment_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/experiment_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/report_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/report_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/traceio_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/traceio_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpcc.dir/tpcc/capture_test.cc.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/capture_test.cc.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/datagen_test.cc.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/datagen_test.cc.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/input_test.cc.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/input_test.cc.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/semantics_test.cc.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/semantics_test.cc.o.d"
+  "CMakeFiles/test_tpcc.dir/tpcc/txn_test.cc.o"
+  "CMakeFiles/test_tpcc.dir/tpcc/txn_test.cc.o.d"
+  "test_tpcc"
+  "test_tpcc.pdb"
+  "test_tpcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/tlsim.cc" "tools/CMakeFiles/tlsim.dir/tlsim.cc.o" "gcc" "tools/CMakeFiles/tlsim.dir/tlsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tlsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/tlsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/tlsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/tlsim_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tlsim_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tlsim_core_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/tlsim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlsim.dir/tlsim.cc.o"
+  "CMakeFiles/tlsim.dir/tlsim.cc.o.d"
+  "tlsim"
+  "tlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
