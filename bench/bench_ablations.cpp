@@ -15,9 +15,14 @@
  *  - CPU scaling — the paper's CMP is 4-way; the mechanism is not
  *    limited to it;
  *  - violation delivery latency sensitivity.
+ *
+ * Every machine run is registered as a job up front and fanned out
+ * across --jobs workers; sections print in order afterwards, so the
+ * report is bit-identical for any job count.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "base/log.h"
 #include "bench/benchutil.h"
@@ -27,12 +32,14 @@ using namespace tlsim;
 
 namespace {
 
+bench::BenchReport *g_report = nullptr;
+
 void
-line(const char *label, const RunResult &r, Cycle seq)
+line(const std::string &label, const RunResult &r, Cycle seq)
 {
     std::printf("  %-38s speedup %5.2f  violations %5llu  failed "
                 "%9llu  overflow %llu\n",
-                label,
+                label.c_str(),
                 r.makespan ? static_cast<double>(seq) /
                                  static_cast<double>(r.makespan)
                            : 0.0,
@@ -40,6 +47,22 @@ line(const char *label, const RunResult &r, Cycle seq)
                                                 r.secondaryViolations),
                 static_cast<unsigned long long>(r.total[Cat::Failed]),
                 static_cast<unsigned long long>(r.overflowEvents));
+    if (g_report) {
+        g_report->addSimulatedCycles(static_cast<double>(r.makespan));
+        g_report->add(
+            label,
+            {{"makespan", static_cast<double>(r.makespan)},
+             {"speedup", r.makespan
+                             ? static_cast<double>(seq) /
+                                   static_cast<double>(r.makespan)
+                             : 0.0},
+             {"violations",
+              static_cast<double>(r.primaryViolations +
+                                  r.secondaryViolations)},
+             {"failed_cycles",
+              static_cast<double>(r.total[Cat::Failed])},
+             {"overflows", static_cast<double>(r.overflowEvents)}});
+    }
 }
 
 } // namespace
@@ -49,79 +72,142 @@ main(int argc, char **argv)
 {
     bench::BenchArgs args = bench::parseArgs(argc, argv);
     setInformEnabled(false);
+    sim::SimExecutor ex = bench::makeExecutor(args);
+    bench::BenchReport report("bench_ablations", args, ex.jobs());
+    g_report = &report;
 
     sim::ExperimentConfig cfg =
         bench::configFor(tpcc::TxnType::NewOrder, args);
     std::fprintf(stderr, "capturing NEW ORDER...\n");
-    sim::BenchmarkTraces traces =
-        sim::captureTraces(tpcc::TxnType::NewOrder, cfg);
-    Cycle seq = sim::runBar(sim::Bar::Sequential, traces, cfg).makespan;
+    sim::SharedTraces traces =
+        bench::capture(tpcc::TxnType::NewOrder, cfg, args);
 
-    auto run = [&](MachineConfig mc) {
-        TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
+    // The Section 1 narrative also needs a naively-parallelized
+    // capture of the *untuned* database (never cached: it is specific
+    // to this ablation). Captures stay serial and up front.
+    tpcc::CaptureOptions uopts;
+    uopts.scale = cfg.scale;
+    uopts.txns = cfg.txns;
+    uopts.tlsBuild = false;
+    uopts.parallelMode = true; // naive parallelization attempt
+    WorkloadTrace untuned =
+        tpcc::captureBenchmark(tpcc::TxnType::NewOrder, uopts);
+
+    // ----- job registration (results land by index) -------------------
+    struct Job
+    {
+        const WorkloadTrace *w;
+        MachineConfig mc;
+        ExecMode mode;
+    };
+    std::vector<Job> jobs;
+    auto add = [&](const WorkloadTrace &w, MachineConfig mc,
+                   ExecMode mode = ExecMode::Tls) {
+        jobs.push_back({&w, mc, mode});
+        return jobs.size() - 1;
+    };
+    auto tls = [&](MachineConfig mc) {
+        return add(traces->tls, mc);
     };
 
-    std::printf("=== Ablation: update propagation (Section 2.1) ===\n");
-    {
-        MachineConfig lazy = cfg.machine;
-        lazy.tls.aggressiveUpdates = false;
-        line("aggressive (write-through, baseline)", run(cfg.machine),
-             seq);
-        line("lazy (checks deferred to commit)", run(lazy), seq);
+    std::size_t j_seq = add(traces->original, cfg.machine,
+                            ExecMode::Serial);
+
+    std::size_t j_aggr = tls(cfg.machine);
+    MachineConfig lazy_mc = cfg.machine;
+    lazy_mc.tls.aggressiveUpdates = false;
+    std::size_t j_lazy = tls(lazy_mc);
+
+    MachineConfig aware_mc = cfg.machine;
+    aware_mc.tls.l1SubthreadAware = true;
+    std::size_t j_unaware = tls(cfg.machine);
+    std::size_t j_aware = tls(aware_mc);
+
+    const unsigned victim_sizes[] = {0, 4, 16, 64, 256};
+    std::size_t j_victim[5];
+    for (std::size_t i = 0; i < 5; ++i) {
+        MachineConfig mc = cfg.machine;
+        mc.mem.victimEntries = victim_sizes[i];
+        mc.tls.useVictimCache = victim_sizes[i] > 0;
+        j_victim[i] = tls(mc);
     }
+
+    const unsigned cpu_counts[] = {2, 4, 8};
+    std::size_t j_cpu_seq[3], j_cpu_tls[3];
+    for (std::size_t i = 0; i < 3; ++i) {
+        MachineConfig mc = cfg.machine;
+        mc.tls.numCpus = cpu_counts[i];
+        // Sequential reference uses the same idle-CPU accounting.
+        j_cpu_seq[i] = add(traces->original, mc, ExecMode::Serial);
+        j_cpu_tls[i] = tls(mc);
+    }
+
+    const unsigned latencies[] = {0, 10, 50, 200};
+    std::size_t j_lat[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        MachineConfig mc = cfg.machine;
+        mc.tls.violationDeliveryLatency = latencies[i];
+        j_lat[i] = tls(mc);
+    }
+
+    MachineConfig pred_mc = cfg.machine;
+    pred_mc.tls.useDependencePredictor = true;
+    std::size_t j_nopred = tls(cfg.machine);
+    std::size_t j_pred = tls(pred_mc);
+
+    // Software tuning x sub-thread support (2x2 matrix).
+    std::size_t j_matrix[2][2];
+    for (int tuned = 0; tuned < 2; ++tuned) {
+        const WorkloadTrace &w = tuned ? traces->tls : untuned;
+        for (int sub = 0; sub < 2; ++sub) {
+            MachineConfig mc = cfg.machine;
+            mc.tls.subthreadsPerThread = sub ? 8 : 1;
+            j_matrix[tuned][sub] = add(w, mc);
+        }
+    }
+
+    // ----- parallel execution ----------------------------------------
+    std::vector<RunResult> res(jobs.size());
+    ex.parallelFor(jobs.size(), [&](std::size_t i) {
+        TlsMachine m(jobs[i].mc);
+        res[i] = m.run(*jobs[i].w, jobs[i].mode, cfg.warmupTxns);
+    });
+
+    Cycle seq = res[j_seq].makespan;
+
+    // ----- report (original section order) ---------------------------
+    std::printf("=== Ablation: update propagation (Section 2.1) ===\n");
+    line("aggressive (write-through, baseline)", res[j_aggr], seq);
+    line("lazy (checks deferred to commit)", res[j_lazy], seq);
 
     std::printf("\n=== Ablation: L1 sub-thread awareness (Section 2.2) "
                 "===\n");
-    {
-        MachineConfig aware = cfg.machine;
-        aware.tls.l1SubthreadAware = true;
-        line("L1 unaware (flush on violation)", run(cfg.machine), seq);
-        line("L1 sub-thread aware (best case)", run(aware), seq);
-    }
+    line("L1 unaware (flush on violation)", res[j_unaware], seq);
+    line("L1 sub-thread aware (best case)", res[j_aware], seq);
 
     std::printf("\n=== Ablation: victim cache size ===\n");
-    for (unsigned entries : {0u, 4u, 16u, 64u, 256u}) {
-        MachineConfig mc = cfg.machine;
-        mc.mem.victimEntries = entries;
-        mc.tls.useVictimCache = entries > 0;
-        line(strfmt("%u entries", entries).c_str(), run(mc), seq);
-    }
+    for (std::size_t i = 0; i < 5; ++i)
+        line(strfmt("%u entries", victim_sizes[i]), res[j_victim[i]],
+             seq);
 
     std::printf("\n=== Ablation: CPU count ===\n");
-    for (unsigned cpus : {2u, 4u, 8u}) {
-        MachineConfig mc = cfg.machine;
-        mc.tls.numCpus = cpus;
-        // Sequential reference uses the same idle-CPU accounting.
-        TlsMachine m(mc);
-        RunResult s = m.run(traces.original, ExecMode::Serial,
-                            cfg.warmupTxns);
-        RunResult t = m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
-        line(strfmt("%u CPUs", cpus).c_str(), t, s.makespan);
-    }
+    for (std::size_t i = 0; i < 3; ++i)
+        line(strfmt("%u CPUs", cpu_counts[i]), res[j_cpu_tls[i]],
+             res[j_cpu_seq[i]].makespan);
 
     std::printf("\n=== Ablation: violation delivery latency ===\n");
-    for (unsigned lat : {0u, 10u, 50u, 200u}) {
-        MachineConfig mc = cfg.machine;
-        mc.tls.violationDeliveryLatency = lat;
-        line(strfmt("%u cycles", lat).c_str(), run(mc), seq);
-    }
+    for (std::size_t i = 0; i < 4; ++i)
+        line(strfmt("%u cycles", latencies[i]), res[j_lat[i]], seq);
 
     std::printf("\n=== Ablation: PC-indexed dependence predictor "
                 "(Section 1.2) ===\n");
-    {
-        MachineConfig pred = cfg.machine;
-        pred.tls.useDependencePredictor = true;
-        RunResult rs = run(cfg.machine);
-        RunResult rp = run(pred);
-        line("sub-threads (no predictor)", rs, seq);
-        line("predictor synchronizes hot PCs", rp, seq);
-        std::printf("  (predictor stalled %llu loads: only some "
-                    "dynamic instances of a load PC are truly "
-                    "dependent, so it over-synchronizes)\n",
-                    static_cast<unsigned long long>(
-                        rp.predictorStalls));
-    }
+    line("sub-threads (no predictor)", res[j_nopred], seq);
+    line("predictor synchronizes hot PCs", res[j_pred], seq);
+    std::printf("  (predictor stalled %llu loads: only some "
+                "dynamic instances of a load PC are truly "
+                "dependent, so it over-synchronizes)\n",
+                static_cast<unsigned long long>(
+                    res[j_pred].predictorStalls));
 
     // The paper's Section 1 narrative as a 2x2 matrix: the untuned
     // database sees "no speedup on a conventional all-or-nothing TLS
@@ -129,28 +215,11 @@ main(int argc, char **argv)
     // full gain.
     std::printf("\n=== Software tuning x sub-thread support "
                 "(Section 1) ===\n");
-    {
-        tpcc::CaptureOptions uopts;
-        uopts.scale = cfg.scale;
-        uopts.txns = cfg.txns;
-        uopts.tlsBuild = false;
-        uopts.parallelMode = true; // naive parallelization attempt
-        WorkloadTrace untuned =
-            tpcc::captureBenchmark(tpcc::TxnType::NewOrder, uopts);
+    for (int tuned = 0; tuned < 2; ++tuned)
+        for (int sub = 0; sub < 2; ++sub)
+            line(strfmt("%s DB, %s", tuned ? "tuned" : "untuned",
+                        sub ? "8 sub-threads" : "all-or-nothing"),
+                 res[j_matrix[tuned][sub]], seq);
 
-        for (bool tuned : {false, true}) {
-            const WorkloadTrace &w = tuned ? traces.tls : untuned;
-            for (unsigned k : {1u, 8u}) {
-                MachineConfig mc = cfg.machine;
-                mc.tls.subthreadsPerThread = k;
-                TlsMachine m(mc);
-                RunResult r = m.run(w, ExecMode::Tls, cfg.warmupTxns);
-                line(strfmt("%s DB, %s", tuned ? "tuned" : "untuned",
-                            k == 1 ? "all-or-nothing" : "8 sub-threads")
-                         .c_str(),
-                     r, seq);
-            }
-        }
-    }
-    return 0;
+    return report.writeIfRequested(args) ? 0 : 1;
 }

@@ -11,6 +11,11 @@
  * density), very large sub-threads forfeit the benefit, and
  * DELIVERY OUTER shows the early-dependence re-timing effect that
  * small sub-threads unlock.
+ *
+ * All (benchmark x {sequential reference, sweep point}) simulation
+ * points fan out across --jobs workers after a serial capture phase;
+ * results fill index-assigned slots, so the report is bit-identical
+ * for any job count.
  */
 
 #include <cstdio>
@@ -27,42 +32,77 @@ main(int argc, char **argv)
 {
     bench::BenchArgs args = bench::parseArgs(argc, argv);
     setInformEnabled(false);
+    sim::SimExecutor ex = bench::makeExecutor(args);
+    bench::BenchReport report("bench_figure6_sweep", args, ex.jobs());
 
     const std::vector<unsigned> counts = {2, 4, 8};
     const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
                                                  10000, 25000, 50000};
 
-    const tpcc::TxnType sweep_benchmarks[] = {
+    const std::vector<tpcc::TxnType> sweep_benchmarks = {
         tpcc::TxnType::NewOrder, tpcc::TxnType::NewOrder150,
         tpcc::TxnType::Delivery, tpcc::TxnType::DeliveryOuter,
         tpcc::TxnType::StockLevel,
     };
 
+    // Serial capture phase.
+    std::vector<sim::ExperimentConfig> cfgs;
+    std::vector<sim::SharedTraces> traces;
     for (tpcc::TxnType type : sweep_benchmarks) {
-        std::fprintf(stderr, "sweeping %s...\n",
+        std::fprintf(stderr, "capturing %s...\n",
                      tpcc::txnTypeName(type));
-        sim::ExperimentConfig cfg = bench::configFor(type, args);
-
-        // The SEQUENTIAL reference for normalization.
-        sim::BenchmarkTraces traces = sim::captureTraces(type, cfg);
-        RunResult seq =
-            sim::runBar(sim::Bar::Sequential, traces, cfg);
-
-        std::vector<sim::SweepPoint> points;
-        for (unsigned k : counts) {
-            for (std::uint64_t s : spacings) {
-                MachineConfig mc = cfg.machine;
-                mc.tls.subthreadsPerThread = k;
-                mc.tls.subthreadSpacing = s;
-                TlsMachine m(mc);
-                points.push_back(
-                    {k, s,
-                     m.run(traces.tls, ExecMode::Tls,
-                           cfg.warmupTxns)});
-            }
-        }
-        sim::printFigure6(std::cout, tpcc::txnTypeName(type), points,
-                          seq.makespan);
+        cfgs.push_back(bench::configFor(type, args));
+        traces.push_back(bench::capture(type, cfgs.back(), args));
     }
-    return 0;
+
+    // Parallel phase: per benchmark, the SEQUENTIAL reference plus
+    // counts x spacings sweep points.
+    const std::size_t per_bench = 1 + counts.size() * spacings.size();
+    std::vector<RunResult> seqs(sweep_benchmarks.size());
+    std::vector<std::vector<sim::SweepPoint>> points(
+        sweep_benchmarks.size());
+    for (auto &p : points)
+        p.resize(counts.size() * spacings.size());
+
+    ex.parallelFor(sweep_benchmarks.size() * per_bench,
+                   [&](std::size_t i) {
+        std::size_t b = i / per_bench;
+        std::size_t j = i % per_bench;
+        if (j == 0) {
+            seqs[b] = sim::runBar(sim::Bar::Sequential, *traces[b],
+                                  cfgs[b]);
+            return;
+        }
+        --j;
+        unsigned k = counts[j / spacings.size()];
+        std::uint64_t s = spacings[j % spacings.size()];
+        MachineConfig mc = cfgs[b].machine;
+        mc.tls.subthreadsPerThread = k;
+        mc.tls.subthreadSpacing = s;
+        TlsMachine m(mc);
+        points[b][j] = {k, s,
+                        m.run(traces[b]->tls, ExecMode::Tls,
+                              cfgs[b].warmupTxns)};
+    });
+
+    for (std::size_t b = 0; b < sweep_benchmarks.size(); ++b) {
+        const char *name = tpcc::txnTypeName(sweep_benchmarks[b]);
+        sim::printFigure6(std::cout, name, points[b],
+                          seqs[b].makespan);
+        report.addSimulatedCycles(
+            static_cast<double>(seqs[b].makespan));
+        report.add(std::string(name) + "/SEQUENTIAL",
+                   {{"makespan",
+                     static_cast<double>(seqs[b].makespan)}});
+        for (const auto &p : points[b]) {
+            report.addSimulatedCycles(
+                static_cast<double>(p.run.makespan));
+            report.add(
+                strfmt("%s/k%u/s%llu", name, p.subthreads,
+                       static_cast<unsigned long long>(p.spacing)),
+                {{"makespan", static_cast<double>(p.run.makespan)},
+                 {"speedup", p.run.speedupVs(seqs[b])}});
+        }
+    }
+    return report.writeIfRequested(args) ? 0 : 1;
 }

@@ -17,8 +17,11 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "base/log.h"
+#include "bench/benchutil.h"
 #include "core/machine.h"
 #include "core/site.h"
 #include "core/tracer.h"
@@ -26,6 +29,12 @@
 using namespace tlsim;
 
 namespace {
+
+// Micro-workloads replay in microseconds and share planted state, so
+// they run serially regardless of --jobs; the flag is still accepted
+// (and recorded in the JSON) for a uniform bench interface.
+bench::BenchReport *g_report = nullptr;
+std::string g_section;
 
 class MicroBuilder
 {
@@ -80,6 +89,18 @@ report(const char *label, const RunResult &r)
                 static_cast<unsigned long long>(r.rewoundInsts),
                 static_cast<unsigned long long>(r.primaryViolations +
                                                 r.secondaryViolations));
+    if (g_report) {
+        g_report->addSimulatedCycles(static_cast<double>(r.makespan));
+        g_report->add(
+            g_section + "/" + label,
+            {{"makespan", static_cast<double>(r.makespan)},
+             {"failed_cycles",
+              static_cast<double>(r.total[Cat::Failed])},
+             {"rewound_insts", static_cast<double>(r.rewoundInsts)},
+             {"violations",
+              static_cast<double>(r.primaryViolations +
+                                  r.secondaryViolations)}});
+    }
 }
 
 // --- Figure 1: rewind scope ------------------------------------------
@@ -89,6 +110,7 @@ figure1()
 {
     std::printf("=== Figure 1: sub-threads bound the rewind of a late "
                 "violation ===\n");
+    g_section = "figure1";
     MicroBuilder b;
     auto writer = [&b](Tracer &t) {
         t.compute(b.pc(), 60000);
@@ -142,6 +164,7 @@ figure2()
     auto q_only = b.loopTxn({writer, readerQOnly});
 
     for (unsigned k : {1u, 8u}) {
+        g_section = strfmt("figure2/k%u", k);
         TlsMachine m1(config(k, 5000));
         TlsMachine m2(config(k, 5000));
         RunResult r_both = m1.run(both, ExecMode::Tls);
@@ -167,6 +190,7 @@ figure4()
 {
     std::printf("=== Figure 4: start table makes secondary violations "
                 "selective ===\n");
+    g_section = "figure4";
     MicroBuilder b;
     auto writer = [&b](Tracer &t) {
         t.compute(b.pc(), 30000);
@@ -223,15 +247,22 @@ ablationVictim()
     TlsMachine m1(small), m2(no_victim);
     RunResult with_v = m1.run(w, ExecMode::Tls);
     RunResult without_v = m2.run(w, ExecMode::Tls);
-    std::printf("  %-34s overflows %llu, makespan %llu\n",
-                "with 64-entry victim cache",
-                static_cast<unsigned long long>(with_v.overflowEvents),
-                static_cast<unsigned long long>(with_v.makespan));
-    std::printf("  %-34s overflows %llu, makespan %llu\n",
-                "without victim cache",
-                static_cast<unsigned long long>(
-                    without_v.overflowEvents),
-                static_cast<unsigned long long>(without_v.makespan));
+    auto show = [](const char *label, const RunResult &r) {
+        std::printf("  %-34s overflows %llu, makespan %llu\n", label,
+                    static_cast<unsigned long long>(r.overflowEvents),
+                    static_cast<unsigned long long>(r.makespan));
+        if (g_report) {
+            g_report->addSimulatedCycles(
+                static_cast<double>(r.makespan));
+            g_report->add(
+                std::string("victim/") + label,
+                {{"makespan", static_cast<double>(r.makespan)},
+                 {"overflows",
+                  static_cast<double>(r.overflowEvents)}});
+        }
+    };
+    show("with 64-entry victim cache", with_v);
+    show("without victim cache", without_v);
     std::printf("\n");
 }
 
@@ -242,6 +273,7 @@ ablationAdaptive()
 {
     std::printf("=== Ablation: periodic vs adaptive sub-thread spacing "
                 "===\n");
+    g_section = "adaptive";
     MicroBuilder b;
     // A thread far larger than the fixed spacing covers: 8 contexts at
     // 5k instructions protect only the first 40k of a 155k-instruction
@@ -272,12 +304,16 @@ ablationAdaptive()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::BenchReport report("bench_mechanism_micro", args,
+                              /*resolved_jobs=*/1);
+    g_report = &report;
     figure1();
     figure2();
     figure4();
     ablationVictim();
     ablationAdaptive();
-    return 0;
+    return report.writeIfRequested(args) ? 0 : 1;
 }

@@ -8,9 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "base/rng.h"
+#include "bench/benchutil.h"
 #include "core/machine.h"
 #include "core/site.h"
 #include "core/tracer.h"
@@ -90,6 +95,101 @@ BM_SpecStateLoadStore(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpecStateLoadStore);
+
+/**
+ * The pre-flat-table SpecState (node-based unordered_map), preserved
+ * here so `--benchmark_filter=SpecState` reports the open-addressed
+ * table's win over the old layout on the identical access pattern.
+ */
+class BaselineSpecState
+{
+  public:
+    static constexpr unsigned kMaxContexts = 64;
+
+    bool
+    recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
+               std::uint32_t word_mask)
+    {
+        auto it = lines_.find(line);
+        if (it != lines_.end()) {
+            std::uint32_t own = 0;
+            std::uint64_t owners = it->second.smOwners & thread_mask;
+            while (owners) {
+                unsigned c =
+                    static_cast<unsigned>(__builtin_ctzll(owners));
+                owners &= owners - 1;
+                own |= it->second.sm[c];
+            }
+            if ((word_mask & ~own) == 0)
+                return false;
+        }
+        LineSpec &ls = lines_[line];
+        ls.sl |= std::uint64_t{1} << ctx;
+        return true;
+    }
+
+    void
+    recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
+    {
+        LineSpec &ls = lines_[line];
+        ls.sm[ctx] |= word_mask;
+        ls.smOwners |= std::uint64_t{1} << ctx;
+    }
+
+    std::uint64_t
+    slHolders(Addr line) const
+    {
+        auto it = lines_.find(line);
+        return it == lines_.end() ? 0 : it->second.sl;
+    }
+
+    void reset() { lines_.clear(); }
+
+  private:
+    struct LineSpec
+    {
+        std::uint64_t sl = 0;
+        std::uint64_t smOwners = 0;
+        std::array<std::uint32_t, kMaxContexts> sm{};
+    };
+
+    std::unordered_map<Addr, LineSpec> lines_;
+};
+
+void
+BM_SpecStateBaselineMap(benchmark::State &state)
+{
+    BaselineSpecState s;
+    Rng rng(4); // same stream as BM_SpecStateLoadStore
+    std::uint64_t mask = 0xFF;
+    unsigned i = 0;
+    for (auto _ : state) {
+        Addr line = static_cast<Addr>(rng.uniform(0, 4095));
+        if (i++ & 1)
+            s.recordStore(3, line, 0xF);
+        else
+            benchmark::DoNotOptimize(s.recordLoad(2, mask, line, 0x3));
+        if ((i & 0xFFF) == 0)
+            s.reset();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpecStateBaselineMap);
+
+/** Store-then-check on one line: the last-line cache's fast path. */
+void
+BM_SpecStateSameLineProbe(benchmark::State &state)
+{
+    SpecState s(32);
+    Addr line = 1234;
+    for (auto _ : state) {
+        s.recordStore(3, line, 0xF);
+        benchmark::DoNotOptimize(s.slHolders(line));
+        benchmark::DoNotOptimize(s.recordLoad(2, 0xFF, line, 0x3));
+    }
+    state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_SpecStateSameLineProbe);
 
 void
 BM_PageInsertRemove(benchmark::State &state)
@@ -182,6 +282,115 @@ BM_MachineReplay(benchmark::State &state)
 }
 BENCHMARK(BM_MachineReplay);
 
+/** Capture-side throughput: tracer append path (records/second). */
+void
+BM_TraceCapture(benchmark::State &state)
+{
+    static Pc pc = SiteRegistry::instance().intern("bench.capture");
+    std::vector<std::uint64_t> mem(4096);
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        Tracer::Options o;
+        o.parallelMode = true;
+        Tracer t(o);
+        t.txnBegin();
+        t.loopBegin();
+        for (int e = 0; e < 4; ++e) {
+            t.iterBegin();
+            for (int i = 0; i < 400; ++i) {
+                t.compute(pc, 40);
+                t.load(pc, &mem[512 * e + i % 256], 8);
+                t.store(pc, &mem[512 * e + 256 + i % 256], 8);
+            }
+        }
+        t.loopEnd();
+        t.txnEnd();
+        WorkloadTrace w = t.takeWorkload();
+        records = 0;
+        for (const auto &txn : w.txns)
+            for (const auto &sec : txn.sections)
+                for (const auto &e : sec.epochs)
+                    records += e.records.size();
+        benchmark::DoNotOptimize(records);
+    }
+    state.SetItemsProcessed(state.iterations() * records);
+}
+BENCHMARK(BM_TraceCapture);
+
+/**
+ * Reporter that tees per-benchmark results into the tlsim-bench-v1
+ * JSON report while still printing the normal console table.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CollectingReporter(tlsim::bench::BenchReport &report)
+        : report_(report)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            tlsim::bench::BenchReport::Fields fields = {
+                {"real_time_ns", run.GetAdjustedRealTime()},
+                {"iterations",
+                 static_cast<double>(run.iterations)},
+            };
+            auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                fields.emplace_back("items_per_second",
+                                    it->second.value);
+            report_.add(run.benchmark_name(), std::move(fields));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    tlsim::bench::BenchReport &report_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Split the command line: --benchmark_* flags go to google
+    // benchmark untouched; everything else must be a tlsim bench flag
+    // (unknown ones are fatal, as everywhere else).
+    std::vector<char *> ours{argv[0]};
+    std::vector<char *> gbench_args{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_", 0) == 0)
+            gbench_args.push_back(argv[i]);
+        else
+            ours.push_back(argv[i]);
+    }
+    tlsim::bench::BenchArgs args = tlsim::bench::parseArgs(
+        static_cast<int>(ours.size()), ours.data());
+
+    // --quick: cap measurement time so the full suite stays in CI
+    // budget. Explicit --benchmark_min_time on the command line comes
+    // later in argv and wins.
+    static char quick_flag[] = "--benchmark_min_time=0.05";
+    if (args.quick)
+        gbench_args.insert(gbench_args.begin() + 1, quick_flag);
+
+    int gargc = static_cast<int>(gbench_args.size());
+    benchmark::Initialize(&gargc, gbench_args.data());
+    if (benchmark::ReportUnrecognizedArguments(gargc,
+                                               gbench_args.data()))
+        return 2;
+
+    // Substrate microbenchmarks are single-threaded by construction;
+    // --jobs is accepted for interface uniformity and recorded as-is.
+    tlsim::bench::BenchReport report("bench_micro_components", args,
+                                     /*resolved_jobs=*/1);
+    CollectingReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return report.writeIfRequested(args) ? 0 : 1;
+}

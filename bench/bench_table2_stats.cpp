@@ -30,14 +30,35 @@ main(int argc, char **argv)
 {
     bench::BenchArgs args = bench::parseArgs(argc, argv);
     setInformEnabled(false);
+    sim::SimExecutor ex = bench::makeExecutor(args);
+    bench::BenchReport report("bench_table2_stats", args, ex.jobs());
 
-    std::vector<sim::Table2Row> rows;
-    for (tpcc::TxnType type : tpcc::allBenchmarks()) {
+    const auto &benches = tpcc::allBenchmarks();
+
+    std::vector<sim::ExperimentConfig> cfgs;
+    std::vector<sim::SharedTraces> traces;
+    for (tpcc::TxnType type : benches) {
         std::fprintf(stderr, "capturing %s...\n",
                      tpcc::txnTypeName(type));
-        rows.push_back(
-            sim::table2Row(type, bench::configFor(type, args)));
+        cfgs.push_back(bench::configFor(type, args));
+        traces.push_back(bench::capture(type, cfgs.back(), args));
     }
+
+    std::vector<sim::Table2Row> rows(benches.size());
+    ex.parallelFor(benches.size(), [&](std::size_t i) {
+        rows[i] = sim::table2Row(benches[i], cfgs[i], *traces[i]);
+    });
+
     sim::printTable2(std::cout, rows);
-    return 0;
+    for (const auto &r : rows) {
+        report.addSimulatedCycles(r.execMcycles * 1e6);
+        report.add(tpcc::txnTypeName(r.type),
+                   {{"exec_mcycles", r.execMcycles},
+                    {"coverage", r.coverage},
+                    {"thread_size_insts", r.threadSizeInsts},
+                    {"spec_insts_per_thread", r.specInstsPerThread},
+                    {"threads_per_txn", r.threadsPerTxn},
+                    {"epochs", static_cast<double>(r.epochs)}});
+    }
+    return report.writeIfRequested(args) ? 0 : 1;
 }

@@ -1,17 +1,30 @@
 /**
  * @file
- * Shared plumbing for the paper-reproduction bench binaries: argument
- * parsing (--quick for a reduced-scale run, --txns=N) and per-benchmark
- * capture sizing.
+ * Shared plumbing for the paper-reproduction bench binaries:
+ *
+ *  - strict argument parsing (--quick, --txns=N, --jobs=N,
+ *    --json=FILE, --trace-cache=DIR); unknown flags are an error so CI
+ *    typos fail loudly instead of silently running the default;
+ *  - per-benchmark capture sizing;
+ *  - a machine-readable result reporter emitting the "tlsim-bench-v1"
+ *    JSON schema (validated by tools/check_bench_json.py).
  */
 
 #ifndef BENCH_BENCHUTIL_H
 #define BENCH_BENCHUTIL_H
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "sim/executor.h"
 #include "sim/experiment.h"
+#include "sim/tracecache.h"
 
 namespace tlsim {
 namespace bench {
@@ -21,25 +34,95 @@ struct BenchArgs
 {
     bool quick = false;     ///< reduced TPC-C scale (CI-friendly)
     unsigned txns = 0;      ///< 0 = per-benchmark default
+    unsigned jobs = 1;      ///< simulation points in flight; 0 = auto
+    std::string json;       ///< write machine-readable results here
+    std::string traceCache; ///< reuse trace snapshots from this dir
 };
 
+[[noreturn]] inline void
+usage(const char *prog, int code)
+{
+    std::FILE *out = code == 0 ? stdout : stderr;
+    std::fprintf(out,
+                 "usage: %s [--quick] [--txns=N] [--jobs=N] "
+                 "[--json=FILE] [--trace-cache=DIR]\n"
+                 "  --quick            reduced TPC-C scale (CI)\n"
+                 "  --txns=N           transactions per capture\n"
+                 "  --jobs=N           parallel simulation points "
+                 "(0 = all cores, default 1)\n"
+                 "  --json=FILE        machine-readable results "
+                 "(tlsim-bench-v1 schema)\n"
+                 "  --trace-cache=DIR  reuse on-disk trace snapshots\n",
+                 prog);
+    std::exit(code);
+}
+
+inline unsigned
+parseUnsigned(const std::string &flag, const std::string &val,
+              const char *prog)
+{
+    try {
+        std::size_t pos = 0;
+        unsigned long v = std::stoul(val, &pos);
+        if (pos != val.size() || v > 0xFFFFFFFFul)
+            throw std::invalid_argument(val);
+        return static_cast<unsigned>(v);
+    } catch (const std::exception &) {
+        std::fprintf(stderr, "%s: bad value for %s: '%s'\n", prog,
+                     flag.c_str(), val.c_str());
+        std::exit(2);
+    }
+}
+
+/**
+ * Parse the bench command line. Unknown arguments are fatal (exit 2):
+ * a misspelled flag must not silently fall back to default behaviour.
+ */
 inline BenchArgs
 parseArgs(int argc, char **argv)
 {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        auto value = [&](const char *prefix) {
+            return a.substr(std::strlen(prefix));
+        };
         if (a == "--quick")
             args.quick = true;
         else if (a.rfind("--txns=", 0) == 0)
-            args.txns = static_cast<unsigned>(
-                std::stoul(a.substr(7)));
-        else if (a == "--help") {
-            std::printf("usage: %s [--quick] [--txns=N]\n", argv[0]);
-            std::exit(0);
+            args.txns = parseUnsigned("--txns", value("--txns="),
+                                      argv[0]);
+        else if (a.rfind("--jobs=", 0) == 0)
+            args.jobs = parseUnsigned("--jobs", value("--jobs="),
+                                      argv[0]);
+        else if (a.rfind("--json=", 0) == 0)
+            args.json = value("--json=");
+        else if (a.rfind("--trace-cache=", 0) == 0)
+            args.traceCache = value("--trace-cache=");
+        else if (a == "--help" || a == "-h")
+            usage(argv[0], 0);
+        else {
+            std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                         a.c_str());
+            usage(argv[0], 2);
         }
     }
     return args;
+}
+
+/** Executor sized from --jobs (0 = one worker per hardware thread). */
+inline sim::SimExecutor
+makeExecutor(const BenchArgs &args)
+{
+    return sim::SimExecutor(args.jobs);
+}
+
+/** Capture (or reload from --trace-cache) one benchmark's traces. */
+inline sim::SharedTraces
+capture(tpcc::TxnType type, const sim::ExperimentConfig &cfg,
+        const BenchArgs &args)
+{
+    return sim::captureTracesShared(type, cfg, args.traceCache);
 }
 
 /**
@@ -84,6 +167,125 @@ configFor(tpcc::TxnType type, const BenchArgs &args)
     }
     return cfg;
 }
+
+// ---------------------------------------------------------------------
+// Machine-readable results ("tlsim-bench-v1")
+// ---------------------------------------------------------------------
+
+/**
+ * Collects named result entries plus wall-clock and simulated-cycle
+ * totals and writes them as JSON:
+ *
+ *     {
+ *       "schema": "tlsim-bench-v1",
+ *       "bench": "<binary name>",
+ *       "quick": true,
+ *       "jobs": 2,
+ *       "wall_seconds": 1.23,
+ *       "simulated_cycles": 4.56e8,
+ *       "results": [ {"name": "...", "<metric>": <number>, ...}, ... ]
+ *     }
+ *
+ * The timer starts at construction; write() stops it.
+ */
+class BenchReport
+{
+  public:
+    using Fields = std::vector<std::pair<std::string, double>>;
+
+    BenchReport(std::string bench, const BenchArgs &args,
+                unsigned resolved_jobs)
+        : bench_(std::move(bench)), quick_(args.quick),
+          jobs_(resolved_jobs),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Add one named result row; every field must be numeric. */
+    void
+    add(std::string name, Fields fields)
+    {
+        results_.emplace_back(std::move(name), std::move(fields));
+    }
+
+    /** Count cycles of simulated machine time toward the total. */
+    void
+    addSimulatedCycles(double cycles)
+    {
+        simulatedCycles_ += cycles;
+    }
+
+    double
+    wallSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Write the report; returns false (with a message) on I/O error. */
+    bool
+    write(const std::string &path) const
+    {
+        std::ofstream os(path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write JSON to '%s'\n",
+                         path.c_str());
+            return false;
+        }
+        os << "{\n";
+        os << "  \"schema\": \"tlsim-bench-v1\",\n";
+        os << "  \"bench\": \"" << escape(bench_) << "\",\n";
+        os << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n";
+        os << "  \"jobs\": " << jobs_ << ",\n";
+        os << "  \"wall_seconds\": " << wallSeconds() << ",\n";
+        os << "  \"simulated_cycles\": " << simulatedCycles_ << ",\n";
+        os << "  \"results\": [";
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            os << (i ? ",\n    {" : "\n    {");
+            os << "\"name\": \"" << escape(results_[i].first) << "\"";
+            for (const auto &[k, v] : results_[i].second)
+                os << ", \"" << escape(k) << "\": " << v;
+            os << "}";
+        }
+        os << "\n  ]\n}\n";
+        return static_cast<bool>(os);
+    }
+
+    /** write() if --json was given; true when skipped or successful. */
+    bool
+    writeIfRequested(const BenchArgs &args) const
+    {
+        return args.json.empty() || write(args.json);
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+                continue;
+            }
+            out += c;
+        }
+        return out;
+    }
+
+    std::string bench_;
+    bool quick_;
+    unsigned jobs_;
+    std::chrono::steady_clock::time_point start_;
+    double simulatedCycles_ = 0;
+    std::vector<std::pair<std::string, Fields>> results_;
+};
 
 } // namespace bench
 } // namespace tlsim

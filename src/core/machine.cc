@@ -225,12 +225,31 @@ TlsMachine::dumpStats(std::ostream &os) const
 // Section execution
 // ---------------------------------------------------------------------
 
+std::unique_ptr<TlsMachine::EpochRun>
+TlsMachine::acquireRun()
+{
+    if (!runPool_.empty()) {
+        auto run = std::move(runPool_.back());
+        runPool_.pop_back();
+        run->recycle();
+        return run;
+    }
+    return std::make_unique<EpochRun>();
+}
+
+void
+TlsMachine::releaseRun(CpuId cpu)
+{
+    if (runs_[cpu])
+        runPool_.push_back(std::move(runs_[cpu]));
+}
+
 void
 TlsMachine::runSerialEpoch(const EpochTrace &e)
 {
     tlsActive_ = false;
     specTracking_ = false;
-    auto run = std::make_unique<EpochRun>();
+    auto run = acquireRun();
     run->trace = &e;
     run->cpu = 0;
     run->cps.push_back({0, cores_[0].checkpoint(), 0, 0});
@@ -239,15 +258,16 @@ TlsMachine::runSerialEpoch(const EpochTrace &e)
         stepCpu(0);
     cores_[0].drainLoads();
     stats_.totalInsts += e.instCount;
-    runs_[0].reset();
+    releaseRun(0);
 }
 
 void
 TlsMachine::startNextEpoch(CpuId cpu)
 {
+    releaseRun(cpu); // recycle the committed occupant, if any
     auto [seq, trace] = queues_[cpu].front();
     queues_[cpu].pop_front();
-    auto run = std::make_unique<EpochRun>();
+    auto run = acquireRun();
     run->trace = trace;
     run->seq = seq;
     run->cpu = cpu;
@@ -317,8 +337,8 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
 
     tlsActive_ = false;
     specTracking_ = false;
-    for (auto &r : runs_)
-        r.reset();
+    for (unsigned cpu = 0; cpu < numCpus_; ++cpu)
+        releaseRun(cpu);
 }
 
 void
@@ -350,7 +370,7 @@ TlsMachine::commitEpoch(EpochRun &run)
     if (!queues_[cpu].empty())
         startNextEpoch(cpu);
     else
-        runs_[cpu].reset();
+        releaseRun(cpu);
 }
 
 // ---------------------------------------------------------------------

@@ -158,6 +158,36 @@ class TlsMachine : public TlsHooks
 
         /** Deferred violation checks (non-aggressive update mode). */
         std::vector<std::pair<Addr, Pc>> deferredChecks;
+
+        /** Reset for reuse, keeping the vectors' capacity (the run
+         *  pool makes epoch start allocation-free in steady state). */
+        void
+        recycle()
+        {
+            trace = nullptr;
+            seq = 0;
+            cpu = 0;
+            cursor = 0;
+            st = RunState::Running;
+            curSub = 0;
+            cps.clear();
+            specInsts = 0;
+            nextSpawn = 0;
+            spacing = 0;
+            inEscape = false;
+            escapedDone = 0;
+            latchesHeld = 0;
+            pendingSquash = false;
+            squashSub = 0;
+            squashAt = 0;
+            squashStorePc = 0;
+            squashLine = 0;
+            squashSecondary = false;
+            waitLatch = 0;
+            heldLatches.clear();
+            startTable.clear();
+            deferredChecks.clear();
+        }
     };
 
     struct LatchState
@@ -180,6 +210,11 @@ class TlsMachine : public TlsHooks
     }
 
     EpochRun *runOn(CpuId cpu) { return runs_[cpu].get(); }
+
+    /** Take a recycled EpochRun from the pool (or allocate one). */
+    std::unique_ptr<EpochRun> acquireRun();
+    /** Return the run occupying `cpu`'s slot to the pool. */
+    void releaseRun(CpuId cpu);
 
     void runParallelSection(const TraceSection &sec, ExecMode mode);
     void runSerialEpoch(const EpochTrace &e);
@@ -225,6 +260,7 @@ class TlsMachine : public TlsHooks
     DependenceProfiler profiler_;
 
     std::vector<std::unique_ptr<EpochRun>> runs_; ///< per CPU slot
+    std::vector<std::unique_ptr<EpochRun>> runPool_; ///< recycled runs
     std::vector<std::deque<std::pair<std::uint64_t, const EpochTrace *>>>
         queues_;
     std::uint64_t nextSeq_ = 0;

@@ -12,6 +12,7 @@
 #ifndef CORE_SITE_H
 #define CORE_SITE_H
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,10 +34,22 @@ class SiteRegistry
     std::string name(Pc pc) const;
 
     /** Number of registered sites. */
-    std::size_t size() const { return names_.size(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        return names_.size();
+    }
 
-    /** All site names in PC order (trace-file serialization). */
-    const std::vector<std::string> &allNames() const { return names_; }
+    /** All site names in PC order (trace-file serialization).
+     *  Snapshot by value: interning from another thread must not
+     *  invalidate the caller's view. */
+    std::vector<std::string>
+    allNames() const
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        return names_;
+    }
 
     /** PC of the site at registration index `idx`. */
     static constexpr Pc
@@ -53,6 +66,7 @@ class SiteRegistry
   private:
     SiteRegistry() = default;
 
+    mutable std::mutex mtx_;
     std::unordered_map<std::string, Pc> byName_;
     std::vector<std::string> names_;
 };

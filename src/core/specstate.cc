@@ -1,37 +1,127 @@
 #include "core/specstate.h"
 
+#include <algorithm>
+
 #include "base/log.h"
 
 namespace tlsim {
 
 SpecState::SpecState(unsigned num_contexts)
-    : numContexts_(num_contexts), ctxLines_(num_contexts)
+    : numContexts_(num_contexts), slots_(kMinCapacity),
+      ctrl_(kMinCapacity, kEmpty), mask_(kMinCapacity - 1),
+      lastLine_(0), ctxLines_(num_contexts)
 {
     if (num_contexts > kMaxContexts)
         panic("SpecState supports at most %u contexts (asked for %u)",
               kMaxContexts, num_contexts);
 }
 
+std::size_t
+SpecState::find(Addr line) const
+{
+    if (lastIdx_ != kNotFound && lastLine_ == line)
+        return lastIdx_;
+    std::size_t idx = hashLine(line) & mask_;
+    while (ctrl_[idx] != kEmpty) {
+        if (ctrl_[idx] == kFull && slots_[idx].line == line) {
+            lastLine_ = line;
+            lastIdx_ = idx;
+            return idx;
+        }
+        idx = (idx + 1) & mask_;
+    }
+    return kNotFound;
+}
+
+std::size_t
+SpecState::findOrInsert(Addr line)
+{
+    if (lastIdx_ != kNotFound && lastLine_ == line)
+        return lastIdx_;
+    if ((occupied_ + 1) * 4 > slots_.size() * 3)
+        grow();
+    std::size_t idx = hashLine(line) & mask_;
+    std::size_t insert_at = kNotFound;
+    while (ctrl_[idx] != kEmpty) {
+        if (ctrl_[idx] == kFull && slots_[idx].line == line) {
+            lastLine_ = line;
+            lastIdx_ = idx;
+            return idx;
+        }
+        if (ctrl_[idx] == kTombstone && insert_at == kNotFound)
+            insert_at = idx;
+        idx = (idx + 1) & mask_;
+    }
+    if (insert_at == kNotFound) {
+        insert_at = idx;
+        ++occupied_; // claiming a virgin slot (tombstones are counted)
+    }
+    ctrl_[insert_at] = kFull;
+    slots_[insert_at].line = line;
+    slots_[insert_at].spec = LineSpec{};
+    ++size_;
+    lastLine_ = line;
+    lastIdx_ = insert_at;
+    return insert_at;
+}
+
+void
+SpecState::eraseAt(std::size_t idx)
+{
+    ctrl_[idx] = kTombstone;
+    --size_;
+    if (lastIdx_ == idx)
+        lastIdx_ = kNotFound;
+}
+
+void
+SpecState::grow()
+{
+    // Double only if genuinely full; a tombstone-heavy table just gets
+    // rehashed in place to flush the graves.
+    std::size_t new_cap =
+        size_ * 4 > slots_.size() ? slots_.size() * 2 : slots_.size();
+    std::vector<Slot> old_slots(new_cap);
+    std::vector<std::uint8_t> old_ctrl(new_cap, kEmpty);
+    old_slots.swap(slots_);
+    old_ctrl.swap(ctrl_);
+    mask_ = new_cap - 1;
+    occupied_ = size_;
+    lastIdx_ = kNotFound;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+        if (old_ctrl[i] != kFull)
+            continue;
+        std::size_t idx = hashLine(old_slots[i].line) & mask_;
+        while (ctrl_[idx] != kEmpty)
+            idx = (idx + 1) & mask_;
+        ctrl_[idx] = kFull;
+        slots_[idx] = old_slots[i];
+    }
+}
+
 bool
 SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
                       std::uint32_t word_mask)
 {
-    auto it = lines_.find(line);
-    if (it != lines_.end()) {
+    std::size_t idx = find(line);
+    if (idx != kNotFound) {
         // Words already produced by this thread's own stores are not
         // exposed (the load reads the thread's own data).
+        const LineSpec &ls = slots_[idx].spec;
         std::uint32_t own = 0;
-        std::uint64_t owners = it->second.smOwners & thread_mask;
+        std::uint64_t owners = ls.smOwners & thread_mask;
         while (owners) {
             unsigned c = static_cast<unsigned>(__builtin_ctzll(owners));
             owners &= owners - 1;
-            own |= it->second.sm[c];
+            own |= ls.sm[c];
         }
         if ((word_mask & ~own) == 0)
             return false; // fully covered: not exposed
+    } else {
+        idx = findOrInsert(line);
     }
 
-    LineSpec &ls = lines_[line];
+    LineSpec &ls = slots_[idx].spec;
     std::uint64_t bit = std::uint64_t{1} << ctx;
     if (!(ls.sl & bit) && ls.sm[ctx] == 0)
         ctxLines_[ctx].push_back(line);
@@ -42,7 +132,8 @@ SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
 void
 SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
 {
-    LineSpec &ls = lines_[line];
+    std::size_t idx = findOrInsert(line);
+    LineSpec &ls = slots_[idx].spec;
     std::uint64_t bit = std::uint64_t{1} << ctx;
     if (!(ls.sl & bit) && ls.sm[ctx] == 0)
         ctxLines_[ctx].push_back(line);
@@ -53,31 +144,32 @@ SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
 std::uint64_t
 SpecState::slHolders(Addr line) const
 {
-    auto it = lines_.find(line);
-    return it == lines_.end() ? 0 : it->second.sl;
+    std::size_t idx = find(line);
+    return idx == kNotFound ? 0 : slots_[idx].spec.sl;
 }
 
 std::uint64_t
 SpecState::stateHolders(Addr line) const
 {
-    auto it = lines_.find(line);
-    if (it == lines_.end())
+    std::size_t idx = find(line);
+    if (idx == kNotFound)
         return 0;
-    return it->second.sl | it->second.smOwners;
+    return slots_[idx].spec.sl | slots_[idx].spec.smOwners;
 }
 
 bool
 SpecState::lineHasSpecState(Addr line) const
 {
-    auto it = lines_.find(line);
-    return it != lines_.end() && !it->second.empty();
+    std::size_t idx = find(line);
+    return idx != kNotFound && !slots_[idx].spec.empty();
 }
 
 bool
 SpecState::threadModifiedLine(std::uint64_t thread_mask, Addr line) const
 {
-    auto it = lines_.find(line);
-    return it != lines_.end() && (it->second.smOwners & thread_mask) != 0;
+    std::size_t idx = find(line);
+    return idx != kNotFound &&
+           (slots_[idx].spec.smOwners & thread_mask) != 0;
 }
 
 std::vector<Addr>
@@ -86,10 +178,10 @@ SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
     std::vector<Addr> dead_versions;
     std::uint64_t bit = std::uint64_t{1} << ctx;
     for (Addr line : ctxLines_[ctx]) {
-        auto it = lines_.find(line);
-        if (it == lines_.end())
+        std::size_t idx = find(line);
+        if (idx == kNotFound)
             continue;
-        LineSpec &ls = it->second;
+        LineSpec &ls = slots_[idx].spec;
         bool had_sm = (ls.smOwners & bit) != 0;
         ls.sl &= ~bit;
         ls.sm[ctx] = 0;
@@ -97,7 +189,7 @@ SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
         if (had_sm && (ls.smOwners & thread_mask) == 0)
             dead_versions.push_back(line);
         if (ls.empty())
-            lines_.erase(it);
+            eraseAt(idx);
     }
     ctxLines_[ctx].clear();
     return dead_versions;
@@ -111,15 +203,15 @@ SpecState::clearThread(std::uint64_t thread_mask, ContextId first_ctx,
         ContextId ctx = first_ctx + i;
         std::uint64_t bit = std::uint64_t{1} << ctx;
         for (Addr line : ctxLines_[ctx]) {
-            auto it = lines_.find(line);
-            if (it == lines_.end())
+            std::size_t idx = find(line);
+            if (idx == kNotFound)
                 continue;
-            LineSpec &ls = it->second;
+            LineSpec &ls = slots_[idx].spec;
             ls.sl &= ~bit;
             ls.sm[ctx] = 0;
             ls.smOwners &= ~bit;
             if (ls.empty())
-                lines_.erase(it);
+                eraseAt(idx);
         }
         ctxLines_[ctx].clear();
     }
@@ -129,7 +221,13 @@ SpecState::clearThread(std::uint64_t thread_mask, ContextId first_ctx,
 void
 SpecState::reset()
 {
-    lines_.clear();
+    // Keep the table's capacity: SpecState is reset once per run and
+    // re-populated to a similar size, so the buffer is an arena.
+    std::fill(ctrl_.begin(), ctrl_.end(),
+              static_cast<std::uint8_t>(kEmpty));
+    size_ = 0;
+    occupied_ = 0;
+    lastIdx_ = kNotFound;
     for (auto &v : ctxLines_)
         v.clear();
 }

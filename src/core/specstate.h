@@ -9,6 +9,14 @@
  * Context numbering: ctx = cpu * subthreadsPerThread + subIndex, so a
  * speculative thread's contexts are contiguous and a thread mask is a
  * contiguous bit run.
+ *
+ * Storage: an open-addressed flat hash table (linear probing,
+ * power-of-two capacity, tombstone deletion) instead of a node-based
+ * unordered_map — this sits on the replay loop's hot path (every
+ * speculative load/store probes it, every store scans for violation
+ * holders). A one-entry last-line cache short-circuits the common
+ * pattern of several consecutive probes of the same line (load+store
+ * to one line, store followed by its violation check).
  */
 
 #ifndef CORE_SPECSTATE_H
@@ -16,7 +24,6 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
@@ -70,7 +77,10 @@ class SpecState
                      unsigned num_ctxs);
 
     /** Number of lines with live metadata (tests/debug). */
-    std::size_t liveLines() const { return lines_.size(); }
+    std::size_t liveLines() const { return size_; }
+
+    /** Table capacity in slots (tests: rehash behaviour). */
+    std::size_t tableCapacity() const { return slots_.size(); }
 
     void reset();
 
@@ -84,8 +94,46 @@ class SpecState
         bool empty() const { return sl == 0 && smOwners == 0; }
     };
 
+    enum : std::uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+    struct Slot
+    {
+        Addr line = 0;
+        LineSpec spec;
+    };
+
+    static constexpr std::size_t kMinCapacity = 256;
+    static constexpr std::size_t kNotFound = ~std::size_t{0};
+
+    static std::size_t
+    hashLine(Addr line)
+    {
+        // splitmix64 finalizer: line numbers are near-sequential.
+        std::uint64_t x = line + 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return static_cast<std::size_t>(x ^ (x >> 31));
+    }
+
+    /** Slot index of `line`, or kNotFound. Updates the lookup cache. */
+    std::size_t find(Addr line) const;
+    /** Slot of `line`, inserting an empty LineSpec if absent. */
+    std::size_t findOrInsert(Addr line);
+    /** Remove the entry at `idx` (must be kFull). */
+    void eraseAt(std::size_t idx);
+    void grow();
+
     unsigned numContexts_;
-    std::unordered_map<Addr, LineSpec> lines_;
+    std::vector<Slot> slots_;
+    std::vector<std::uint8_t> ctrl_;
+    std::size_t size_ = 0;      ///< kFull slots
+    std::size_t occupied_ = 0;  ///< kFull + kTombstone slots
+    std::size_t mask_ = 0;      ///< capacity - 1
+
+    /** Last successful probe (one-entry lookup cache). */
+    mutable Addr lastLine_;
+    mutable std::size_t lastIdx_ = kNotFound;
+
     /** Lines each context has metadata on (for O(touched) clears). */
     std::vector<std::vector<Addr>> ctxLines_;
 };

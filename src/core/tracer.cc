@@ -75,6 +75,9 @@ Tracer::openEpoch(bool add_spawn_overhead)
 {
     auto &sec = workload_.txns.back().sections.back();
     sec.epochs.emplace_back();
+    // Epochs run hundreds of records; pre-size to skip the early
+    // doubling reallocations on the capture hot path.
+    sec.epochs.back().records.reserve(kRecordsReserve);
     if (add_spawn_overhead && opts_.parallelMode &&
         opts_.spawnOverheadInsts > 0) {
         static const Site spawn_site("tls.spawn_epoch");

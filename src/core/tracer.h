@@ -82,6 +82,9 @@ class Tracer
      */
     static constexpr std::uint64_t kMaxComputeChunk = 2000;
 
+    /** Initial record capacity of a freshly opened epoch. */
+    static constexpr std::size_t kRecordsReserve = 256;
+
     void
     compute(Pc pc, std::uint64_t n, ComputeClass cls = ComputeClass::Int)
     {

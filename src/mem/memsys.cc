@@ -33,12 +33,24 @@ MemSystem::setHooks(const TlsHooks *hooks)
 }
 
 Cycle
+MemSystem::xbarGrant(CpuId cpu, unsigned bank, Cycle t)
+{
+    // One arbitration decision reserves both resources a transfer
+    // needs: the requester's crossbar port and the target L2 bank.
+    // Batching them keeps the two free-lists in a single cache-warm
+    // update and guarantees they can never drift apart.
+    Cycle start = std::max({t + 1, xbarPortFree_[cpu], l2BankFree_[bank]});
+    Cycle busy_until = start + lineTransferCycles_;
+    xbarPortFree_[cpu] = busy_until;
+    l2BankFree_[bank] = busy_until;
+    return start;
+}
+
+Cycle
 MemSystem::l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res)
 {
     unsigned bank = l2_.bankOf(line_num);
-    Cycle start = std::max({t + 1, xbarPortFree_[cpu], l2BankFree_[bank]});
-    xbarPortFree_[cpu] = start + lineTransferCycles_;
-    l2BankFree_[bank] = start + lineTransferCycles_;
+    Cycle start = xbarGrant(cpu, bank, t);
 
     if (l2_.accessLine(line_num)) {
         res.l2Hit = true;
@@ -124,11 +136,7 @@ MemSystem::store(CpuId cpu, Addr addr, Cycle now, bool speculative)
         Cycle mstart = std::max(s + cfg_.l2HitLatency, memFree_);
         memFree_ = mstart + cfg_.memCyclesPerAccess;
     } else {
-        unsigned bank = l2_.bankOf(line);
-        Cycle start =
-            std::max({s + 1, xbarPortFree_[cpu], l2BankFree_[bank]});
-        xbarPortFree_[cpu] = start + lineTransferCycles_;
-        l2BankFree_[bank] = start + lineTransferCycles_;
+        xbarGrant(cpu, l2_.bankOf(line), s);
         res.l2Hit = true;
     }
 

@@ -107,6 +107,11 @@ class MemSystem
     VictimCache &victim() { return victim_; }
 
   private:
+    /** Batched crossbar-port + L2-bank arbitration: reserve both for
+     *  one line transfer starting no earlier than `t + 1`; returns the
+     *  granted start cycle. */
+    Cycle xbarGrant(CpuId cpu, unsigned bank, Cycle t);
+
     /** Shared L2-and-beyond path; returns data-ready cycle. */
     Cycle l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res);
 

@@ -1,0 +1,183 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace sim {
+
+unsigned
+SimExecutor::hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+SimExecutor::SimExecutor(unsigned jobs)
+    : jobs_(jobs ? jobs : hardwareJobs())
+{
+    if (jobs_ == 1)
+        return; // inline mode: no threads, no queues
+    queues_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    // Worker 0 is the submitting thread; spawn the other jobs_ - 1.
+    threads_.reserve(jobs_ - 1);
+    for (unsigned i = 1; i < jobs_; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+SimExecutor::~SimExecutor()
+{
+    if (jobs_ == 1)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+SimExecutor::nextTask(unsigned self, std::size_t *out)
+{
+    {
+        Queue &q = *queues_[self];
+        std::lock_guard<std::mutex> lk(q.mtx);
+        if (!q.tasks.empty()) {
+            *out = q.tasks.back(); // own work LIFO: cache-warm
+            q.tasks.pop_back();
+            return true;
+        }
+    }
+    // Steal oldest work from the fullest other queue.
+    while (true) {
+        unsigned victim = jobs_;
+        std::size_t most = 0;
+        for (unsigned v = 0; v < jobs_; ++v) {
+            if (v == self)
+                continue;
+            Queue &q = *queues_[v];
+            std::lock_guard<std::mutex> lk(q.mtx);
+            if (q.tasks.size() > most) {
+                most = q.tasks.size();
+                victim = v;
+            }
+        }
+        if (victim == jobs_)
+            return false;
+        Queue &q = *queues_[victim];
+        std::lock_guard<std::mutex> lk(q.mtx);
+        if (q.tasks.empty())
+            continue; // raced with the owner; rescan
+        *out = q.tasks.front();
+        q.tasks.pop_front();
+        return true;
+    }
+}
+
+void
+SimExecutor::runTasks(unsigned self)
+{
+    const std::function<void(std::size_t)> *fn;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        fn = batchFn_;
+    }
+    if (!fn)
+        return;
+    std::size_t idx;
+    while (nextTask(self, &idx)) {
+        try {
+            (*fn)(idx);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(mtx_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lk(mtx_);
+        if (--pending_ == 0)
+            done_.notify_all();
+    }
+}
+
+void
+SimExecutor::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mtx_);
+            wake_.wait(lk, [&] {
+                return shutdown_ || batchId_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = batchId_;
+            ++active_;
+        }
+        runTasks(self);
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            if (--active_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+SimExecutor::parallelFor(std::size_t n,
+                         const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    {
+        // A worker still draining the previous batch holds a pointer to
+        // that batch's function object; never seed new tasks it could
+        // pick up until every worker has left runTasks().
+        std::unique_lock<std::mutex> lk(mtx_);
+        if (batchFn_)
+            panic("SimExecutor::parallelFor is not reentrant");
+        done_.wait(lk, [&] { return active_ == 0; });
+    }
+
+    // Seed round-robin so early indices spread across workers.
+    for (std::size_t i = 0; i < n; ++i) {
+        Queue &q = *queues_[i % jobs_];
+        std::lock_guard<std::mutex> lk(q.mtx);
+        q.tasks.push_back(i);
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        batchFn_ = &fn;
+        pending_ = n;
+        firstError_ = nullptr;
+        ++batchId_;
+    }
+    wake_.notify_all();
+
+    runTasks(0); // the caller works too
+
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        done_.wait(lk, [&] { return pending_ == 0; });
+        batchFn_ = nullptr;
+        err = firstError_;
+        firstError_ = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace sim
+} // namespace tlsim

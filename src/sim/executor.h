@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SimExecutor: a work-stealing thread pool that fans independent,
+ * deterministic simulation points (benchmark x bar x TlsConfig) across
+ * host hardware threads.
+ *
+ * Every task writes its result into a caller-indexed slot, so the
+ * output of a parallel run is bit-identical to the serial loop it
+ * replaces regardless of how the scheduler interleaves tasks: the TLS
+ * machine is self-contained and the captured traces are shared
+ * read-only. With jobs == 1 no threads are created at all and tasks
+ * run inline on the caller, which keeps the serial reference path
+ * trivially deterministic and overhead-free.
+ *
+ * Scheduling: each worker owns a deque seeded round-robin at submit
+ * time; it pops from the back of its own deque (LIFO, cache-warm) and
+ * steals from the front of the busiest other deque (FIFO, oldest
+ * first) when empty. The submitting thread participates as a worker,
+ * so `jobs` is the total number of threads doing simulation work.
+ */
+
+#ifndef SIM_EXECUTOR_H
+#define SIM_EXECUTOR_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tlsim {
+namespace sim {
+
+class SimExecutor
+{
+  public:
+    /** jobs == 0 selects the host's hardware concurrency. */
+    explicit SimExecutor(unsigned jobs = 0);
+    ~SimExecutor();
+
+    SimExecutor(const SimExecutor &) = delete;
+    SimExecutor &operator=(const SimExecutor &) = delete;
+
+    /** Total threads working on a batch (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Run fn(0) .. fn(n-1) to completion, in parallel across the pool.
+     * Blocks until every task finished. The first exception thrown by
+     * any task is rethrown on the caller once the batch has drained.
+     * Not reentrant: tasks must not themselves call parallelFor on the
+     * same executor.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Convenience: results vector filled by index. */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t n, Fn &&fn)
+    {
+        std::vector<R> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** Picked-up value of --jobs=0 on this host. */
+    static unsigned hardwareJobs();
+
+  private:
+    struct Queue
+    {
+        std::mutex mtx;
+        std::deque<std::size_t> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    /** Pop own work or steal; false when the batch has no task left. */
+    bool nextTask(unsigned self, std::size_t *out);
+    void runTasks(unsigned self);
+
+    unsigned jobs_;
+    std::vector<std::thread> threads_;
+    std::vector<std::unique_ptr<Queue>> queues_;
+
+    std::mutex mtx_;
+    std::condition_variable wake_;  ///< workers: a batch is ready
+    std::condition_variable done_;  ///< caller: batch fully drained
+    const std::function<void(std::size_t)> *batchFn_ = nullptr;
+    std::size_t pending_ = 0; ///< tasks not yet finished in this batch
+    unsigned active_ = 0;     ///< workers currently inside runTasks()
+    std::uint64_t batchId_ = 0;
+    std::exception_ptr firstError_;
+    bool shutdown_ = false;
+};
+
+} // namespace sim
+} // namespace tlsim
+
+#endif // SIM_EXECUTOR_H

@@ -1,6 +1,7 @@
 #include "sim/experiment.h"
 
 #include "base/log.h"
+#include "sim/executor.h"
 
 namespace tlsim {
 namespace sim {
@@ -119,6 +120,43 @@ runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg)
     return row;
 }
 
+Figure5Row
+runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg,
+           const BenchmarkTraces &traces, SimExecutor &ex)
+{
+    const std::vector<Bar> &bars = allBars();
+    std::vector<RunResult> results(bars.size());
+    ex.parallelFor(bars.size(), [&](std::size_t i) {
+        results[i] = runBar(bars[i], traces, cfg);
+    });
+    Figure5Row row;
+    row.type = type;
+    for (std::size_t i = 0; i < bars.size(); ++i)
+        row.bars.emplace_back(bars[i], std::move(results[i]));
+    return row;
+}
+
+std::vector<SweepPoint>
+runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
+           const std::vector<unsigned> &counts,
+           const std::vector<std::uint64_t> &spacings,
+           const BenchmarkTraces &traces, SimExecutor &ex)
+{
+    (void)type;
+    std::vector<SweepPoint> out(counts.size() * spacings.size());
+    ex.parallelFor(out.size(), [&](std::size_t i) {
+        unsigned k = counts[i / spacings.size()];
+        std::uint64_t s = spacings[i % spacings.size()];
+        MachineConfig mc = cfg.machine;
+        mc.tls.subthreadsPerThread = k;
+        mc.tls.subthreadSpacing = s;
+        TlsMachine m(mc);
+        out[i] = {k, s,
+                  m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns)};
+    });
+    return out;
+}
+
 std::vector<SweepPoint>
 runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
            const std::vector<unsigned> &counts,
@@ -144,7 +182,13 @@ Table2Row
 table2Row(tpcc::TxnType type, const ExperimentConfig &cfg)
 {
     BenchmarkTraces traces = captureTraces(type, cfg);
+    return table2Row(type, cfg, traces);
+}
 
+Table2Row
+table2Row(tpcc::TxnType type, const ExperimentConfig &cfg,
+          const BenchmarkTraces &traces)
+{
     Table2Row row{};
     row.type = type;
 

@@ -25,6 +25,8 @@
 namespace tlsim {
 namespace sim {
 
+class SimExecutor;
+
 /** The Figure 5 configurations. */
 enum class Bar {
     Sequential,
@@ -79,6 +81,14 @@ struct Figure5Row
 
 Figure5Row runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg);
 
+/**
+ * Parallel variant over previously captured traces: the five bars fan
+ * out across `ex`. Bit-identical to the serial runFigure5 (each bar is
+ * an independent, self-contained machine run).
+ */
+Figure5Row runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg,
+                      const BenchmarkTraces &traces, SimExecutor &ex);
+
 /** Figure 6: one (sub-thread count, spacing) measurement. */
 struct SweepPoint
 {
@@ -91,6 +101,18 @@ std::vector<SweepPoint>
 runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
            const std::vector<unsigned> &counts,
            const std::vector<std::uint64_t> &spacings);
+
+/**
+ * Parallel variant over previously captured traces: all
+ * (count, spacing) points fan out across `ex`. Results are placed by
+ * index, so the output vector is bit-identical to the serial sweep no
+ * matter how the points are scheduled.
+ */
+std::vector<SweepPoint>
+runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
+           const std::vector<unsigned> &counts,
+           const std::vector<std::uint64_t> &spacings,
+           const BenchmarkTraces &traces, SimExecutor &ex);
 
 /** Table 2: per-benchmark workload statistics. */
 struct Table2Row
@@ -105,6 +127,10 @@ struct Table2Row
 };
 
 Table2Row table2Row(tpcc::TxnType type, const ExperimentConfig &cfg);
+
+/** Table 2 over previously captured traces (no re-capture). */
+Table2Row table2Row(tpcc::TxnType type, const ExperimentConfig &cfg,
+                    const BenchmarkTraces &traces);
 
 } // namespace sim
 } // namespace tlsim

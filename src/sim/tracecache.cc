@@ -1,0 +1,108 @@
+#include "sim/tracecache.h"
+
+#include <filesystem>
+
+#include "base/log.h"
+#include "sim/traceio.h"
+
+namespace tlsim {
+namespace sim {
+
+namespace {
+
+/** FNV-1a, accumulated field by field. */
+struct KeyHash
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    }
+
+    void
+    mix(const char *s)
+    {
+        for (; *s; ++s) {
+            h ^= static_cast<unsigned char>(*s);
+            h *= 1099511628211ull;
+        }
+    }
+};
+
+std::string
+fileStem(tpcc::TxnType type, const ExperimentConfig &cfg)
+{
+    std::string name = tpcc::txnTypeName(type);
+    for (char &c : name)
+        if (c == ' ')
+            c = '_';
+    return name + "-" + traceCacheKey(type, cfg);
+}
+
+} // namespace
+
+std::string
+traceCacheKey(tpcc::TxnType type, const ExperimentConfig &cfg)
+{
+    KeyHash k;
+    k.mix(kTraceVersion);
+    k.mix(tpcc::txnTypeName(type));
+    k.mix(cfg.scale.items);
+    k.mix(cfg.scale.districts);
+    k.mix(cfg.scale.customersPerDistrict);
+    k.mix(cfg.scale.ordersPerDistrict);
+    k.mix(cfg.scale.firstNewOrder);
+    k.mix(cfg.txns);
+    k.mix(cfg.inputSeed);
+    k.mix(cfg.loadSeed);
+    k.mix(cfg.machine.tls.spawnOverheadInsts);
+    return strfmt("%016llx", static_cast<unsigned long long>(k.h));
+}
+
+SharedTraces
+captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
+                    const std::string &cache_dir)
+{
+    if (cache_dir.empty())
+        return std::make_shared<BenchmarkTraces>(
+            captureTraces(type, cfg));
+
+    namespace fs = std::filesystem;
+    std::string stem =
+        (fs::path(cache_dir) / fileStem(type, cfg)).string();
+    std::string orig_path = stem + ".orig.trace";
+    std::string tls_path = stem + ".tls.trace";
+
+    if (fs::exists(orig_path) && fs::exists(tls_path)) {
+        auto traces = std::make_shared<BenchmarkTraces>();
+        WorkloadTrace orig, tls;
+        if (loadTraceFile(orig_path, &orig) &&
+            loadTraceFile(tls_path, &tls)) {
+            traces->original = std::move(orig);
+            traces->tls = std::move(tls);
+            return traces;
+        }
+        inform("trace cache: %s has a foreign format, re-capturing",
+               stem.c_str());
+    }
+
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+    if (ec)
+        fatal("trace cache: cannot create directory %s: %s",
+              cache_dir.c_str(), ec.message().c_str());
+
+    auto traces =
+        std::make_shared<BenchmarkTraces>(captureTraces(type, cfg));
+    saveTraceFile(orig_path, traces->original);
+    saveTraceFile(tls_path, traces->tls);
+    return traces;
+}
+
+} // namespace sim
+} // namespace tlsim

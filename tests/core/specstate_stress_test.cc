@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Randomized stress test of the flat-table SpecState against a simple
+ * unordered_map oracle implementing the same semantics. Exercises the
+ * probe sequence across growth, tombstone deletion and the last-line
+ * lookup cache — the paths a handful of directed tests cannot cover.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/specstate.h"
+
+namespace tlsim {
+namespace {
+
+/** Reference model: the pre-optimization node-based representation. */
+class OracleSpecState
+{
+  public:
+    explicit OracleSpecState(unsigned num_contexts)
+        : numContexts_(num_contexts)
+    {
+    }
+
+    bool
+    recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
+               std::uint32_t word_mask)
+    {
+        auto it = lines_.find(line);
+        std::uint32_t covered = 0;
+        if (it != lines_.end()) {
+            for (unsigned c = 0; c < numContexts_; ++c)
+                if (thread_mask & (1ull << c))
+                    covered |= it->second.sm[c];
+        }
+        if ((word_mask & ~covered) == 0)
+            return false;
+        lines_[line].sl |= 1ull << ctx;
+        return true;
+    }
+
+    void
+    recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
+    {
+        Entry &e = lines_[line];
+        e.sm[ctx] |= word_mask;
+        e.smOwners |= 1ull << ctx;
+    }
+
+    std::uint64_t
+    slHolders(Addr line) const
+    {
+        auto it = lines_.find(line);
+        return it == lines_.end() ? 0 : it->second.sl;
+    }
+
+    std::uint64_t
+    stateHolders(Addr line) const
+    {
+        auto it = lines_.find(line);
+        return it == lines_.end() ? 0
+                                  : it->second.sl | it->second.smOwners;
+    }
+
+    bool
+    threadModifiedLine(std::uint64_t thread_mask, Addr line) const
+    {
+        auto it = lines_.find(line);
+        return it != lines_.end() &&
+               (it->second.smOwners & thread_mask) != 0;
+    }
+
+    std::vector<Addr>
+    clearContext(ContextId ctx, std::uint64_t thread_mask)
+    {
+        std::vector<Addr> dead;
+        for (auto it = lines_.begin(); it != lines_.end();) {
+            Entry &e = it->second;
+            bool had_sm = (e.smOwners & (1ull << ctx)) != 0;
+            e.sl &= ~(1ull << ctx);
+            e.sm[ctx] = 0;
+            e.smOwners &= ~(1ull << ctx);
+            if (had_sm && (e.smOwners & thread_mask) == 0)
+                dead.push_back(it->first);
+            if (e.sl == 0 && e.smOwners == 0)
+                it = lines_.erase(it);
+            else
+                ++it;
+        }
+        return dead;
+    }
+
+    void
+    clearThread(std::uint64_t thread_mask)
+    {
+        for (auto it = lines_.begin(); it != lines_.end();) {
+            Entry &e = it->second;
+            e.sl &= ~thread_mask;
+            for (unsigned c = 0; c < numContexts_; ++c)
+                if (thread_mask & (1ull << c))
+                    e.sm[c] = 0;
+            e.smOwners &= ~thread_mask;
+            if (e.sl == 0 && e.smOwners == 0)
+                it = lines_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    std::size_t liveLines() const { return lines_.size(); }
+
+    void reset() { lines_.clear(); }
+
+    std::vector<Addr>
+    knownLines() const
+    {
+        std::vector<Addr> out;
+        for (const auto &kv : lines_)
+            out.push_back(kv.first);
+        return out;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sl = 0;
+        std::uint64_t smOwners = 0;
+        std::array<std::uint32_t, SpecState::kMaxContexts> sm{};
+    };
+
+    unsigned numContexts_;
+    std::unordered_map<Addr, Entry> lines_;
+};
+
+class SpecStateStress : public ::testing::Test
+{
+  protected:
+    static constexpr unsigned kCtxsPerThread = 4;
+    static constexpr unsigned kThreads = 4;
+    static constexpr unsigned kCtxs = kThreads * kCtxsPerThread;
+
+    SpecStateStress() : real_(kCtxs), oracle_(kCtxs), rng_(12345) {}
+
+    static std::uint64_t
+    threadMask(unsigned thread)
+    {
+        std::uint64_t per = (1ull << kCtxsPerThread) - 1;
+        return per << (thread * kCtxsPerThread);
+    }
+
+    /** Uniform in [0, n). */
+    unsigned
+    range(unsigned n)
+    {
+        return static_cast<unsigned>(rng_.uniform(0, n - 1));
+    }
+
+    Addr
+    pickLine()
+    {
+        // Near-sequential line numbers with occasional far jumps, the
+        // pattern the hash and probe sequence must digest.
+        if (range(10) == 0)
+            return range(1u << 20);
+        return base_ + range(64);
+    }
+
+    void
+    checkLine(Addr line)
+    {
+        EXPECT_EQ(real_.slHolders(line), oracle_.slHolders(line))
+            << "line " << line;
+        EXPECT_EQ(real_.stateHolders(line), oracle_.stateHolders(line))
+            << "line " << line;
+        EXPECT_EQ(real_.lineHasSpecState(line),
+                  oracle_.stateHolders(line) != 0)
+            << "line " << line;
+        for (unsigned t = 0; t < kThreads; ++t)
+            EXPECT_EQ(real_.threadModifiedLine(threadMask(t), line),
+                      oracle_.threadModifiedLine(threadMask(t), line))
+                << "line " << line << " thread " << t;
+    }
+
+    void
+    checkAll()
+    {
+        EXPECT_EQ(real_.liveLines(), oracle_.liveLines());
+        for (Addr line : oracle_.knownLines())
+            checkLine(line);
+    }
+
+    SpecState real_;
+    OracleSpecState oracle_;
+    Rng rng_;
+    Addr base_ = 1000;
+};
+
+TEST_F(SpecStateStress, RandomOperationsMatchOracle)
+{
+    for (int step = 0; step < 20000; ++step) {
+        unsigned op = range(100);
+        if (op < 40) { // load
+            unsigned ctx = range(kCtxs);
+            unsigned thread = ctx / kCtxsPerThread;
+            Addr line = pickLine();
+            std::uint32_t mask = 1u << range(8);
+            bool a =
+                real_.recordLoad(ctx, threadMask(thread), line, mask);
+            bool b = oracle_.recordLoad(ctx, threadMask(thread), line,
+                                        mask);
+            ASSERT_EQ(a, b) << "step " << step << " line " << line;
+        } else if (op < 80) { // store
+            unsigned ctx = range(kCtxs);
+            Addr line = pickLine();
+            std::uint32_t mask = 1u << range(8);
+            real_.recordStore(ctx, line, mask);
+            oracle_.recordStore(ctx, line, mask);
+        } else if (op < 90) { // clear one context
+            unsigned ctx = range(kCtxs);
+            unsigned thread = ctx / kCtxsPerThread;
+            std::vector<Addr> a =
+                real_.clearContext(ctx, threadMask(thread));
+            std::vector<Addr> b =
+                oracle_.clearContext(ctx, threadMask(thread));
+            // Dead-version sets must match; order may not.
+            std::unordered_set<Addr> sa(a.begin(), a.end());
+            std::unordered_set<Addr> sb(b.begin(), b.end());
+            ASSERT_EQ(a.size(), sa.size()) << "duplicates at " << step;
+            ASSERT_EQ(sa, sb) << "step " << step;
+        } else if (op < 97) { // commit a thread
+            unsigned thread = range(kThreads);
+            real_.clearThread(threadMask(thread),
+                              thread * kCtxsPerThread, kCtxsPerThread);
+            oracle_.clearThread(threadMask(thread));
+        } else if (op < 99) { // drift the hot line window
+            base_ = range(1u << 20);
+        } else { // full reset
+            real_.reset();
+            oracle_.reset();
+        }
+        if (step % 500 == 0)
+            checkAll();
+    }
+    checkAll();
+}
+
+TEST_F(SpecStateStress, GrowthKeepsAllEntries)
+{
+    // Insert far more distinct lines than kMinCapacity to force
+    // several rehashes, then verify every line.
+    std::size_t cap0 = real_.tableCapacity();
+    for (Addr line = 0; line < 4096; ++line) {
+        unsigned ctx = static_cast<unsigned>(line % kCtxs);
+        real_.recordStore(ctx, line * 977 + 13, 0xF);
+        oracle_.recordStore(ctx, line * 977 + 13, 0xF);
+    }
+    EXPECT_GT(real_.tableCapacity(), cap0);
+    checkAll();
+}
+
+TEST_F(SpecStateStress, TombstoneChurnStaysBounded)
+{
+    // Alternating fill/clear cycles leave tombstones; the table must
+    // keep finding entries and not grow without bound.
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        for (Addr line = 0; line < 300; ++line) {
+            unsigned ctx = static_cast<unsigned>(line % kCtxs);
+            real_.recordStore(ctx, line + cycle * 7, 1);
+            oracle_.recordStore(ctx, line + cycle * 7, 1);
+        }
+        for (unsigned t = 0; t < kThreads; ++t) {
+            real_.clearThread(threadMask(t), t * kCtxsPerThread,
+                              kCtxsPerThread);
+            oracle_.clearThread(threadMask(t));
+        }
+        EXPECT_EQ(real_.liveLines(), 0u);
+    }
+    // ~300 concurrent entries never justify more than a few doublings.
+    EXPECT_LE(real_.tableCapacity(), 4096u);
+    checkAll();
+}
+
+TEST_F(SpecStateStress, ResetKeepsCapacityDropsContents)
+{
+    for (Addr line = 0; line < 2000; ++line)
+        real_.recordStore(0, line, 1);
+    std::size_t cap = real_.tableCapacity();
+    real_.reset();
+    EXPECT_EQ(real_.liveLines(), 0u);
+    EXPECT_EQ(real_.tableCapacity(), cap);
+    EXPECT_FALSE(real_.lineHasSpecState(42));
+    // Still usable after reset.
+    real_.recordStore(1, 42, 0x3);
+    EXPECT_EQ(real_.stateHolders(42), 1ull << 1);
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trace-cache tests: key stability/distinctness and the on-disk
+ * roundtrip (the second captureTracesShared() loads from disk and must
+ * replay identically to the first).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+#include "sim/tracecache.h"
+#include "sim/traceio.h"
+
+namespace tlsim {
+namespace sim {
+namespace {
+
+ExperimentConfig
+tinyConfig()
+{
+    ExperimentConfig cfg = ExperimentConfig::testPreset();
+    cfg.txns = 4;
+    cfg.warmupTxns = 1;
+    return cfg;
+}
+
+std::string
+freshCacheDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "/tlsim_tc_" + tag + "_" +
+                      std::to_string(::getpid());
+    return dir;
+}
+
+TEST(TraceCacheKey, StableForIdenticalConfigs)
+{
+    ExperimentConfig a = tinyConfig();
+    ExperimentConfig b = tinyConfig();
+    EXPECT_EQ(traceCacheKey(tpcc::TxnType::NewOrder, a),
+              traceCacheKey(tpcc::TxnType::NewOrder, b));
+}
+
+TEST(TraceCacheKey, DistinguishesCaptureParameters)
+{
+    ExperimentConfig base = tinyConfig();
+    std::string k0 = traceCacheKey(tpcc::TxnType::NewOrder, base);
+
+    EXPECT_NE(k0, traceCacheKey(tpcc::TxnType::Payment, base));
+
+    ExperimentConfig more_txns = base;
+    more_txns.txns += 1;
+    EXPECT_NE(k0, traceCacheKey(tpcc::TxnType::NewOrder, more_txns));
+
+    ExperimentConfig other_seed = base;
+    other_seed.inputSeed += 1;
+    EXPECT_NE(k0, traceCacheKey(tpcc::TxnType::NewOrder, other_seed));
+
+    ExperimentConfig other_load = base;
+    other_load.loadSeed += 1;
+    EXPECT_NE(k0, traceCacheKey(tpcc::TxnType::NewOrder, other_load));
+}
+
+TEST(TraceCacheKey, IgnoresReplayOnlyKnobs)
+{
+    ExperimentConfig base = tinyConfig();
+    ExperimentConfig replay = base;
+    replay.warmupTxns += 1;
+    replay.machine.tls.subthreadsPerThread += 2;
+    EXPECT_EQ(traceCacheKey(tpcc::TxnType::NewOrder, base),
+              traceCacheKey(tpcc::TxnType::NewOrder, replay));
+}
+
+TEST(TraceCache, EmptyDirBypassesDisk)
+{
+    ExperimentConfig cfg = tinyConfig();
+    SharedTraces t =
+        captureTracesShared(tpcc::TxnType::StockLevel, cfg, "");
+    ASSERT_NE(t, nullptr);
+    EXPECT_FALSE(t->tls.txns.empty());
+}
+
+TEST(TraceCache, SecondLoadReplaysIdentically)
+{
+    ExperimentConfig cfg = tinyConfig();
+    std::string dir = freshCacheDir("roundtrip");
+
+    // First call captures and writes the cache files.
+    SharedTraces first =
+        captureTracesShared(tpcc::TxnType::NewOrder, cfg, dir);
+    ASSERT_NE(first, nullptr);
+
+    std::string key = traceCacheKey(tpcc::TxnType::NewOrder, cfg);
+    std::string base = dir + "/NEW_ORDER-" + key;
+    EXPECT_TRUE(std::ifstream(base + ".orig.trace").good());
+    EXPECT_TRUE(std::ifstream(base + ".tls.trace").good());
+
+    // Second call must come from disk and replay identically.
+    SharedTraces second =
+        captureTracesShared(tpcc::TxnType::NewOrder, cfg, dir);
+    ASSERT_NE(second, nullptr);
+
+    for (Bar bar : allBars()) {
+        RunResult a = runBar(bar, *first, cfg);
+        RunResult b = runBar(bar, *second, cfg);
+        EXPECT_EQ(a.makespan, b.makespan) << barName(bar);
+        EXPECT_EQ(a.totalInsts, b.totalInsts) << barName(bar);
+        EXPECT_EQ(a.primaryViolations, b.primaryViolations)
+            << barName(bar);
+        EXPECT_EQ(a.epochs, b.epochs) << barName(bar);
+    }
+}
+
+TEST(TraceCache, CorruptCacheFileFallsBackToCapture)
+{
+    ExperimentConfig cfg = tinyConfig();
+    std::string dir = freshCacheDir("corrupt");
+
+    SharedTraces first =
+        captureTracesShared(tpcc::TxnType::OrderStatus, cfg, dir);
+    ASSERT_NE(first, nullptr);
+
+    std::string key = traceCacheKey(tpcc::TxnType::OrderStatus, cfg);
+    std::string path = dir + "/ORDER_STATUS-" + key + ".tls.trace";
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << "junk that is not a trace";
+    }
+
+    // Wrong magic is treated as a miss, not a panic. The re-capture
+    // records fresh heap addresses, so compare address-independent
+    // structure rather than timing.
+    SharedTraces again =
+        captureTracesShared(tpcc::TxnType::OrderStatus, cfg, dir);
+    ASSERT_NE(again, nullptr);
+    ASSERT_EQ(again->tls.txns.size(), first->tls.txns.size());
+    for (std::size_t t = 0; t < first->tls.txns.size(); ++t)
+        EXPECT_EQ(again->tls.txns[t].sections.size(),
+                  first->tls.txns[t].sections.size());
+
+    // The corrupt file was replaced by a valid one.
+    WorkloadTrace reloaded;
+    EXPECT_TRUE(loadTraceFile(path, &reloaded));
+}
+
+} // namespace
+} // namespace sim
+} // namespace tlsim

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON report against the tlsim-bench-v1 schema.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Every bench binary writes this schema when invoked with --json=FILE:
+
+    {
+      "schema": "tlsim-bench-v1",
+      "bench": "<binary name>",
+      "quick": true|false,
+      "jobs": <int >= 1>,
+      "wall_seconds": <number >= 0>,
+      "simulated_cycles": <number >= 0>,
+      "results": [
+        {"name": "<point name>", "<metric>": <number>, ...},
+        ...
+      ]
+    }
+
+Exit status 0 if every file validates, 1 otherwise (with one line per
+problem on stderr). Used by the `bench-smoke` ctest label.
+"""
+
+import json
+import numbers
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def check_result(path, i, entry):
+    if not isinstance(entry, dict):
+        return fail(path, f"results[{i}] is not an object")
+    name = entry.get("name")
+    if not isinstance(name, str) or not name:
+        return fail(path, f"results[{i}] missing non-empty 'name'")
+    metrics = {k: v for k, v in entry.items() if k != "name"}
+    if not metrics:
+        return fail(path, f"results[{i}] ({name!r}) has no metrics")
+    ok = True
+    for k, v in metrics.items():
+        if not is_num(v):
+            ok = fail(path, f"results[{i}] ({name!r}) metric {k!r} "
+                            f"is not a number: {v!r}")
+    return ok
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+
+    ok = True
+    if doc.get("schema") != "tlsim-bench-v1":
+        ok = fail(path, f"schema is {doc.get('schema')!r}, "
+                        "expected 'tlsim-bench-v1'")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        ok = fail(path, "'bench' must be a non-empty string")
+    if not isinstance(doc.get("quick"), bool):
+        ok = fail(path, "'quick' must be a boolean")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        ok = fail(path, f"'jobs' must be an integer >= 1, got {jobs!r}")
+    for key in ("wall_seconds", "simulated_cycles"):
+        v = doc.get(key)
+        if not is_num(v) or v < 0:
+            ok = fail(path, f"{key!r} must be a number >= 0, got {v!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        ok = fail(path, "'results' must be a non-empty list")
+    else:
+        for i, entry in enumerate(results):
+            ok = check_result(path, i, entry) and ok
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = True
+    for path in argv[1:]:
+        if check_file(path):
+            print(f"{path}: OK")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,12 +6,16 @@
  *   tlsim info     --trace=no.trace
  *   tlsim replay   --trace=no.trace [machine options]
  *   tlsim figure5  --benchmark=NEW_ORDER [options]
+ *   tlsim figure6  --benchmark=NEW_ORDER [options]
  *   tlsim table2   [options]
+ *   tlsim bench    --artifact=figure5|figure6|table2 [options]
  *
  * Common options:
  *   --quick            reduced TPC-C scale
  *   --txns=N           transactions to capture
  *   --original         capture the untuned, unparallelized build
+ *   --jobs=N           parallel simulation points (0 = all cores)
+ *   --trace-cache=DIR  reuse on-disk trace snapshots across runs
  * Machine options (replay):
  *   --mode=tls|serial|nospec   execution mode (default tls)
  *   --subthreads=K --spacing=N --cpus=N --adaptive
@@ -29,8 +33,10 @@
 
 #include "base/log.h"
 #include "core/machine.h"
+#include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
+#include "sim/tracecache.h"
 #include "sim/traceio.h"
 #include "tpcc/tpcc.h"
 
@@ -266,27 +272,135 @@ cmdReplay(const Args &a)
     return 0;
 }
 
+/** Executor sized from --jobs (default 1; 0 = one per core). */
+sim::SimExecutor
+executorOf(const Args &a)
+{
+    return sim::SimExecutor(static_cast<unsigned>(a.num("jobs", 1)));
+}
+
 int
 cmdFigure5(const Args &a)
 {
     tpcc::TxnType type = benchmarkByName(a.str("benchmark"));
     sim::ExperimentConfig cfg = experimentConfig(a);
     cfg.machine = machineConfig(a);
-    sim::Figure5Row row = sim::runFigure5(type, cfg);
+    sim::SharedTraces traces =
+        sim::captureTracesShared(type, cfg, a.str("trace-cache"));
+    sim::SimExecutor ex = executorOf(a);
+    sim::Figure5Row row = sim::runFigure5(type, cfg, *traces, ex);
     sim::printFigure5Row(std::cout, row);
+    return 0;
+}
+
+int
+cmdFigure6(const Args &a)
+{
+    tpcc::TxnType type = benchmarkByName(a.str("benchmark"));
+    sim::ExperimentConfig cfg = experimentConfig(a);
+    cfg.machine = machineConfig(a);
+
+    const std::vector<unsigned> counts = {2, 4, 8};
+    const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
+                                                 10000, 25000, 50000};
+
+    sim::SharedTraces traces =
+        sim::captureTracesShared(type, cfg, a.str("trace-cache"));
+    sim::SimExecutor ex = executorOf(a);
+    RunResult seq = sim::runBar(sim::Bar::Sequential, *traces, cfg);
+    std::vector<sim::SweepPoint> points =
+        sim::runFigure6(type, cfg, counts, spacings, *traces, ex);
+    sim::printFigure6(std::cout, tpcc::txnTypeName(type), points,
+                      seq.makespan);
     return 0;
 }
 
 int
 cmdTable2(const Args &a)
 {
-    std::vector<sim::Table2Row> rows;
-    for (tpcc::TxnType type : tpcc::allBenchmarks()) {
+    const auto &benches = tpcc::allBenchmarks();
+    std::vector<sim::ExperimentConfig> cfgs;
+    std::vector<sim::SharedTraces> traces;
+    for (tpcc::TxnType type : benches) {
         std::fprintf(stderr, "capturing %s...\n",
                      tpcc::txnTypeName(type));
-        rows.push_back(sim::table2Row(type, experimentConfig(a)));
+        cfgs.push_back(experimentConfig(a));
+        traces.push_back(sim::captureTracesShared(
+            type, cfgs.back(), a.str("trace-cache")));
     }
+    sim::SimExecutor ex = executorOf(a);
+    std::vector<sim::Table2Row> rows(benches.size());
+    ex.parallelFor(benches.size(), [&](std::size_t i) {
+        rows[i] = sim::table2Row(benches[i], cfgs[i], *traces[i]);
+    });
     sim::printTable2(std::cout, rows);
+    return 0;
+}
+
+/**
+ * `tlsim bench`: run a full paper artifact (default figure5) across
+ * all benchmarks, fanning the simulation points over --jobs workers
+ * and reusing --trace-cache snapshots. --benchmark=NAME restricts the
+ * run to one benchmark.
+ */
+int
+cmdBench(const Args &a)
+{
+    std::string artifact = a.str("artifact", "figure5");
+    if (artifact == "table2")
+        return cmdTable2(a);
+    if (artifact != "figure5" && artifact != "figure6")
+        fatal("unknown artifact '%s' (figure5|figure6|table2)",
+              artifact.c_str());
+
+    std::vector<tpcc::TxnType> benches;
+    if (a.has("benchmark")) {
+        benches.push_back(benchmarkByName(a.str("benchmark")));
+    } else if (artifact == "figure6") {
+        benches = {tpcc::TxnType::NewOrder, tpcc::TxnType::NewOrder150,
+                   tpcc::TxnType::Delivery,
+                   tpcc::TxnType::DeliveryOuter,
+                   tpcc::TxnType::StockLevel};
+    } else {
+        benches = tpcc::allBenchmarks();
+    }
+
+    sim::ExperimentConfig cfg = experimentConfig(a);
+    cfg.machine = machineConfig(a);
+
+    // Serial capture phase, then parallel simulation per benchmark.
+    std::vector<sim::SharedTraces> traces;
+    for (tpcc::TxnType type : benches) {
+        std::fprintf(stderr, "capturing %s...\n",
+                     tpcc::txnTypeName(type));
+        traces.push_back(sim::captureTracesShared(
+            type, cfg, a.str("trace-cache")));
+    }
+
+    sim::SimExecutor ex = executorOf(a);
+    if (artifact == "figure5") {
+        std::vector<sim::Figure5Row> rows;
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            rows.push_back(
+                sim::runFigure5(benches[b], cfg, *traces[b], ex));
+            sim::printFigure5Row(std::cout, rows.back());
+        }
+        if (!a.has("benchmark"))
+            sim::printSpeedupSummary(std::cout, rows);
+        return 0;
+    }
+
+    const std::vector<unsigned> counts = {2, 4, 8};
+    const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
+                                                 10000, 25000, 50000};
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        RunResult seq =
+            sim::runBar(sim::Bar::Sequential, *traces[b], cfg);
+        std::vector<sim::SweepPoint> points = sim::runFigure6(
+            benches[b], cfg, counts, spacings, *traces[b], ex);
+        sim::printFigure6(std::cout, tpcc::txnTypeName(benches[b]),
+                          points, seq.makespan);
+    }
     return 0;
 }
 
@@ -305,10 +419,15 @@ main(int argc, char **argv)
         return cmdReplay(a);
     if (a.command == "figure5")
         return cmdFigure5(a);
+    if (a.command == "figure6")
+        return cmdFigure6(a);
     if (a.command == "table2")
         return cmdTable2(a);
+    if (a.command == "bench")
+        return cmdBench(a);
     std::fprintf(stderr,
-                 "usage: tlsim <capture|info|replay|figure5|table2> "
+                 "usage: tlsim "
+                 "<capture|info|replay|figure5|figure6|table2|bench> "
                  "[--key=value ...]\n");
     return a.command.empty() ? 1 : (a.command == "help" ? 0 : 1);
 }
