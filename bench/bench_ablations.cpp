@@ -49,6 +49,8 @@ line(const std::string &label, const RunResult &r, Cycle seq)
                 static_cast<unsigned long long>(r.overflowEvents));
     if (g_report) {
         g_report->addSimulatedCycles(static_cast<double>(r.makespan));
+        g_report->addReplayRecords(
+            static_cast<double>(r.recordsReplayed));
         g_report->add(
             label,
             {{"makespan", static_cast<double>(r.makespan)},
@@ -170,7 +172,12 @@ main(int argc, char **argv)
     std::vector<RunResult> res(jobs.size());
     ex.parallelFor(jobs.size(), [&](std::size_t i) {
         TlsMachine m(jobs[i].mc);
-        res[i] = m.run(*jobs[i].w, jobs[i].mode, cfg.warmupTxns);
+        const TraceIndex *idx = nullptr;
+        if (jobs[i].w == &traces->original)
+            idx = traces->originalIndex.get();
+        else if (jobs[i].w == &traces->tls)
+            idx = traces->tlsIndex.get();
+        res[i] = m.run(*jobs[i].w, jobs[i].mode, cfg.warmupTxns, idx);
     });
 
     Cycle seq = res[j_seq].makespan;

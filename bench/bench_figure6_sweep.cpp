@@ -64,6 +64,11 @@ main(int argc, char **argv)
     for (auto &p : points)
         p.resize(counts.size() * spacings.size());
 
+    // The captures above built exactly one pre-analysis per trace;
+    // every sweep point must reuse those, so no run in the parallel
+    // phase may trigger another analysis pass.
+    const std::uint64_t builds_before = TraceIndex::builds();
+
     ex.parallelFor(sweep_benchmarks.size() * per_bench,
                    [&](std::size_t i) {
         std::size_t b = i / per_bench;
@@ -82,8 +87,18 @@ main(int argc, char **argv)
         TlsMachine m(mc);
         points[b][j] = {k, s,
                         m.run(traces[b]->tls, ExecMode::Tls,
-                              cfgs[b].warmupTxns)};
+                              cfgs[b].warmupTxns,
+                              traces[b]->tlsIndex.get())};
     });
+
+    const std::uint64_t sweep_builds =
+        TraceIndex::builds() - builds_before;
+    if (sweep_builds != 0)
+        fatal("trace pre-analysis ran %llu times during the sweep; "
+              "each capture's index must be shared across all points",
+              static_cast<unsigned long long>(sweep_builds));
+    report.add("index_builds/sweep-phase",
+               {{"builds", static_cast<double>(sweep_builds)}});
 
     for (std::size_t b = 0; b < sweep_benchmarks.size(); ++b) {
         const char *name = tpcc::txnTypeName(sweep_benchmarks[b]);
@@ -91,12 +106,16 @@ main(int argc, char **argv)
                           seqs[b].makespan);
         report.addSimulatedCycles(
             static_cast<double>(seqs[b].makespan));
+        report.addReplayRecords(
+            static_cast<double>(seqs[b].recordsReplayed));
         report.add(std::string(name) + "/SEQUENTIAL",
                    {{"makespan",
                      static_cast<double>(seqs[b].makespan)}});
         for (const auto &p : points[b]) {
             report.addSimulatedCycles(
                 static_cast<double>(p.run.makespan));
+            report.addReplayRecords(
+                static_cast<double>(p.run.recordsReplayed));
             report.add(
                 strfmt("%s/k%u/s%llu", name, p.subthreads,
                        static_cast<unsigned long long>(p.spacing)),

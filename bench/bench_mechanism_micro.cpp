@@ -91,6 +91,8 @@ report(const char *label, const RunResult &r)
                                                 r.secondaryViolations));
     if (g_report) {
         g_report->addSimulatedCycles(static_cast<double>(r.makespan));
+        g_report->addReplayRecords(
+            static_cast<double>(r.recordsReplayed));
         g_report->add(
             g_section + "/" + label,
             {{"makespan", static_cast<double>(r.makespan)},

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -281,6 +282,56 @@ BM_MachineReplay(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * records);
 }
 BENCHMARK(BM_MachineReplay);
+
+/**
+ * Replay throughput on real TPC-C captures, with the conflict-oracle
+ * fast path off (arg 0) and on (arg 1). The pre-analysis index is
+ * built once per workload and shared, as the sweep harnesses do; the
+ * oracle must change only the records/second rate, never the results
+ * (tests/sim/goldenequiv_test.cc enforces the latter).
+ */
+sim::BenchmarkTraces &
+quickTraces(tpcc::TxnType type)
+{
+    static std::unordered_map<unsigned,
+                              std::unique_ptr<sim::BenchmarkTraces>>
+        cache;
+    auto &slot = cache[static_cast<unsigned>(type)];
+    if (!slot) {
+        sim::ExperimentConfig cfg;
+        cfg.scale = tpcc::TpccConfig::tiny();
+        cfg.txns = 4;
+        cfg.warmupTxns = 1;
+        slot = std::make_unique<sim::BenchmarkTraces>(
+            sim::captureTraces(type, cfg));
+        slot->buildIndexes(cfg.machine.mem.lineBytes);
+    }
+    return *slot;
+}
+
+void
+BM_ReplayTpcc(benchmark::State &state, tpcc::TxnType type)
+{
+    sim::BenchmarkTraces &traces = quickTraces(type);
+    MachineConfig cfg;
+    cfg.tls.useConflictOracle = state.range(0) != 0;
+    TlsMachine m(cfg);
+    std::uint64_t records = 0;
+    for (auto _ : state) {
+        RunResult r = m.run(traces.tls, ExecMode::Tls,
+                            /*warmup_txns=*/1, traces.tlsIndex.get());
+        records += r.recordsReplayed;
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK_CAPTURE(BM_ReplayTpcc, NEW_ORDER, tpcc::TxnType::NewOrder)
+    ->Arg(0)
+    ->Arg(1);
+BENCHMARK_CAPTURE(BM_ReplayTpcc, STOCK_LEVEL,
+                  tpcc::TxnType::StockLevel)
+    ->Arg(0)
+    ->Arg(1);
 
 /** Capture-side throughput: tracer append path (records/second). */
 void

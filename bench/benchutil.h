@@ -37,6 +37,9 @@ struct BenchArgs
     unsigned jobs = 1;      ///< simulation points in flight; 0 = auto
     std::string json;       ///< write machine-readable results here
     std::string traceCache; ///< reuse trace snapshots from this dir
+    /** Escape hatch: ignore the conflict-oracle bits of the trace
+     *  pre-analysis (results must be identical; replay is slower). */
+    bool noTraceIndex = false;
 };
 
 [[noreturn]] inline void
@@ -45,14 +48,17 @@ usage(const char *prog, int code)
     std::FILE *out = code == 0 ? stdout : stderr;
     std::fprintf(out,
                  "usage: %s [--quick] [--txns=N] [--jobs=N] "
-                 "[--json=FILE] [--trace-cache=DIR]\n"
+                 "[--json=FILE] [--trace-cache=DIR] "
+                 "[--no-trace-index]\n"
                  "  --quick            reduced TPC-C scale (CI)\n"
                  "  --txns=N           transactions per capture\n"
                  "  --jobs=N           parallel simulation points "
                  "(0 = all cores, default 1)\n"
                  "  --json=FILE        machine-readable results "
                  "(tlsim-bench-v1 schema)\n"
-                 "  --trace-cache=DIR  reuse on-disk trace snapshots\n",
+                 "  --trace-cache=DIR  reuse on-disk trace snapshots\n"
+                 "  --no-trace-index   disable the conflict-oracle "
+                 "fast path (identical results, slower replay)\n",
                  prog);
     std::exit(code);
 }
@@ -99,6 +105,8 @@ parseArgs(int argc, char **argv)
             args.json = value("--json=");
         else if (a.rfind("--trace-cache=", 0) == 0)
             args.traceCache = value("--trace-cache=");
+        else if (a == "--no-trace-index")
+            args.noTraceIndex = true;
         else if (a == "--help" || a == "-h")
             usage(argv[0], 0);
         else {
@@ -165,6 +173,7 @@ configFor(tpcc::TxnType type, const BenchArgs &args)
         cfg.txns = args.txns;
         cfg.warmupTxns = args.txns > 4 ? 2 : 1;
     }
+    cfg.machine.tls.useConflictOracle = !args.noTraceIndex;
     return cfg;
 }
 
@@ -215,6 +224,14 @@ class BenchReport
         simulatedCycles_ += cycles;
     }
 
+    /** Count trace records dispatched by the replay engine (the
+     *  numerator of the reported records_per_second throughput). */
+    void
+    addReplayRecords(double records)
+    {
+        replayRecords_ += records;
+    }
+
     double
     wallSeconds() const
     {
@@ -238,8 +255,12 @@ class BenchReport
         os << "  \"bench\": \"" << escape(bench_) << "\",\n";
         os << "  \"quick\": " << (quick_ ? "true" : "false") << ",\n";
         os << "  \"jobs\": " << jobs_ << ",\n";
-        os << "  \"wall_seconds\": " << wallSeconds() << ",\n";
+        double wall = wallSeconds();
+        os << "  \"wall_seconds\": " << wall << ",\n";
         os << "  \"simulated_cycles\": " << simulatedCycles_ << ",\n";
+        os << "  \"replay_records\": " << replayRecords_ << ",\n";
+        os << "  \"records_per_second\": "
+           << (wall > 0 ? replayRecords_ / wall : 0) << ",\n";
         os << "  \"results\": [";
         for (std::size_t i = 0; i < results_.size(); ++i) {
             os << (i ? ",\n    {" : "\n    {");
@@ -284,6 +305,7 @@ class BenchReport
     unsigned jobs_;
     std::chrono::steady_clock::time_point start_;
     double simulatedCycles_ = 0;
+    double replayRecords_ = 0;
     std::vector<std::pair<std::string, Fields>> results_;
 };
 

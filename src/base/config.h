@@ -100,6 +100,15 @@ struct TlsConfig
     bool useDependencePredictor = false;
     unsigned violationDeliveryLatency = 10; ///< cycles to signal a squash
     unsigned spawnOverheadInsts = 100; ///< software epoch-management cost
+    /**
+     * Consult the trace pre-analysis (core/traceindex) during replay:
+     * stores to lines no later epoch ever depends on skip the
+     * cross-context violation scan, and loads use the precomputed
+     * exposure bit instead of the per-word SM merge. A pure host-side
+     * optimisation — RunResult is identical either way (enforced by
+     * the golden-equivalence test); false forces the full path.
+     */
+    bool useConflictOracle = true;
 };
 
 /** Complete machine description. */

@@ -21,7 +21,8 @@ execModeName(ExecMode m)
 
 TlsMachine::TlsMachine(const MachineConfig &cfg)
     : cfg_(cfg), k_(cfg.tls.subthreadsPerThread),
-      numCpus_(cfg.tls.numCpus), mem_(cfg), spec_(numCpus_ * k_),
+      numCpus_(cfg.tls.numCpus), oracleOn_(cfg.tls.useConflictOracle),
+      mem_(cfg), spec_(numCpus_ * k_),
       exposed_(numCpus_), runs_(numCpus_), queues_(numCpus_)
 {
     cfg_.validate();
@@ -55,11 +56,25 @@ TlsMachine::lineHasSpecState(Addr line_num) const
 
 RunResult
 TlsMachine::run(const WorkloadTrace &workload, ExecMode mode,
-                unsigned warmup_txns)
+                unsigned warmup_txns, const TraceIndex *index)
 {
+    // Resolve the trace pre-analysis: use the caller's if it covers
+    // exactly this workload at our line size, else (re)build our own.
+    // The owned index is cached, so repeated runs of one workload on
+    // one machine analyse it once.
+    if (!index || !index->matches(&workload, cfg_.mem.lineBytes)) {
+        if (!ownedIndex_ ||
+            !ownedIndex_->matches(&workload, cfg_.mem.lineBytes))
+            ownedIndex_ = std::make_unique<TraceIndex>(
+                workload, cfg_.mem.lineBytes);
+        index = ownedIndex_.get();
+    }
+    index_ = index;
+
     // Full machine reset.
     mem_.reset();
     spec_.reset();
+    spec_.reserveLines(index_->maxSectionLines());
     profiler_.reset();
     latches_.clear();
     for (auto &c : cores_)
@@ -251,6 +266,7 @@ TlsMachine::runSerialEpoch(const EpochTrace &e)
     specTracking_ = false;
     auto run = acquireRun();
     run->trace = &e;
+    run->view = index_->viewOf(&e);
     run->cpu = 0;
     run->cps.push_back({0, cores_[0].checkpoint(), 0, 0});
     runs_[0] = std::move(run);
@@ -269,6 +285,7 @@ TlsMachine::startNextEpoch(CpuId cpu)
     queues_[cpu].pop_front();
     auto run = acquireRun();
     run->trace = trace;
+    run->view = index_->viewOf(trace);
     run->seq = seq;
     run->cpu = cpu;
     run->spacing = cfg_.tls.subthreadSpacing;
@@ -406,11 +423,12 @@ regionOfEnd(const EpochTrace &e, std::uint32_t idx)
 } // namespace
 
 void
-TlsMachine::chargeRecord(EpochRun &run, const TraceRecord &rec)
+TlsMachine::chargeRecord(EpochRun &run, InstCount insts)
 {
     if (tlsActive_ && !run.inEscape)
-        run.specInsts += recordInsts(rec);
+        run.specInsts += insts;
     ++run.cursor;
+    ++stats_.recordsReplayed;
 }
 
 void
@@ -424,8 +442,8 @@ TlsMachine::stepCpu(CpuId cpu)
         return;
     }
 
-    const auto &records = run.trace->records;
-    if (run.cursor >= records.size()) {
+    const EpochView &v = *run.view;
+    if (run.cursor >= v.size()) {
         finishEpochBody(run);
         return;
     }
@@ -436,34 +454,48 @@ TlsMachine::stepCpu(CpuId cpu)
         return;
     }
 
-    const TraceRecord &rec = records[run.cursor];
+    const std::uint32_t head = v.head[run.cursor];
+    const TraceOp op = EpochView::op(head);
+    const Pc pc = v.pc[run.cursor];
 
     // Instruction fetch for the record's code site.
-    Cycle fr = mem_.ifetch(cpu, rec.pc, core.now());
+    Cycle fr = mem_.ifetch(cpu, pc, core.now());
     core.advanceTo(fr, Cat::CacheMiss);
 
     bool spec = tlsActive_ && !run.inEscape;
 
-    switch (rec.op) {
+    switch (op) {
       case TraceOp::Load:
-        execLoad(run, rec, spec);
+      case TraceOp::Store: {
+        DecodedRec d{op,
+                     EpochView::aux(head),
+                     EpochView::sizeBytes(head),
+                     pc,
+                     v.memAddr(run.cursor),
+                     (head & EpochView::kConflictBit) != 0,
+                     (head & EpochView::kCoveredBit) != 0};
+        if (op == TraceOp::Load)
+            execLoad(run, d, spec);
+        else
+            execStore(run, d, spec);
         break;
-      case TraceOp::Store:
-        execStore(run, rec, spec);
+      }
+      case TraceOp::Compute: {
+        std::uint64_t insts = v.value(run.cursor);
+        core.doCompute(insts,
+                       static_cast<ComputeClass>(EpochView::aux(head)));
+        chargeRecord(run, insts);
         break;
-      case TraceOp::Compute:
-        core.doCompute(rec.addr, static_cast<ComputeClass>(rec.aux));
-        chargeRecord(run, rec);
-        break;
+      }
       case TraceOp::Branch:
-        core.doBranch(rec.pc, rec.aux & kAuxTaken);
-        chargeRecord(run, rec);
+        core.doBranch(pc, EpochView::aux(head) & kAuxTaken);
+        chargeRecord(run, 1);
         break;
       case TraceOp::LatchAcquire:
-        execLatchAcquire(run, rec);
+        execLatchAcquire(run, pc, v.value(run.cursor));
         break;
       case TraceOp::LatchRelease:
-        execLatchRelease(run, rec);
+        execLatchRelease(run, pc, v.value(run.cursor));
         break;
       case TraceOp::EscapeBegin: {
         unsigned region = regionOfBegin(*run.trace, run.cursor);
@@ -474,17 +506,19 @@ TlsMachine::stepCpu(CpuId cpu)
             run.cursor = run.trace->escapeSpans[region].second + 1;
         } else {
             run.inEscape = true;
-            core.doCompute(recordInsts(rec), ComputeClass::Int);
+            core.doCompute(2, ComputeClass::Int);
             ++run.cursor;
         }
+        ++stats_.recordsReplayed;
         break;
       }
       case TraceOp::EscapeEnd: {
         unsigned region = regionOfEnd(*run.trace, run.cursor);
         run.inEscape = false;
         run.escapedDone = std::max(run.escapedDone, region + 1);
-        core.doCompute(recordInsts(rec), ComputeClass::Int);
+        core.doCompute(2, ComputeClass::Int);
         ++run.cursor;
+        ++stats_.recordsReplayed;
         break;
       }
     }
@@ -508,7 +542,7 @@ TlsMachine::isOldest(const EpochRun &run) const
 }
 
 void
-TlsMachine::execLoad(EpochRun &run, const TraceRecord &rec, bool spec)
+TlsMachine::execLoad(EpochRun &run, const DecodedRec &d, bool spec)
 {
     Core &core = cores_[run.cpu];
     // The oldest running epoch is non-speculative (Section 2.1: the
@@ -521,7 +555,7 @@ TlsMachine::execLoad(EpochRun &run, const TraceRecord &rec, bool spec)
     // oldest and the value is guaranteed final. PC granularity makes
     // this grossly conservative, which is the paper's point.
     if (strack && cfg_.tls.useDependencePredictor &&
-        run.latchesHeld == 0 && predictedLoads_.count(rec.pc)) {
+        run.latchesHeld == 0 && predictedLoads_.count(d.pc)) {
         // (Bypassed while holding a latch: an older epoch might be
         // waiting on it, and synchronizing here would deadlock.)
         ++stats_.predictorStalls;
@@ -529,79 +563,97 @@ TlsMachine::execLoad(EpochRun &run, const TraceRecord &rec, bool spec)
         return; // record retried; progresses once oldest
     }
 
-    Cycle issue = core.prepareLoad(rec.aux & kAuxDependent);
-    MemAccess res = mem_.load(run.cpu, rec.addr, issue, strack);
+    Cycle issue = core.prepareLoad(d.aux & kAuxDependent);
+    MemAccess res = mem_.load(run.cpu, d.addr, issue, strack);
     if (res.overflow) {
         handleOverflow(run, res);
         return; // record retried after the overflow resolves
     }
     core.finishLoad(res.readyAt);
     if (strack) {
-        Addr line = mem_.geom().lineNum(rec.addr);
-        std::uint32_t wm = mem_.geom().wordMask(rec.addr, rec.size);
-        bool exposed = spec_.recordLoad(ctxId(run.cpu, run.curSub),
-                                        threadMask(run.cpu, run.curSub),
-                                        line, wm);
-        if (exposed)
-            exposed_[run.cpu].record(line, rec.pc);
+        Addr line = mem_.geom().lineNum(d.addr);
+        if (oracleOn_) {
+            // The pre-analysis already decided exposure: a covered
+            // load changes no speculative state at all, an exposed
+            // one sets its SL bit without the per-word SM merge.
+            if (!d.covered) {
+                spec_.recordLoadExposed(ctxId(run.cpu, run.curSub),
+                                        line);
+                exposed_[run.cpu].record(line, d.pc);
+            }
+        } else {
+            std::uint32_t wm = mem_.geom().wordMask(d.addr, d.size);
+            bool exposed =
+                spec_.recordLoad(ctxId(run.cpu, run.curSub),
+                                 threadMask(run.cpu, run.curSub),
+                                 line, wm);
+            if (exposed)
+                exposed_[run.cpu].record(line, d.pc);
+        }
     }
-    chargeRecord(run, rec);
+    chargeRecord(run, d.aux >> kAuxInstShift);
 }
 
 void
-TlsMachine::execStore(EpochRun &run, const TraceRecord &rec, bool spec)
+TlsMachine::execStore(EpochRun &run, const DecodedRec &d, bool spec)
 {
     Core &core = cores_[run.cpu];
     bool strack = spec && specTracking_ && !isOldest(run);
-    MemAccess res = mem_.store(run.cpu, rec.addr, core.now(), strack);
+    MemAccess res = mem_.store(run.cpu, d.addr, core.now(), strack);
     if (res.overflow) {
         handleOverflow(run, res);
         return;
     }
-    Addr line = mem_.geom().lineNum(rec.addr);
+    Addr line = mem_.geom().lineNum(d.addr);
     if (strack) {
-        std::uint32_t wm = mem_.geom().wordMask(rec.addr, rec.size);
+        std::uint32_t wm = mem_.geom().wordMask(d.addr, d.size);
         spec_.recordStore(ctxId(run.cpu, run.curSub), line, wm);
     }
-    if (tlsActive_ && specTracking_) {
+    if (tlsActive_ && specTracking_ &&
+        (!oracleOn_ || d.conflict)) {
         // Escaped stores are non-speculative but still produce values
         // that younger speculative readers must not have consumed.
+        // With the oracle on, stores to non-conflict-candidate lines
+        // skip this scan: the pre-analysis proved no younger epoch
+        // ever reads the line, so no SL holder can exist.
         if (cfg_.tls.aggressiveUpdates || !strack)
-            checkViolations(run, line, rec.pc);
+            checkViolations(run, line, d.pc);
         else
-            run.deferredChecks.emplace_back(line, rec.pc);
+            run.deferredChecks.emplace_back(line, d.pc);
     }
     core.doStore(res.readyAt);
-    chargeRecord(run, rec);
+    chargeRecord(run, d.aux >> kAuxInstShift);
 }
 
 void
-TlsMachine::execLatchAcquire(EpochRun &run, const TraceRecord &rec)
+TlsMachine::execLatchAcquire(EpochRun &run, Pc pc,
+                             std::uint64_t latch_id)
 {
+    (void)pc;
     Core &core = cores_[run.cpu];
-    LatchState &latch = latches_[rec.addr];
+    LatchState &latch = latches_[latch_id];
     if (latch.held && latch.owner == run.cpu) {
         // Granted while waking from the wait queue (or re-held across a
         // rewind replay).
         ++run.latchesHeld;
-        run.heldLatches.push_back(rec.addr);
-        core.doCompute(recordInsts(rec), ComputeClass::Int);
-        chargeRecord(run, rec);
+        run.heldLatches.push_back(latch_id);
+        core.doCompute(4, ComputeClass::Int);
+        chargeRecord(run, 4);
         return;
     }
     if (!latch.held) {
         latch.held = true;
         latch.owner = run.cpu;
         ++run.latchesHeld;
-        run.heldLatches.push_back(rec.addr);
-        core.doCompute(recordInsts(rec), ComputeClass::Int);
-        chargeRecord(run, rec);
+        run.heldLatches.push_back(latch_id);
+        core.doCompute(4, ComputeClass::Int);
+        chargeRecord(run, 4);
         return;
     }
     // Blocked: leave the cursor on the acquire; the releaser wakes us.
     latch.waiters.push_back(run.cpu);
     run.st = RunState::LatchWait;
-    run.waitLatch = rec.addr;
+    run.waitLatch = latch_id;
     ++stats_.latchWaits;
 }
 
@@ -628,23 +680,25 @@ TlsMachine::releaseLatch(std::uint64_t latch_id, Cycle at)
 }
 
 void
-TlsMachine::execLatchRelease(EpochRun &run, const TraceRecord &rec)
+TlsMachine::execLatchRelease(EpochRun &run, Pc pc,
+                             std::uint64_t latch_id)
 {
+    (void)pc;
     Core &core = cores_[run.cpu];
-    core.doCompute(recordInsts(rec), ComputeClass::Int);
+    core.doCompute(4, ComputeClass::Int);
 
     auto held_it = std::find(run.heldLatches.begin(),
-                             run.heldLatches.end(), rec.addr);
+                             run.heldLatches.end(), latch_id);
     if (held_it == run.heldLatches.end()) {
         // Replay residue: the violation handler already released this
         // latch during a rewind. Charge the cost and move on.
-        chargeRecord(run, rec);
+        chargeRecord(run, 4);
         return;
     }
     run.heldLatches.erase(held_it);
     --run.latchesHeld;
-    releaseLatch(rec.addr, core.now());
-    chargeRecord(run, rec);
+    releaseLatch(latch_id, core.now());
+    chargeRecord(run, 4);
 }
 
 // ---------------------------------------------------------------------

@@ -40,6 +40,7 @@
 #include "core/profiler.h"
 #include "core/specstate.h"
 #include "core/trace.h"
+#include "core/traceindex.h"
 #include "cpu/breakdown.h"
 #include "cpu/core.h"
 #include "mem/memsys.h"
@@ -74,6 +75,9 @@ struct RunResult
     std::uint64_t latchWaits = 0;
     std::uint64_t escapeSkips = 0; ///< escaped regions not re-executed
     std::uint64_t predictorStalls = 0; ///< predictor-synchronized loads
+    /** Trace records dispatched in the measured region (including
+     *  rewind replays); the bench replay-throughput denominator. */
+    std::uint64_t recordsReplayed = 0;
 
     std::uint64_t l1Hits = 0, l1Misses = 0;
     std::uint64_t l2Hits = 0, l2Misses = 0, victimHits = 0;
@@ -96,9 +100,17 @@ class TlsMachine : public TlsHooks
      * Execute a workload. The first `warmup_txns` transactions run
      * with full machine state but are excluded from the measured
      * statistics (they warm caches and the predictor).
+     *
+     * `index` is the workload's trace pre-analysis; pass the one the
+     * trace cache built so it is shared across simulation points. If
+     * absent (or built from a different workload object), the machine
+     * builds and keeps its own. Whether the analysis' *oracle bits*
+     * are consulted is governed by TlsConfig::useConflictOracle; the
+     * packed replay layout is used either way.
      */
     RunResult run(const WorkloadTrace &workload, ExecMode mode,
-                  unsigned warmup_txns = 0);
+                  unsigned warmup_txns = 0,
+                  const TraceIndex *index = nullptr);
 
     /** The Section 3.1 profiler (valid after a Tls-mode run). */
     const DependenceProfiler &profiler() const { return profiler_; }
@@ -129,6 +141,7 @@ class TlsMachine : public TlsHooks
     struct EpochRun
     {
         const EpochTrace *trace = nullptr;
+        const EpochView *view = nullptr; ///< packed replay streams
         std::uint64_t seq = 0; ///< global program order
         CpuId cpu = 0;
         std::uint32_t cursor = 0;
@@ -165,6 +178,7 @@ class TlsMachine : public TlsHooks
         recycle()
         {
             trace = nullptr;
+            view = nullptr;
             seq = 0;
             cpu = 0;
             cursor = 0;
@@ -197,6 +211,18 @@ class TlsMachine : public TlsHooks
         std::deque<CpuId> waiters;
     };
 
+    /** One trace record decoded from the packed view streams. */
+    struct DecodedRec
+    {
+        TraceOp op;
+        std::uint16_t aux;
+        unsigned size;
+        Pc pc;
+        Addr addr;     ///< full memory address (Load/Store only)
+        bool conflict; ///< line is a conflict candidate
+        bool covered;  ///< load covered by own earlier stores
+    };
+
     // ----- helpers -----------------------------------------------------
 
     ContextId ctxId(CpuId cpu, unsigned sub) const
@@ -223,10 +249,10 @@ class TlsMachine : public TlsHooks
     /** Process one record (or pending state) on `cpu`. */
     void stepCpu(CpuId cpu);
 
-    void execLoad(EpochRun &run, const TraceRecord &rec, bool spec);
-    void execStore(EpochRun &run, const TraceRecord &rec, bool spec);
-    void execLatchAcquire(EpochRun &run, const TraceRecord &rec);
-    void execLatchRelease(EpochRun &run, const TraceRecord &rec);
+    void execLoad(EpochRun &run, const DecodedRec &d, bool spec);
+    void execStore(EpochRun &run, const DecodedRec &d, bool spec);
+    void execLatchAcquire(EpochRun &run, Pc pc, std::uint64_t latch_id);
+    void execLatchRelease(EpochRun &run, Pc pc, std::uint64_t latch_id);
     void releaseLatch(std::uint64_t latch_id, Cycle at);
 
     bool isOldest(const EpochRun &run) const;
@@ -240,7 +266,7 @@ class TlsMachine : public TlsHooks
     void finishEpochBody(EpochRun &run);
 
     /** Charge instruction-side costs common to every record. */
-    void chargeRecord(EpochRun &run, const TraceRecord &rec);
+    void chargeRecord(EpochRun &run, InstCount insts);
 
     void resetAccounting();
     void collect(RunResult &out);
@@ -250,8 +276,13 @@ class TlsMachine : public TlsHooks
     MachineConfig cfg_;
     unsigned k_;       ///< sub-thread contexts per thread
     unsigned numCpus_;
+    bool oracleOn_;    ///< consult the pre-analysis oracle bits
     bool tlsActive_ = false;    ///< current section runs parallel epochs
     bool specTracking_ = false; ///< SL/SM tracking + violations enabled
+
+    /** The active workload's pre-analysis (caller's or ownedIndex_). */
+    const TraceIndex *index_ = nullptr;
+    std::unique_ptr<TraceIndex> ownedIndex_;
 
     MemSystem mem_;
     std::vector<Core> cores_;

@@ -130,6 +130,35 @@ SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
 }
 
 void
+SpecState::recordLoadExposed(ContextId ctx, Addr line)
+{
+    std::size_t idx = findOrInsert(line);
+    LineSpec &ls = slots_[idx].spec;
+    std::uint64_t bit = std::uint64_t{1} << ctx;
+    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+        ctxLines_[ctx].push_back(line);
+    ls.sl |= bit;
+}
+
+void
+SpecState::reserveLines(std::size_t lines)
+{
+    // Target load factor <= 3/4, like findOrInsert's growth trigger.
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 < (lines + 1) * 4)
+        cap *= 2;
+    if (cap <= slots_.size())
+        return;
+    if (size_ != 0)
+        panic("SpecState::reserveLines on a non-empty table");
+    slots_.assign(cap, Slot{});
+    ctrl_.assign(cap, kEmpty);
+    occupied_ = 0;
+    mask_ = cap - 1;
+    lastIdx_ = kNotFound;
+}
+
+void
 SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
 {
     std::size_t idx = findOrInsert(line);

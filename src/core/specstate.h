@@ -48,8 +48,22 @@ class SpecState
     bool recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
                     std::uint32_t word_mask);
 
+    /**
+     * Fast path used when the trace pre-analysis already proved the
+     * load exposed: sets the SL bit without the per-word SM merge.
+     * Equivalent to recordLoad() returning true on the same line.
+     */
+    void recordLoadExposed(ContextId ctx, Addr line);
+
     /** Record a speculative store by `ctx` to `word_mask` of `line`. */
     void recordStore(ContextId ctx, Addr line, std::uint32_t word_mask);
+
+    /**
+     * Pre-size the table for `lines` concurrent entries (a rehash is
+     * purely a host-side cost, so doing it up front is unobservable
+     * in simulated time). Call on an empty table.
+     */
+    void reserveLines(std::size_t lines);
 
     /** Bitmask of contexts holding an SL bit on this line. */
     std::uint64_t slHolders(Addr line) const;

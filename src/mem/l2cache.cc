@@ -73,38 +73,52 @@ L2Cache::hasEntry(Addr line_num, std::uint8_t version) const
 L2Cache::InsertResult
 L2Cache::insert(Addr line_num, std::uint8_t version)
 {
-    if (Entry *e = find(line_num, version)) {
-        e->lru = ++useClock_;
-        return {true, {}};
-    }
-
     std::size_t base = setBase(line_num);
 
-    // 1. An invalid way.
+    // 1. One pass over the set: refresh an exact match, else note the
+    //    first invalid way.
+    Entry *invalid = nullptr;
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
         if (!e.valid) {
-            e = Entry{line_num, version, true, ++useClock_};
+            if (!invalid)
+                invalid = &e;
+            continue;
+        }
+        if (e.lineNum == line_num && e.version == version) {
+            e.lru = ++useClock_;
             return {true, {}};
         }
+    }
+    if (invalid) {
+        *invalid = Entry{line_num, version, true, ++useClock_};
+        return {true, {}};
     }
 
     // 2. Silently drop the LRU committed line with no speculative
     //    metadata (write-through discipline above us; the L2 holds the
     //    only on-chip copy, but committed data can be refetched).
-    Entry *drop = nullptr;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Entry &e = entries_[base + w];
-        if (e.version != kCommittedVersion)
-            continue;
-        if (hooks_ && hooks_->lineHasSpecState(e.lineNum))
-            continue;
-        if (!drop || e.lru < drop->lru)
-            drop = &e;
-    }
-    if (drop) {
-        *drop = Entry{line_num, version, true, ++useClock_};
-        return {true, {}};
+    //    Candidates are probed in LRU order so the common case pays
+    //    one speculative-state lookup, not one per committed way; LRU
+    //    stamps are unique (a monotone clock), so `floor` advances
+    //    past exactly the ways already rejected.
+    std::uint64_t floor = 0;
+    for (;;) {
+        Entry *cand = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Entry &e = entries_[base + w];
+            if (e.version != kCommittedVersion || e.lru < floor)
+                continue;
+            if (!cand || e.lru < cand->lru)
+                cand = &e;
+        }
+        if (!cand)
+            break;
+        if (!hooks_ || !hooks_->lineHasSpecState(cand->lineNum)) {
+            *cand = Entry{line_num, version, true, ++useClock_};
+            return {true, {}};
+        }
+        floor = cand->lru + 1;
     }
 
     // 3. Every way holds speculative state: spill the LRU way to the

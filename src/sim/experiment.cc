@@ -39,6 +39,16 @@ ExperimentConfig::testPreset()
     return cfg;
 }
 
+void
+BenchmarkTraces::buildIndexes(unsigned line_bytes)
+{
+    if (!originalIndex || !originalIndex->matches(&original, line_bytes))
+        originalIndex =
+            std::make_shared<const TraceIndex>(original, line_bytes);
+    if (!tlsIndex || !tlsIndex->matches(&tls, line_bytes))
+        tlsIndex = std::make_shared<const TraceIndex>(tls, line_bytes);
+}
+
 BenchmarkTraces
 captureTraces(tpcc::TxnType type, const ExperimentConfig &cfg)
 {
@@ -67,28 +77,34 @@ runBar(Bar bar, const BenchmarkTraces &traces,
        const ExperimentConfig &cfg)
 {
     MachineConfig mc = cfg.machine;
+    const TraceIndex *orig_idx = traces.originalIndex.get();
+    const TraceIndex *tls_idx = traces.tlsIndex.get();
     switch (bar) {
       case Bar::Sequential: {
         TlsMachine m(mc);
-        return m.run(traces.original, ExecMode::Serial, cfg.warmupTxns);
+        return m.run(traces.original, ExecMode::Serial, cfg.warmupTxns,
+                     orig_idx);
       }
       case Bar::TlsSeq: {
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Serial, cfg.warmupTxns);
+        return m.run(traces.tls, ExecMode::Serial, cfg.warmupTxns,
+                     tls_idx);
       }
       case Bar::NoSubthread: {
         mc.tls.subthreadsPerThread = 1;
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
+        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+                     tls_idx);
       }
       case Bar::Baseline: {
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns);
+        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+                     tls_idx);
       }
       case Bar::NoSpeculation: {
         TlsMachine m(mc);
         return m.run(traces.tls, ExecMode::NoSpeculation,
-                     cfg.warmupTxns);
+                     cfg.warmupTxns, tls_idx);
       }
     }
     panic("unknown bar");
@@ -113,6 +129,7 @@ Figure5Row
 runFigure5(tpcc::TxnType type, const ExperimentConfig &cfg)
 {
     BenchmarkTraces traces = captureTraces(type, cfg);
+    traces.buildIndexes(cfg.machine.mem.lineBytes);
     Figure5Row row;
     row.type = type;
     for (Bar b : allBars())
@@ -152,7 +169,8 @@ runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
         mc.tls.subthreadSpacing = s;
         TlsMachine m(mc);
         out[i] = {k, s,
-                  m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns)};
+                  m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+                        traces.tlsIndex.get())};
     });
     return out;
 }
@@ -163,6 +181,7 @@ runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
            const std::vector<std::uint64_t> &spacings)
 {
     BenchmarkTraces traces = captureTraces(type, cfg);
+    traces.buildIndexes(cfg.machine.mem.lineBytes);
     std::vector<SweepPoint> out;
     for (unsigned k : counts) {
         for (std::uint64_t s : spacings) {
@@ -171,8 +190,8 @@ runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
             mc.tls.subthreadSpacing = s;
             TlsMachine m(mc);
             out.push_back(
-                {k, s, m.run(traces.tls, ExecMode::Tls,
-                             cfg.warmupTxns)});
+                {k, s, m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+                             traces.tlsIndex.get())});
         }
     }
     return out;
@@ -182,6 +201,7 @@ Table2Row
 table2Row(tpcc::TxnType type, const ExperimentConfig &cfg)
 {
     BenchmarkTraces traces = captureTraces(type, cfg);
+    traces.buildIndexes(cfg.machine.mem.lineBytes);
     return table2Row(type, cfg, traces);
 }
 
@@ -194,7 +214,8 @@ table2Row(tpcc::TxnType type, const ExperimentConfig &cfg,
 
     TlsMachine m(cfg.machine);
     RunResult seq =
-        m.run(traces.original, ExecMode::Serial, cfg.warmupTxns);
+        m.run(traces.original, ExecMode::Serial, cfg.warmupTxns,
+              traces.originalIndex.get());
     row.execMcycles = static_cast<double>(seq.makespan) / 1e6;
 
     // Workload statistics over the measured transactions of the TLS

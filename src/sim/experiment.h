@@ -14,6 +14,7 @@
 #ifndef SIM_EXPERIMENT_H
 #define SIM_EXPERIMENT_H
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,21 @@ struct BenchmarkTraces
 {
     WorkloadTrace original; ///< untuned DB, no markers (SEQUENTIAL)
     WorkloadTrace tls;      ///< tuned DB + markers (all other bars)
+
+    /**
+     * Trace pre-analyses, shared read-only by every simulation point
+     * that replays the corresponding workload (the analysis depends
+     * only on the trace and the line size, not on any TLS knob).
+     * Null until buildIndexes() — runBar() and the machine tolerate
+     * that by building a private index, but then the work repeats per
+     * run instead of once per capture.
+     */
+    std::shared_ptr<const TraceIndex> originalIndex;
+    std::shared_ptr<const TraceIndex> tlsIndex;
+
+    /** Analyse both workloads (no-op if already built for this
+     *  object; must be re-run if the traces are moved/reassigned). */
+    void buildIndexes(unsigned line_bytes);
 };
 
 /** Experiment-wide knobs. */

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "base/log.h"
+#include "core/traceindex.h"
 #include "sim/traceio.h"
 
 namespace tlsim {
@@ -64,13 +65,53 @@ traceCacheKey(tpcc::TxnType type, const ExperimentConfig &cfg)
     return strfmt("%016llx", static_cast<unsigned long long>(k.h));
 }
 
+namespace {
+
+/**
+ * Attach pre-analysis indexes to freshly loaded/captured traces,
+ * reusing the `.idx` files cached alongside the trace pair when they
+ * match. Must run after `traces` holds its final workloads (the index
+ * references its source workload by address).
+ */
+void
+attachIndexes(BenchmarkTraces &traces, unsigned line_bytes,
+              const std::string &stem)
+{
+    namespace fs = std::filesystem;
+    std::string orig_path = stem + ".orig.idx";
+    std::string tls_path = stem + ".tls.idx";
+
+    if (fs::exists(orig_path))
+        traces.originalIndex = TraceIndex::loadFile(
+            orig_path, traces.original, line_bytes);
+    if (fs::exists(tls_path))
+        traces.tlsIndex =
+            TraceIndex::loadFile(tls_path, traces.tls, line_bytes);
+    if (traces.originalIndex && traces.tlsIndex)
+        return;
+
+    bool save_orig = !traces.originalIndex;
+    bool save_tls = !traces.tlsIndex;
+    traces.buildIndexes(line_bytes);
+    if (save_orig)
+        traces.originalIndex->saveFile(orig_path);
+    if (save_tls)
+        traces.tlsIndex->saveFile(tls_path);
+}
+
+} // namespace
+
 SharedTraces
 captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
                     const std::string &cache_dir)
 {
-    if (cache_dir.empty())
-        return std::make_shared<BenchmarkTraces>(
+    unsigned line_bytes = cfg.machine.mem.lineBytes;
+    if (cache_dir.empty()) {
+        auto traces = std::make_shared<BenchmarkTraces>(
             captureTraces(type, cfg));
+        traces->buildIndexes(line_bytes);
+        return traces;
+    }
 
     namespace fs = std::filesystem;
     std::string stem =
@@ -85,6 +126,7 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
             loadTraceFile(tls_path, &tls)) {
             traces->original = std::move(orig);
             traces->tls = std::move(tls);
+            attachIndexes(*traces, line_bytes, stem);
             return traces;
         }
         inform("trace cache: %s has a foreign format, re-capturing",
@@ -101,6 +143,9 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
         std::make_shared<BenchmarkTraces>(captureTraces(type, cfg));
     saveTraceFile(orig_path, traces->original);
     saveTraceFile(tls_path, traces->tls);
+    traces->buildIndexes(line_bytes);
+    traces->originalIndex->saveFile(stem + ".orig.idx");
+    traces->tlsIndex->saveFile(stem + ".tls.idx");
     return traces;
 }
 

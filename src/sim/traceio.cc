@@ -31,13 +31,68 @@ get(std::istream &is)
     return v;
 }
 
+// ----- v4 columnar epoch encoding ------------------------------------
+//
+// Per epoch the record fields are stored as separate streams (all ops,
+// then all sizes, ...) with the 64-bit addr column zigzag-varint coded
+// as deltas from the previous record's addr. Heap addresses in a
+// transaction are near-sequential, so most deltas fit in 1-2 bytes;
+// the column shrinks from 8 bytes to ~1.3 per record.
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t z)
+{
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        put<std::uint8_t>(os, static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getVarint(std::istream &is)
+{
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        auto b = get<std::uint8_t>(is);
+        v |= std::uint64_t{b & 0x7f} << shift;
+        if (!(b & 0x80))
+            return v;
+    }
+    panic("trace file corrupt: varint longer than 64 bits");
+}
+
 void
 putEpoch(std::ostream &os, const EpochTrace &e)
 {
-    put<std::uint64_t>(os, e.records.size());
-    os.write(reinterpret_cast<const char *>(e.records.data()),
-             static_cast<std::streamsize>(e.records.size() *
-                                          sizeof(TraceRecord)));
+    const std::size_t n = e.records.size();
+    put<std::uint64_t>(os, n);
+    for (const TraceRecord &r : e.records)
+        put<std::uint8_t>(os, static_cast<std::uint8_t>(r.op));
+    for (const TraceRecord &r : e.records)
+        put<std::uint8_t>(os, r.size);
+    for (const TraceRecord &r : e.records)
+        put<std::uint16_t>(os, r.aux);
+    for (const TraceRecord &r : e.records)
+        put<std::uint32_t>(os, r.pc);
+    Addr prev = 0;
+    for (const TraceRecord &r : e.records) {
+        putVarint(os, zigzag(static_cast<std::int64_t>(r.addr - prev)));
+        prev = r.addr;
+    }
     put<std::uint64_t>(os, e.instCount);
     put<std::uint64_t>(os, e.specInstCount);
     put<std::uint64_t>(os, e.escapeSpans.size());
@@ -47,28 +102,74 @@ putEpoch(std::ostream &os, const EpochTrace &e)
     }
 }
 
-EpochTrace
-getEpoch(std::istream &is)
+/** Read one epoch; false (after inform) if structurally malformed. */
+bool
+getEpoch(std::istream &is, EpochTrace *out)
 {
     EpochTrace e;
     auto n = get<std::uint64_t>(is);
-    if (n > (std::uint64_t{1} << 32))
-        panic("trace file corrupt: %llu records in one epoch",
-              static_cast<unsigned long long>(n));
+    if (n > (std::uint64_t{1} << 32)) {
+        inform("trace file rejected: %llu records in one epoch",
+               static_cast<unsigned long long>(n));
+        return false;
+    }
     e.records.resize(n);
-    is.read(reinterpret_cast<char *>(e.records.data()),
-            static_cast<std::streamsize>(n * sizeof(TraceRecord)));
-    if (!is)
-        panic("trace file truncated in record block");
+    for (auto &r : e.records) {
+        auto op = get<std::uint8_t>(is);
+        if (op > static_cast<std::uint8_t>(TraceOp::EscapeEnd)) {
+            inform("trace file rejected: bad opcode %u", op);
+            return false;
+        }
+        r.op = static_cast<TraceOp>(op);
+    }
+    for (auto &r : e.records) {
+        r.size = get<std::uint8_t>(is);
+        if ((r.op == TraceOp::Load || r.op == TraceOp::Store) &&
+            (r.size == 0 || r.size > 128)) {
+            inform("trace file rejected: access size %u", r.size);
+            return false;
+        }
+    }
+    for (auto &r : e.records)
+        r.aux = get<std::uint16_t>(is);
+    for (auto &r : e.records)
+        r.pc = get<std::uint32_t>(is);
+    Addr prev = 0;
+    for (auto &r : e.records) {
+        prev += static_cast<Addr>(unzigzag(getVarint(is)));
+        r.addr = prev;
+    }
     e.instCount = get<std::uint64_t>(is);
     e.specInstCount = get<std::uint64_t>(is);
     auto spans = get<std::uint64_t>(is);
+    if (spans > n) {
+        inform("trace file rejected: %llu escape spans for %llu records",
+               static_cast<unsigned long long>(spans),
+               static_cast<unsigned long long>(n));
+        return false;
+    }
+    std::uint64_t prev_end = 0;
     for (std::uint64_t i = 0; i < spans; ++i) {
         auto b = get<std::uint32_t>(is);
         auto en = get<std::uint32_t>(is);
+        if (b > en || en >= n || (i > 0 && b <= prev_end)) {
+            inform("trace file rejected: escape span [%u,%u] unordered "
+                   "or out of bounds (%llu records)",
+                   b, en, static_cast<unsigned long long>(n));
+            return false;
+        }
+        if (e.records[b].op != TraceOp::EscapeBegin ||
+            e.records[en].op != TraceOp::EscapeEnd) {
+            inform("trace file rejected: escape span [%u,%u] not "
+                   "anchored on EscapeBegin/EscapeEnd",
+                   b, en);
+            return false;
+        }
+        prev_end = en;
         e.escapeSpans.emplace_back(b, en);
     }
-    return e;
+    *out = std::move(e);
+    return true;
 }
 
 } // namespace
@@ -113,13 +214,17 @@ loadTrace(std::istream &is, WorkloadTrace *out)
     auto &reg = SiteRegistry::instance();
     std::unordered_map<Pc, Pc> remap;
     auto site_count = get<std::uint64_t>(is);
-    if (site_count > 1'000'000)
-        panic("trace file corrupt: %llu sites",
-              static_cast<unsigned long long>(site_count));
+    if (site_count > 1'000'000) {
+        inform("trace file rejected: %llu sites",
+               static_cast<unsigned long long>(site_count));
+        return false;
+    }
     for (std::uint64_t i = 0; i < site_count; ++i) {
         auto len = get<std::uint32_t>(is);
-        if (len > 4096)
-            panic("trace file corrupt: site name of %u bytes", len);
+        if (len > 4096) {
+            inform("trace file rejected: site name of %u bytes", len);
+            return false;
+        }
         std::string name(len, '\0');
         is.read(name.data(), len);
         if (!is)
@@ -140,7 +245,9 @@ loadTrace(std::istream &is, WorkloadTrace *out)
             sec.parallel = get<std::uint8_t>(is) != 0;
             auto epochs = get<std::uint64_t>(is);
             for (std::uint64_t e = 0; e < epochs; ++e) {
-                EpochTrace et = getEpoch(is);
+                EpochTrace et;
+                if (!getEpoch(is, &et))
+                    return false;
                 if (!remap.empty()) {
                     for (TraceRecord &r : et.records) {
                         auto it = remap.find(r.pc);

@@ -26,18 +26,25 @@ namespace sim {
 
 /** Magic + version of the trace container format. */
 inline constexpr std::uint32_t kTraceMagic = 0x544c5331; // "TLS1"
-inline constexpr std::uint32_t kTraceVersion = 3;
+inline constexpr std::uint32_t kTraceVersion = 4;
 // v3: embeds the site-name table; PCs are remapped through the
 // loading process's SiteRegistry so profiler output stays symbolic
 // across processes.
+// v4: epochs store columnar streams (op/size/aux/pc arrays plus
+// zigzag-varint delta-coded addresses) instead of packed TraceRecord
+// structs — near-sequential heap addresses delta-code to a byte or
+// two. The version bump invalidates v3 trace caches; they re-capture.
 
 /** Serialize a workload to a stream / file. */
 void saveTrace(std::ostream &os, const WorkloadTrace &w);
 void saveTraceFile(const std::string &path, const WorkloadTrace &w);
 
 /**
- * Deserialize. Panics on corrupt structure; returns false only for
- * wrong magic/version (foreign file).
+ * Deserialize. Returns false for wrong magic/version (foreign file)
+ * and for structurally malformed content — bad opcodes, oversized
+ * accesses, or escape spans that are unordered, overlapping, out of
+ * bounds, or not anchored on EscapeBegin/EscapeEnd records — after
+ * describing the defect via inform(). Panics only on truncation.
  */
 bool loadTrace(std::istream &is, WorkloadTrace *out);
 bool loadTraceFile(const std::string &path, WorkloadTrace *out);

@@ -157,6 +157,112 @@ TEST(TraceIo, SiteNamesSurviveSerialization)
     EXPECT_EQ(SiteRegistry::instance().name(pc), "traceio.test.site");
 }
 
+// --- Loader hardening: structurally malformed files are rejected with
+// a clear error, not loaded (and not a crash). The writer serializes
+// in-memory structs verbatim, so corrupting the struct before saveTrace
+// produces a byte-stream with exactly the targeted defect. ------------
+
+/** Save `w` and expect the loader to reject it. */
+void
+expectRejected(WorkloadTrace &w)
+{
+    std::stringstream ss;
+    saveTrace(ss, w);
+    WorkloadTrace out;
+    EXPECT_FALSE(loadTrace(ss, &out));
+}
+
+EpochTrace &
+firstParallelEpoch(WorkloadTrace &w)
+{
+    return w.txns.at(0).sections.at(1).epochs.at(0);
+}
+
+TEST(TraceIo, RejectsUnknownOpcode)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    firstParallelEpoch(w).records[0].op = static_cast<TraceOp>(200);
+    expectRejected(w);
+}
+
+TEST(TraceIo, RejectsMemoryRecordSizeOutOfRange)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    for (auto &r : firstParallelEpoch(w).records) {
+        if (r.op == TraceOp::Load) {
+            r.size = 0; // memory ops must touch 1..128 bytes
+            break;
+        }
+    }
+    expectRejected(w);
+
+    WorkloadTrace w2 = sampleWorkload(mem);
+    for (auto &r : firstParallelEpoch(w2).records) {
+        if (r.op == TraceOp::Store) {
+            r.size = 200;
+            break;
+        }
+    }
+    expectRejected(w2);
+}
+
+TEST(TraceIo, RejectsOutOfBoundsEscapeSpan)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    EpochTrace &e = firstParallelEpoch(w);
+    ASSERT_FALSE(e.escapeSpans.empty());
+    e.escapeSpans[0].second =
+        static_cast<std::uint32_t>(e.records.size()); // one past end
+    expectRejected(w);
+}
+
+TEST(TraceIo, RejectsInvertedEscapeSpan)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    EpochTrace &e = firstParallelEpoch(w);
+    ASSERT_FALSE(e.escapeSpans.empty());
+    std::swap(e.escapeSpans[0].first, e.escapeSpans[0].second);
+    expectRejected(w);
+}
+
+TEST(TraceIo, RejectsOverlappingEscapeSpans)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    EpochTrace &e = firstParallelEpoch(w);
+    ASSERT_FALSE(e.escapeSpans.empty());
+    // Duplicate the first span: the second copy starts at (not after)
+    // the previous end, violating the strict ordering invariant.
+    e.escapeSpans.push_back(e.escapeSpans[0]);
+    expectRejected(w);
+}
+
+TEST(TraceIo, RejectsUnanchoredEscapeSpan)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    EpochTrace &e = firstParallelEpoch(w);
+    ASSERT_FALSE(e.escapeSpans.empty());
+    // Shift the span off its EscapeBegin/EscapeEnd records.
+    ASSERT_GT(e.escapeSpans[0].first, 0u);
+    --e.escapeSpans[0].first;
+    --e.escapeSpans[0].second;
+    expectRejected(w);
+}
+
+TEST(TraceIo, RejectsMoreSpansThanRecords)
+{
+    std::vector<std::uint64_t> mem(256);
+    WorkloadTrace w = sampleWorkload(mem);
+    EpochTrace &e = firstParallelEpoch(w);
+    e.escapeSpans.assign(e.records.size() + 1, {0, 0});
+    expectRejected(w);
+}
+
 TEST(TraceIo, EmptyWorkloadRoundTrips)
 {
     WorkloadTrace w;

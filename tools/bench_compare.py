@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Diff two tlsim-bench-v1 JSON reports.
+
+Usage: bench_compare.py [options] BASELINE CURRENT
+
+Result rows are matched by their 'name' field; for every metric
+present in both rows the absolute and relative delta is printed.
+Rows or metrics present on only one side are reported as such.
+
+Options:
+  --max-wall-regression=PCT   exit 2 if CURRENT's wall_seconds exceeds
+                              BASELINE's by more than PCT percent
+  --expect-identical          exit 1 unless every shared result metric,
+                              simulated_cycles, and replay_records are
+                              exactly equal (wall-clock fields and rate
+                              fields derived from them are exempt).
+                              Used by the golden-equivalence check:
+                              replay with and without the conflict
+                              oracle must produce the same simulation.
+  --quiet                     only print problems and the final verdict
+
+Exit status: 0 ok, 1 structural mismatch or --expect-identical
+violation, 2 wall-time regression beyond the threshold.
+"""
+
+import json
+import numbers
+import sys
+
+# Host-timing fields: never compared for identity, since two runs of
+# the same simulation legitimately differ in wall time.
+TIMING_KEYS = {"wall_seconds", "records_per_second"}
+
+
+def is_num(v):
+    return isinstance(v, numbers.Real) and not isinstance(v, bool)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"{path}: unreadable or invalid JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != "tlsim-bench-v1":
+        sys.exit(f"{path}: not a tlsim-bench-v1 report")
+    return doc
+
+
+def rows_by_name(doc, path):
+    rows = {}
+    for entry in doc.get("results", []):
+        name = entry.get("name")
+        if not isinstance(name, str):
+            sys.exit(f"{path}: result row without a name")
+        if name in rows:
+            sys.exit(f"{path}: duplicate result name {name!r}")
+        rows[name] = {k: v for k, v in entry.items() if k != "name"}
+    return rows
+
+
+def fmt_delta(base, cur):
+    delta = cur - base
+    if base != 0:
+        return f"{base:g} -> {cur:g}  ({delta:+g}, {100 * delta / base:+.2f}%)"
+    return f"{base:g} -> {cur:g}  ({delta:+g})"
+
+
+def main(argv):
+    max_wall_pct = None
+    expect_identical = False
+    quiet = False
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--max-wall-regression="):
+            try:
+                max_wall_pct = float(a.split("=", 1)[1])
+            except ValueError:
+                sys.exit(f"bad value in {a!r}")
+        elif a == "--expect-identical":
+            expect_identical = True
+        elif a == "--quiet":
+            quiet = True
+        elif a in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif a.startswith("-"):
+            sys.exit(f"unknown option {a!r}")
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+
+    base_doc, cur_doc = load(paths[0]), load(paths[1])
+    base_rows = rows_by_name(base_doc, paths[0])
+    cur_rows = rows_by_name(cur_doc, paths[1])
+
+    problems = []
+    identical_violations = []
+
+    for name in sorted(base_rows.keys() | cur_rows.keys()):
+        if name not in cur_rows:
+            problems.append(f"result {name!r} only in baseline")
+            continue
+        if name not in base_rows:
+            problems.append(f"result {name!r} only in current")
+            continue
+        base, cur = base_rows[name], cur_rows[name]
+        for metric in sorted(base.keys() | cur.keys()):
+            if metric not in cur:
+                problems.append(f"{name}: metric {metric!r} only in baseline")
+                continue
+            if metric not in base:
+                problems.append(f"{name}: metric {metric!r} only in current")
+                continue
+            b, c = base[metric], cur[metric]
+            if not (is_num(b) and is_num(c)):
+                problems.append(f"{name}: metric {metric!r} non-numeric")
+                continue
+            if not quiet:
+                print(f"  {name} / {metric}: {fmt_delta(b, c)}")
+            if expect_identical and b != c:
+                identical_violations.append(
+                    f"{name}: {metric} differs ({b!r} vs {c!r})")
+
+    for key in ("simulated_cycles", "replay_records"):
+        b, c = base_doc.get(key), cur_doc.get(key)
+        if is_num(b) and is_num(c):
+            if not quiet:
+                print(f"  {key}: {fmt_delta(b, c)}")
+            if expect_identical and b != c:
+                identical_violations.append(
+                    f"{key} differs ({b!r} vs {c!r})")
+
+    wall_b, wall_c = base_doc.get("wall_seconds"), cur_doc.get("wall_seconds")
+    if is_num(wall_b) and is_num(wall_c) and not quiet:
+        print(f"  wall_seconds: {fmt_delta(wall_b, wall_c)}")
+
+    status = 0
+    for p in problems:
+        print(f"MISMATCH: {p}", file=sys.stderr)
+        status = 1
+    for v in identical_violations:
+        print(f"NOT IDENTICAL: {v}", file=sys.stderr)
+        status = 1
+
+    if max_wall_pct is not None and is_num(wall_b) and is_num(wall_c):
+        if wall_b > 0 and 100 * (wall_c - wall_b) / wall_b > max_wall_pct:
+            print(
+                f"WALL REGRESSION: {wall_b:g}s -> {wall_c:g}s exceeds "
+                f"+{max_wall_pct:g}% budget",
+                file=sys.stderr)
+            return 2
+
+    if status == 0:
+        verdict = "identical" if expect_identical else "compared"
+        print(f"bench_compare: {paths[0]} vs {paths[1]}: {verdict}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
