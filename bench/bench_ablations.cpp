@@ -51,6 +51,7 @@ line(const std::string &label, const RunResult &r, Cycle seq)
         g_report->addSimulatedCycles(static_cast<double>(r.makespan));
         g_report->addReplayRecords(
             static_cast<double>(r.recordsReplayed));
+        g_report->addAuditChecks(static_cast<double>(r.auditChecks));
         g_report->add(
             label,
             {{"makespan", static_cast<double>(r.makespan)},
@@ -76,6 +77,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     sim::SimExecutor ex = bench::makeExecutor(args);
     bench::BenchReport report("bench_ablations", args, ex.jobs());
+    report.setAuditLevel(args.audit);
     g_report = &report;
 
     sim::ExperimentConfig cfg =

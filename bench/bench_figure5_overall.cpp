@@ -41,6 +41,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     sim::SimExecutor ex = bench::makeExecutor(args);
     bench::BenchReport report("bench_figure5_overall", args, ex.jobs());
+    report.setAuditLevel(args.audit);
 
     std::cout << "Machine configuration (paper Table 1):\n";
     sim::ExperimentConfig probe =
@@ -81,6 +82,7 @@ main(int argc, char **argv)
             report.addSimulatedCycles(static_cast<double>(r.makespan));
             report.addReplayRecords(
                 static_cast<double>(r.recordsReplayed));
+            report.addAuditChecks(static_cast<double>(r.auditChecks));
             report.add(
                 std::string(tpcc::txnTypeName(row.type)) + "/" +
                     sim::barName(bar),

@@ -34,6 +34,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     sim::SimExecutor ex = bench::makeExecutor(args);
     bench::BenchReport report("bench_figure6_sweep", args, ex.jobs());
+    report.setAuditLevel(args.audit);
 
     const std::vector<unsigned> counts = {2, 4, 8};
     const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
@@ -108,6 +109,8 @@ main(int argc, char **argv)
             static_cast<double>(seqs[b].makespan));
         report.addReplayRecords(
             static_cast<double>(seqs[b].recordsReplayed));
+        report.addAuditChecks(
+            static_cast<double>(seqs[b].auditChecks));
         report.add(std::string(name) + "/SEQUENTIAL",
                    {{"makespan",
                      static_cast<double>(seqs[b].makespan)}});
@@ -116,6 +119,8 @@ main(int argc, char **argv)
                 static_cast<double>(p.run.makespan));
             report.addReplayRecords(
                 static_cast<double>(p.run.recordsReplayed));
+            report.addAuditChecks(
+                static_cast<double>(p.run.auditChecks));
             report.add(
                 strfmt("%s/k%u/s%llu", name, p.subthreads,
                        static_cast<unsigned long long>(p.spacing)),

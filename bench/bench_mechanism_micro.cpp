@@ -93,6 +93,7 @@ report(const char *label, const RunResult &r)
         g_report->addSimulatedCycles(static_cast<double>(r.makespan));
         g_report->addReplayRecords(
             static_cast<double>(r.recordsReplayed));
+        g_report->addAuditChecks(static_cast<double>(r.auditChecks));
         g_report->add(
             g_section + "/" + label,
             {{"makespan", static_cast<double>(r.makespan)},
@@ -311,6 +312,7 @@ main(int argc, char **argv)
     bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::BenchReport report("bench_mechanism_micro", args,
                               /*resolved_jobs=*/1);
+    report.setAuditLevel(args.audit);
     g_report = &report;
     figure1();
     figure2();

@@ -440,6 +440,7 @@ main(int argc, char **argv)
     // --jobs is accepted for interface uniformity and recorded as-is.
     tlsim::bench::BenchReport report("bench_micro_components", args,
                                      /*resolved_jobs=*/1);
+    report.setAuditLevel(args.audit);
     CollectingReporter reporter(report);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();

@@ -32,6 +32,7 @@ main(int argc, char **argv)
     setInformEnabled(false);
     sim::SimExecutor ex = bench::makeExecutor(args);
     bench::BenchReport report("bench_table2_stats", args, ex.jobs());
+    report.setAuditLevel(args.audit);
 
     const auto &benches = tpcc::allBenchmarks();
 

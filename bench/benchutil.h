@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "base/config.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/tracecache.h"
@@ -40,6 +41,8 @@ struct BenchArgs
     /** Escape hatch: ignore the conflict-oracle bits of the trace
      *  pre-analysis (results must be identical; replay is slower). */
     bool noTraceIndex = false;
+    /** Protocol invariant auditor level (off|commit|full). */
+    std::string audit = "off";
 };
 
 [[noreturn]] inline void
@@ -49,7 +52,7 @@ usage(const char *prog, int code)
     std::fprintf(out,
                  "usage: %s [--quick] [--txns=N] [--jobs=N] "
                  "[--json=FILE] [--trace-cache=DIR] "
-                 "[--no-trace-index]\n"
+                 "[--no-trace-index] [--audit=off|commit|full]\n"
                  "  --quick            reduced TPC-C scale (CI)\n"
                  "  --txns=N           transactions per capture\n"
                  "  --jobs=N           parallel simulation points "
@@ -58,7 +61,9 @@ usage(const char *prog, int code)
                  "(tlsim-bench-v1 schema)\n"
                  "  --trace-cache=DIR  reuse on-disk trace snapshots\n"
                  "  --no-trace-index   disable the conflict-oracle "
-                 "fast path (identical results, slower replay)\n",
+                 "fast path (identical results, slower replay)\n"
+                 "  --audit=LEVEL      protocol invariant auditor "
+                 "(off|commit|full; results must be identical)\n",
                  prog);
     std::exit(code);
 }
@@ -107,6 +112,8 @@ parseArgs(int argc, char **argv)
             args.traceCache = value("--trace-cache=");
         else if (a == "--no-trace-index")
             args.noTraceIndex = true;
+        else if (a.rfind("--audit=", 0) == 0)
+            args.audit = value("--audit=");
         else if (a == "--help" || a == "-h")
             usage(argv[0], 0);
         else {
@@ -174,6 +181,7 @@ configFor(tpcc::TxnType type, const BenchArgs &args)
         cfg.warmupTxns = args.txns > 4 ? 2 : 1;
     }
     cfg.machine.tls.useConflictOracle = !args.noTraceIndex;
+    cfg.machine.tls.auditLevel = parseAuditLevel(args.audit);
     return cfg;
 }
 
@@ -232,6 +240,20 @@ class BenchReport
         replayRecords_ += records;
     }
 
+    /** Record the auditor level so write() emits the "audit" block. */
+    void
+    setAuditLevel(std::string level)
+    {
+        auditLevel_ = std::move(level);
+    }
+
+    /** Count invariant checks performed by the runtime auditor. */
+    void
+    addAuditChecks(double checks)
+    {
+        auditChecks_ += checks;
+    }
+
     double
     wallSeconds() const
     {
@@ -261,6 +283,13 @@ class BenchReport
         os << "  \"replay_records\": " << replayRecords_ << ",\n";
         os << "  \"records_per_second\": "
            << (wall > 0 ? replayRecords_ / wall : 0) << ",\n";
+        if (auditLevel_ != "off") {
+            // The auditor throws on the first violated invariant, so a
+            // report that got as far as write() always has zero.
+            os << "  \"audit\": {\"level\": \"" << escape(auditLevel_)
+               << "\", \"invariants_checked\": " << auditChecks_
+               << ", \"violations\": 0},\n";
+        }
         os << "  \"results\": [";
         for (std::size_t i = 0; i < results_.size(); ++i) {
             os << (i ? ",\n    {" : "\n    {");
@@ -306,6 +335,8 @@ class BenchReport
     std::chrono::steady_clock::time_point start_;
     double simulatedCycles_ = 0;
     double replayRecords_ = 0;
+    std::string auditLevel_ = "off";
+    double auditChecks_ = 0;
     std::vector<std::pair<std::string, Fields>> results_;
 };
 

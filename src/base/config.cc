@@ -5,6 +5,29 @@
 
 namespace tlsim {
 
+const char *
+auditLevelName(AuditLevel level)
+{
+    switch (level) {
+      case AuditLevel::Off: return "off";
+      case AuditLevel::Commit: return "commit";
+      case AuditLevel::Full: return "full";
+    }
+    return "?";
+}
+
+AuditLevel
+parseAuditLevel(const std::string &name)
+{
+    if (name == "off")
+        return AuditLevel::Off;
+    if (name == "commit")
+        return AuditLevel::Commit;
+    if (name == "full")
+        return AuditLevel::Full;
+    fatal("unknown audit level '%s' (off|commit|full)", name.c_str());
+}
+
 void
 MachineConfig::validate() const
 {

@@ -19,6 +19,23 @@
 
 namespace tlsim {
 
+/**
+ * How aggressively the protocol invariant auditor (src/verify) checks
+ * the machine during replay. Off costs nothing; Commit sweeps the full
+ * speculative state at epoch commit/squash boundaries; Full adds
+ * line-local checks on every tracked L2 access.
+ */
+enum class AuditLevel {
+    Off,
+    Commit,
+    Full,
+};
+
+const char *auditLevelName(AuditLevel level);
+
+/** Parse an --audit= value; dies with fatal() on anything unknown. */
+AuditLevel parseAuditLevel(const std::string &name);
+
 /** Pipeline parameters (Table 1, upper half). */
 struct CpuConfig
 {
@@ -109,6 +126,12 @@ struct TlsConfig
      * the golden-equivalence test); false forces the full path.
      */
     bool useConflictOracle = true;
+    /**
+     * Invariant-audit intensity. The machine only calls into an
+     * attached verify::Auditor when this is not Off, so the default
+     * keeps the replay hot path untouched.
+     */
+    AuditLevel auditLevel = AuditLevel::Off;
 };
 
 /** Complete machine description. */

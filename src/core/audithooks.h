@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Seam between the TLS machine and the protocol invariant auditor
+ * (src/verify/auditor). The machine owns all speculative state; the
+ * auditor only reads it. To keep tlsim_core free of a dependency on
+ * tlsim_verify, the machine talks to an abstract AuditSink and hands
+ * it a read-only AuditView snapshot on every call; the concrete
+ * Auditor lives one library layer up and implements the sink.
+ *
+ * Hook points (all gated on an attached sink; the per-access hook is
+ * additionally gated on AuditLevel::Full so the replay hot path pays
+ * nothing at lower levels):
+ *
+ *   onRunStart     once per TlsMachine::run(), after the full reset
+ *   onEpochStart   a speculative epoch occupied a CPU slot
+ *   onSpawn        a sub-thread checkpoint was created (start-table
+ *                  messages to younger threads already delivered)
+ *   onAccess       a tracked speculative load/store completed
+ *   onCommit       an epoch passed the homefree token and cleared its
+ *                  speculative state
+ *   onSquash       a rewind to sub-thread `sub` finished
+ */
+
+#ifndef CORE_AUDITHOOKS_H
+#define CORE_AUDITHOOKS_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+class SpecState;
+class MemSystem;
+
+/** What the auditor may know about one CPU slot's current epoch. */
+struct AuditCpuState
+{
+    bool active = false;  ///< a live (uncommitted) epoch occupies the slot
+    std::uint64_t seq = 0;
+    unsigned curSub = 0;
+    bool pendingSquash = false;
+    /** The run's sub-thread start table (Figure 4(b)); null if the
+     *  slot is empty or the run predates TLS tracking. */
+    const std::vector<std::pair<std::uint64_t, unsigned>> *startTable =
+        nullptr;
+};
+
+/** Read-only snapshot of the machine state an audit check may touch. */
+struct AuditView
+{
+    const SpecState *spec = nullptr;
+    const MemSystem *mem = nullptr;
+    unsigned numCpus = 0;
+    unsigned k = 0; ///< sub-thread contexts per thread
+    std::vector<AuditCpuState> cpus;
+
+    /** Context id of (cpu, sub) — matches the machine's numbering. */
+    ContextId ctxId(CpuId cpu, unsigned sub) const
+    {
+        return cpu * k + sub;
+    }
+
+    /** Context mask of a thread's sub-threads 0..up_to_sub. */
+    std::uint64_t threadMask(CpuId cpu, unsigned up_to_sub) const
+    {
+        return ((std::uint64_t{2} << up_to_sub) - 1) << (cpu * k);
+    }
+};
+
+/** The machine-side interface of the invariant auditor. */
+class AuditSink
+{
+  public:
+    virtual ~AuditSink() = default;
+
+    virtual void onRunStart(const AuditView &view) = 0;
+    virtual void onEpochStart(const AuditView &view, CpuId cpu,
+                              std::uint64_t seq) = 0;
+    virtual void onSpawn(const AuditView &view, CpuId cpu,
+                         unsigned new_sub) = 0;
+    virtual void onAccess(const AuditView &view, CpuId cpu,
+                          Addr line) = 0;
+    virtual void onCommit(const AuditView &view, CpuId cpu,
+                          std::uint64_t seq) = 0;
+    virtual void onSquash(const AuditView &view, CpuId cpu,
+                          unsigned sub) = 0;
+
+    /** Total invariant checks performed (reported in RunResult). */
+    virtual std::uint64_t checks() const = 0;
+};
+
+} // namespace tlsim
+
+#endif // CORE_AUDITHOOKS_H

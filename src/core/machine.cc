@@ -50,6 +50,34 @@ TlsMachine::lineHasSpecState(Addr line_num) const
     return spec_.lineHasSpecState(line_num);
 }
 
+void
+TlsMachine::setAuditSink(AuditSink *sink)
+{
+    audit_ = sink;
+    auditFull_ = audit_ && cfg_.tls.auditLevel == AuditLevel::Full;
+}
+
+void
+TlsMachine::refreshAuditView()
+{
+    auditView_.spec = &spec_;
+    auditView_.mem = &mem_;
+    auditView_.numCpus = numCpus_;
+    auditView_.k = k_;
+    auditView_.cpus.assign(numCpus_, AuditCpuState{});
+    for (unsigned cpu = 0; cpu < numCpus_; ++cpu) {
+        const EpochRun *r = runs_[cpu].get();
+        if (!r || r->st == RunState::Committed)
+            continue;
+        AuditCpuState &s = auditView_.cpus[cpu];
+        s.active = true;
+        s.seq = r->seq;
+        s.curSub = r->curSub;
+        s.pendingSquash = r->pendingSquash;
+        s.startTable = &r->startTable;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Top-level run loop
 // ---------------------------------------------------------------------
@@ -91,6 +119,10 @@ TlsMachine::run(const WorkloadTrace &workload, ExecMode mode,
     predictedLoads_.clear();
     stats_ = RunResult{};
     resetAccounting();
+    if (audit_) {
+        refreshAuditView();
+        audit_->onRunStart(auditView_);
+    }
     Cycle measure_start = 0;
 
     auto barrier = [this]() {
@@ -176,6 +208,8 @@ TlsMachine::collect(RunResult &out)
     out.victimHits = mem_.victim().hits() - baseVictimHits_;
     out.branches = br - baseBranches_;
     out.mispredicts = mis - baseMispredicts_;
+    if (audit_)
+        out.auditChecks = audit_->checks();
 }
 
 void
@@ -300,6 +334,10 @@ TlsMachine::startNextEpoch(CpuId cpu)
     mem_.epochBoundary(cpu);
     run->cps.push_back({0, cores_[cpu].checkpoint(), 0, 0});
     runs_[cpu] = std::move(run);
+    if (audit_ && specTracking_) {
+        refreshAuditView();
+        audit_->onEpochStart(auditView_, cpu, runs_[cpu]->seq);
+    }
 }
 
 void
@@ -383,6 +421,13 @@ TlsMachine::commitEpoch(EpochRun &run)
     run.st = RunState::Committed;
     ++stats_.epochs;
     stats_.totalInsts += run.trace->instCount;
+    if (specTracking_) {
+        stats_.commitOrder.push_back(run.seq);
+        if (audit_) {
+            refreshAuditView();
+            audit_->onCommit(auditView_, cpu, run.seq);
+        }
+    }
 
     if (!queues_[cpu].empty())
         startNextEpoch(cpu);
@@ -590,6 +635,10 @@ TlsMachine::execLoad(EpochRun &run, const DecodedRec &d, bool spec)
             if (exposed)
                 exposed_[run.cpu].record(line, d.pc);
         }
+        if (auditFull_) {
+            refreshAuditView();
+            audit_->onAccess(auditView_, run.cpu, line);
+        }
     }
     chargeRecord(run, d.aux >> kAuxInstShift);
 }
@@ -608,6 +657,10 @@ TlsMachine::execStore(EpochRun &run, const DecodedRec &d, bool spec)
     if (strack) {
         std::uint32_t wm = mem_.geom().wordMask(d.addr, d.size);
         spec_.recordStore(ctxId(run.cpu, run.curSub), line, wm);
+        if (auditFull_) {
+            refreshAuditView();
+            audit_->onAccess(auditView_, run.cpu, line);
+        }
     }
     if (tlsActive_ && specTracking_ &&
         (!oracleOn_ || d.conflict)) {
@@ -725,6 +778,10 @@ TlsMachine::maybeSpawnSubthread(EpochRun &run)
             continue;
         r->startTable[ctx] = {run.seq, r->curSub};
     }
+    if (audit_) {
+        refreshAuditView();
+        audit_->onSpawn(auditView_, run.cpu, run.curSub);
+    }
 }
 
 void
@@ -757,6 +814,7 @@ TlsMachine::checkViolations(EpochRun &storer, Addr line, Pc store_pc)
     Cycle now = cores_[storer.cpu].now();
     unsigned primary_sub = own_sub[primary->cpu];
     ++stats_.primaryViolations;
+    stats_.violatedLines.push_back(line);
     scheduleSquash(*primary, primary_sub, now, store_pc, line, false);
 
     // Secondary violations, originated by the primary's restarted
@@ -876,6 +934,10 @@ TlsMachine::applySquash(EpochRun &run)
     run.cps[sub].core = core.checkpoint();
     run.pendingSquash = false;
     run.st = RunState::Running;
+    if (audit_ && specTracking_) {
+        refreshAuditView();
+        audit_->onSquash(auditView_, run.cpu, sub);
+    }
 }
 
 void

@@ -37,6 +37,7 @@
 
 #include "base/config.h"
 #include "base/types.h"
+#include "core/audithooks.h"
 #include "core/profiler.h"
 #include "core/specstate.h"
 #include "core/trace.h"
@@ -83,6 +84,16 @@ struct RunResult
     std::uint64_t l2Hits = 0, l2Misses = 0, victimHits = 0;
     std::uint64_t branches = 0, mispredicts = 0;
 
+    /** Invariant checks performed by an attached auditor (0 if none). */
+    std::uint64_t auditChecks = 0;
+    /** Lines of primary violations, in detection order (measured
+     *  region only; the offline checker diffs these against its
+     *  independently computed conflict set). */
+    std::vector<Addr> violatedLines;
+    /** Epoch sequence numbers in homefree-commit order (speculative
+     *  sections of the measured region only). */
+    std::vector<std::uint64_t> commitOrder;
+
     double speedupVs(const RunResult &base) const
     {
         return makespan ? static_cast<double>(base.makespan) / makespan
@@ -114,6 +125,13 @@ class TlsMachine : public TlsHooks
 
     /** The Section 3.1 profiler (valid after a Tls-mode run). */
     const DependenceProfiler &profiler() const { return profiler_; }
+
+    /**
+     * Attach (or detach, with nullptr) a protocol invariant auditor.
+     * The sink is borrowed, not owned, and must outlive any run(). The
+     * per-access hook fires only when TlsConfig::auditLevel is Full.
+     */
+    void setAuditSink(AuditSink *sink);
 
     /** Dump machine-level statistics (per-CPU caches, predictor,
      *  breakdown) in the gem5-style "name value # desc" format. */
@@ -271,6 +289,9 @@ class TlsMachine : public TlsHooks
     void resetAccounting();
     void collect(RunResult &out);
 
+    /** Rebuild auditView_ from live machine state (audit_ attached). */
+    void refreshAuditView();
+
     // ----- state --------------------------------------------------------
 
     MachineConfig cfg_;
@@ -302,6 +323,10 @@ class TlsMachine : public TlsHooks
 
     /** Load PCs that have caused violations (dependence predictor). */
     std::unordered_set<Pc> predictedLoads_;
+
+    AuditSink *audit_ = nullptr; ///< borrowed invariant auditor
+    bool auditFull_ = false;     ///< per-access hook armed (Full level)
+    AuditView auditView_;
 
     // measured-region statistics (counter values at measure start)
     RunResult stats_;

@@ -16,6 +16,15 @@ SpecState::SpecState(unsigned num_contexts)
               kMaxContexts, num_contexts);
 }
 
+std::uint64_t
+SpecState::bitOf(ContextId ctx) const
+{
+    if (ctx >= numContexts_)
+        panic("SpecState: context %u out of range (%u contexts)", ctx,
+              numContexts_);
+    return std::uint64_t{1} << ctx;
+}
+
 std::size_t
 SpecState::find(Addr line) const
 {
@@ -122,7 +131,7 @@ SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
     }
 
     LineSpec &ls = slots_[idx].spec;
-    std::uint64_t bit = std::uint64_t{1} << ctx;
+    std::uint64_t bit = bitOf(ctx);
     if (!(ls.sl & bit) && ls.sm[ctx] == 0)
         ctxLines_[ctx].push_back(line);
     ls.sl |= bit;
@@ -134,7 +143,7 @@ SpecState::recordLoadExposed(ContextId ctx, Addr line)
 {
     std::size_t idx = findOrInsert(line);
     LineSpec &ls = slots_[idx].spec;
-    std::uint64_t bit = std::uint64_t{1} << ctx;
+    std::uint64_t bit = bitOf(ctx);
     if (!(ls.sl & bit) && ls.sm[ctx] == 0)
         ctxLines_[ctx].push_back(line);
     ls.sl |= bit;
@@ -163,7 +172,7 @@ SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
 {
     std::size_t idx = findOrInsert(line);
     LineSpec &ls = slots_[idx].spec;
-    std::uint64_t bit = std::uint64_t{1} << ctx;
+    std::uint64_t bit = bitOf(ctx);
     if (!(ls.sl & bit) && ls.sm[ctx] == 0)
         ctxLines_[ctx].push_back(line);
     ls.sm[ctx] |= word_mask;
@@ -193,6 +202,16 @@ SpecState::lineHasSpecState(Addr line) const
     return idx != kNotFound && !slots_[idx].spec.empty();
 }
 
+std::uint32_t
+SpecState::smMask(Addr line, ContextId ctx) const
+{
+    if (ctx >= numContexts_)
+        panic("SpecState::smMask: context %u out of range (%u)", ctx,
+              numContexts_);
+    std::size_t idx = find(line);
+    return idx == kNotFound ? 0 : slots_[idx].spec.sm[ctx];
+}
+
 bool
 SpecState::threadModifiedLine(std::uint64_t thread_mask, Addr line) const
 {
@@ -205,7 +224,7 @@ std::vector<Addr>
 SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
 {
     std::vector<Addr> dead_versions;
-    std::uint64_t bit = std::uint64_t{1} << ctx;
+    std::uint64_t bit = bitOf(ctx);
     for (Addr line : ctxLines_[ctx]) {
         std::size_t idx = find(line);
         if (idx == kNotFound)
@@ -230,7 +249,7 @@ SpecState::clearThread(std::uint64_t thread_mask, ContextId first_ctx,
 {
     for (unsigned i = 0; i < num_ctxs; ++i) {
         ContextId ctx = first_ctx + i;
-        std::uint64_t bit = std::uint64_t{1} << ctx;
+        std::uint64_t bit = bitOf(ctx);
         for (Addr line : ctxLines_[ctx]) {
             std::size_t idx = find(line);
             if (idx == kNotFound)

@@ -90,6 +90,24 @@ class SpecState
     void clearThread(std::uint64_t thread_mask, ContextId first_ctx,
                      unsigned num_ctxs);
 
+    /** SM word mask `ctx` holds on `line` (0 if none). */
+    std::uint32_t smMask(Addr line, ContextId ctx) const;
+
+    /**
+     * Visit every line with live metadata (auditor/tests):
+     * `fn(line, sl_mask, sm_owner_mask)`. Iteration order is the
+     * table's internal order — callers must not depend on it.
+     */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i)
+            if (ctrl_[i] == kFull)
+                fn(slots_[i].line, slots_[i].spec.sl,
+                   slots_[i].spec.smOwners);
+    }
+
     /** Number of lines with live metadata (tests/debug). */
     std::size_t liveLines() const { return size_; }
 
@@ -128,6 +146,11 @@ class SpecState
         x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
         return static_cast<std::size_t>(x ^ (x >> 31));
     }
+
+    /** Single-context bit. A shift by >= 64 is undefined behaviour,
+     *  so an out-of-range context dies loudly instead of silently
+     *  corrupting a neighbour's mask. */
+    std::uint64_t bitOf(ContextId ctx) const;
 
     /** Slot index of `line`, or kNotFound. Updates the lookup cache. */
     std::size_t find(Addr line) const;

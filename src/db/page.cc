@@ -113,8 +113,13 @@ Page::insert(unsigned idx, BytesView key, BytesView val)
     std::uint16_t vlen = static_cast<std::uint16_t>(val.size());
     std::memcpy(base_ + pos, &klen, 2);
     std::memcpy(base_ + pos + 2, &vlen, 2);
-    std::memcpy(base_ + pos + 4, key.data(), key.size());
-    std::memcpy(base_ + pos + 4 + key.size(), val.data(), val.size());
+    // Empty keys/values carry a null data(); memcpy requires non-null
+    // pointers even for zero sizes.
+    if (!key.empty())
+        std::memcpy(base_ + pos + 4, key.data(), key.size());
+    if (!val.empty())
+        std::memcpy(base_ + pos + 4 + key.size(), val.data(),
+                    val.size());
 
     // Shift the slot directory up by one entry.
     unsigned n = slotCount();

@@ -74,6 +74,17 @@ class L2Cache
         return static_cast<unsigned>(line_num) & (numBanks_ - 1);
     }
 
+    /** Visit every valid (line, version) entry: `fn(line, version)`.
+     *  Read-only sweep for the invariant auditor and tests. */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const Entry &e : entries_)
+            if (e.valid)
+                fn(e.lineNum, e.version);
+    }
+
     void reset();
 
     std::uint64_t hits() const { return hits_; }

@@ -105,6 +105,9 @@ class MemSystem
     L1Cache &icache(CpuId cpu) { return icaches_[cpu]; }
     L2Cache &l2() { return l2_; }
     VictimCache &victim() { return victim_; }
+    const L2Cache &l2() const { return l2_; }
+    const VictimCache &victim() const { return victim_; }
+    unsigned numCpus() const { return numCpus_; }
 
   private:
     /** Batched crossbar-port + L2-bank arbitration: reserve both for

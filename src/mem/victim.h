@@ -88,6 +88,17 @@ class VictimCache
     /** Rename one entry's version to committed. False if absent. */
     bool renameToCommitted(Addr line_num, std::uint8_t version);
 
+    /** Visit every valid (line, version) entry: `fn(line, version)`.
+     *  Read-only sweep for the invariant auditor and tests. */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
+    {
+        for (const Entry &e : entries_)
+            if (e.valid)
+                fn(e.lineNum, e.version);
+    }
+
     void reset();
 
     std::uint64_t hits() const { return hits_; }

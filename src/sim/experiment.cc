@@ -2,6 +2,7 @@
 
 #include "base/log.h"
 #include "sim/executor.h"
+#include "verify/auditor.h"
 
 namespace tlsim {
 namespace sim {
@@ -82,28 +83,28 @@ runBar(Bar bar, const BenchmarkTraces &traces,
     switch (bar) {
       case Bar::Sequential: {
         TlsMachine m(mc);
-        return m.run(traces.original, ExecMode::Serial, cfg.warmupTxns,
+        return verify::runWithAudit(m, traces.original, ExecMode::Serial, cfg.warmupTxns,
                      orig_idx);
       }
       case Bar::TlsSeq: {
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Serial, cfg.warmupTxns,
+        return verify::runWithAudit(m, traces.tls, ExecMode::Serial, cfg.warmupTxns,
                      tls_idx);
       }
       case Bar::NoSubthread: {
         mc.tls.subthreadsPerThread = 1;
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+        return verify::runWithAudit(m, traces.tls, ExecMode::Tls, cfg.warmupTxns,
                      tls_idx);
       }
       case Bar::Baseline: {
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
+        return verify::runWithAudit(m, traces.tls, ExecMode::Tls, cfg.warmupTxns,
                      tls_idx);
       }
       case Bar::NoSpeculation: {
         TlsMachine m(mc);
-        return m.run(traces.tls, ExecMode::NoSpeculation,
+        return verify::runWithAudit(m, traces.tls, ExecMode::NoSpeculation,
                      cfg.warmupTxns, tls_idx);
       }
     }
@@ -169,8 +170,9 @@ runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
         mc.tls.subthreadSpacing = s;
         TlsMachine m(mc);
         out[i] = {k, s,
-                  m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
-                        traces.tlsIndex.get())};
+                  verify::runWithAudit(m, traces.tls, ExecMode::Tls,
+                                       cfg.warmupTxns,
+                                       traces.tlsIndex.get())};
     });
     return out;
 }
@@ -190,8 +192,10 @@ runFigure6(tpcc::TxnType type, const ExperimentConfig &cfg,
             mc.tls.subthreadSpacing = s;
             TlsMachine m(mc);
             out.push_back(
-                {k, s, m.run(traces.tls, ExecMode::Tls, cfg.warmupTxns,
-                             traces.tlsIndex.get())});
+                {k, s,
+                 verify::runWithAudit(m, traces.tls, ExecMode::Tls,
+                                      cfg.warmupTxns,
+                                      traces.tlsIndex.get())});
         }
     }
     return out;
@@ -214,8 +218,9 @@ table2Row(tpcc::TxnType type, const ExperimentConfig &cfg,
 
     TlsMachine m(cfg.machine);
     RunResult seq =
-        m.run(traces.original, ExecMode::Serial, cfg.warmupTxns,
-              traces.originalIndex.get());
+        verify::runWithAudit(m, traces.original, ExecMode::Serial,
+                             cfg.warmupTxns,
+                             traces.originalIndex.get());
     row.execMcycles = static_cast<double>(seq.makespan) / 1e6;
 
     // Workload statistics over the measured transactions of the TLS

@@ -42,14 +42,21 @@ get(std::istream &is)
 std::uint64_t
 zigzag(std::int64_t v)
 {
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
+    // All arithmetic in uint64: the left shift of a negative value
+    // and the arithmetic right shift it used to pair with are exactly
+    // the kind of silent-overflow idiom UBSan flags.
+    std::uint64_t u = static_cast<std::uint64_t>(v);
+    return (u << 1) ^ (v < 0 ? ~std::uint64_t{0} : std::uint64_t{0});
 }
 
 std::int64_t
 unzigzag(std::uint64_t z)
 {
-    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    // (z & 1) selects an all-ones or all-zeros XOR mask; computed as
+    // an explicit unsigned subtraction (wrap intended), not a signed
+    // negate of an unsigned expression.
+    std::uint64_t mask = std::uint64_t{0} - (z & 1);
+    return static_cast<std::int64_t>((z >> 1) ^ mask);
 }
 
 void
@@ -62,17 +69,32 @@ putVarint(std::ostream &os, std::uint64_t v)
     put<std::uint8_t>(os, static_cast<std::uint8_t>(v));
 }
 
-std::uint64_t
-getVarint(std::istream &is)
+/**
+ * Decode one varint into `*out`; false (after inform) if the encoding
+ * is malformed. The last (10th) byte may only contribute the single
+ * remaining bit 63 — the old decoder shifted its full 7-bit payload
+ * and silently discarded the six bits past the top of the word.
+ */
+bool
+getVarint(std::istream &is, std::uint64_t *out)
 {
     std::uint64_t v = 0;
     for (unsigned shift = 0; shift < 64; shift += 7) {
         auto b = get<std::uint8_t>(is);
-        v |= std::uint64_t{b & 0x7f} << shift;
-        if (!(b & 0x80))
-            return v;
+        std::uint64_t bits = std::uint64_t{b} & 0x7f;
+        if (shift == 63 && (bits >> 1) != 0) {
+            inform("trace file rejected: varint payload exceeds "
+                   "64 bits");
+            return false;
+        }
+        v |= bits << shift;
+        if (!(b & 0x80)) {
+            *out = v;
+            return true;
+        }
     }
-    panic("trace file corrupt: varint longer than 64 bits");
+    inform("trace file rejected: varint longer than 10 bytes");
+    return false;
 }
 
 void
@@ -90,7 +112,10 @@ putEpoch(std::ostream &os, const EpochTrace &e)
         put<std::uint32_t>(os, r.pc);
     Addr prev = 0;
     for (const TraceRecord &r : e.records) {
-        putVarint(os, zigzag(static_cast<std::int64_t>(r.addr - prev)));
+        // The delta wraps modulo 2^64 by design: the decoder's
+        // matching unsigned addition reconstructs the exact address.
+        std::uint64_t delta = r.addr - prev;
+        putVarint(os, zigzag(static_cast<std::int64_t>(delta)));
         prev = r.addr;
     }
     put<std::uint64_t>(os, e.instCount);
@@ -136,7 +161,10 @@ getEpoch(std::istream &is, EpochTrace *out)
         r.pc = get<std::uint32_t>(is);
     Addr prev = 0;
     for (auto &r : e.records) {
-        prev += static_cast<Addr>(unzigzag(getVarint(is)));
+        std::uint64_t z = 0;
+        if (!getVarint(is, &z))
+            return false;
+        prev += static_cast<std::uint64_t>(unzigzag(z));
         r.addr = prev;
     }
     e.instCount = get<std::uint64_t>(is);

@@ -1,0 +1,345 @@
+#include "verify/auditor.h"
+
+#include "base/log.h"
+#include "core/specstate.h"
+#include "mem/memsys.h"
+
+namespace tlsim {
+namespace verify {
+
+AuditViolation::AuditViolation(std::string invariant, std::string detail,
+                               Addr line, CpuId cpu, unsigned sub)
+    : std::runtime_error(strfmt(
+          "audit violation [%s] line %llu cpu %u sub %u: %s",
+          invariant.c_str(), static_cast<unsigned long long>(line), cpu,
+          sub, detail.c_str())),
+      invariant_(std::move(invariant)), line_(line), cpu_(cpu), sub_(sub)
+{
+}
+
+Auditor::Auditor(AuditLevel level) : level_(level)
+{
+    if (level_ == AuditLevel::Off)
+        panic("Auditor constructed at level off; do not attach one");
+}
+
+void
+Auditor::fail(const char *invariant, const std::string &detail,
+              Addr line, CpuId cpu, unsigned sub) const
+{
+    throw AuditViolation(invariant, detail, line, cpu, sub);
+}
+
+namespace {
+
+/** Union of the live context masks (sub-threads 0..curSub) of every
+ *  active epoch — the only contexts allowed to hold SL/SM state. */
+std::uint64_t
+allowedContexts(const AuditView &view)
+{
+    std::uint64_t allowed = 0;
+    for (unsigned cpu = 0; cpu < view.numCpus; ++cpu)
+        if (view.cpus[cpu].active)
+            allowed |= view.threadMask(cpu, view.cpus[cpu].curSub);
+    return allowed;
+}
+
+} // namespace
+
+void
+Auditor::checkLine(const AuditView &view, Addr line, CpuId acting_cpu)
+{
+    const SpecState &spec = *view.spec;
+    const MemSystem &mem = *view.mem;
+
+    // I1: no SL/SM state outside a live epoch's started sub-threads.
+    std::uint64_t holders = spec.stateHolders(line);
+    std::uint64_t stray = holders & ~allowedContexts(view);
+    ++checks_;
+    if (stray) {
+        unsigned ctx = static_cast<unsigned>(__builtin_ctzll(stray));
+        fail("I1.holders-live",
+             strfmt("context %u holds state but is not live", ctx),
+             line, ctx / view.k, ctx % view.k);
+    }
+
+    for (unsigned cpu = 0; cpu < view.numCpus; ++cpu) {
+        auto ver = static_cast<std::uint8_t>(cpu);
+        bool in_l2 = mem.l2().hasEntry(line, ver);
+        bool in_victim = mem.victim().present(line, ver);
+
+        // I3: one buffer location per speculative version.
+        ++checks_;
+        if (in_l2 && in_victim)
+            fail("I3.single-buffer",
+                 "speculative version in both L2 and victim cache",
+                 line, cpu, 0);
+
+        // I2: version buffered iff the thread modified the line.
+        std::uint64_t full = view.threadMask(cpu, view.k - 1);
+        bool modified =
+            view.cpus[cpu].active && spec.threadModifiedLine(full, line);
+        ++checks_;
+        if (modified != (in_l2 || in_victim))
+            fail("I2.version-iff-sm",
+                 modified ? "SM bits set but no buffered line version"
+                          : "buffered speculative version without SM "
+                            "bits (or a dead epoch's version)",
+                 line, cpu, view.cpus[cpu].curSub);
+    }
+    (void)acting_cpu;
+}
+
+void
+Auditor::globalSweep(const AuditView &view, CpuId acting_cpu)
+{
+    const SpecState &spec = *view.spec;
+    const MemSystem &mem = *view.mem;
+    std::uint64_t allowed = allowedContexts(view);
+
+    // I1 over every line with live metadata, plus the SM -> buffered
+    // direction of I2 (the buffer sweeps below give the converse).
+    spec.forEachLine([&](Addr line, std::uint64_t sl,
+                         std::uint64_t sm_owners) {
+        std::uint64_t holders = sl | sm_owners;
+        ++checks_;
+        if (std::uint64_t stray = holders & ~allowed) {
+            unsigned ctx = static_cast<unsigned>(__builtin_ctzll(stray));
+            fail("I1.holders-live",
+                 strfmt("context %u holds state but is not live", ctx),
+                 line, ctx / view.k, ctx % view.k);
+        }
+        for (unsigned cpu = 0; cpu < view.numCpus; ++cpu) {
+            std::uint64_t full = view.threadMask(cpu, view.k - 1);
+            if (!(sm_owners & full))
+                continue;
+            auto ver = static_cast<std::uint8_t>(cpu);
+            bool in_l2 = mem.l2().hasEntry(line, ver);
+            bool in_victim = mem.victim().present(line, ver);
+            ++checks_;
+            if (in_l2 == in_victim)
+                fail(in_l2 ? "I3.single-buffer" : "I2.version-iff-sm",
+                     in_l2 ? "speculative version in both L2 and "
+                             "victim cache"
+                           : "SM bits set but no buffered line version",
+                     line, cpu, view.cpus[cpu].curSub);
+        }
+    });
+
+    // The converse of I2: every buffered speculative version belongs
+    // to a live epoch that modified the line.
+    auto check_buffered = [&](const char *where) {
+        return [&, where](Addr line, std::uint8_t ver) {
+            if (ver == kCommittedVersion)
+                return;
+            ++checks_;
+            if (ver >= view.numCpus || !view.cpus[ver].active)
+                fail("I2.version-iff-sm",
+                     strfmt("%s holds a version of dead thread %u",
+                            where, ver),
+                     line, ver, 0);
+            std::uint64_t full = view.threadMask(ver, view.k - 1);
+            ++checks_;
+            if (!spec.threadModifiedLine(full, line))
+                fail("I2.version-iff-sm",
+                     strfmt("%s version without SM bits", where), line,
+                     ver, 0);
+            ++checks_;
+            if (mem.l2().hasEntry(line, ver) &&
+                mem.victim().present(line, ver))
+                fail("I3.single-buffer",
+                     "speculative version in both L2 and victim cache",
+                     line, ver, 0);
+        };
+    };
+    mem.l2().forEachEntry(check_buffered("L2"));
+    mem.victim().forEachEntry(check_buffered("victim cache"));
+
+    // Version-line bookkeeping of slots with no live epoch.
+    for (unsigned cpu = 0; cpu < view.numCpus; ++cpu) {
+        if (view.cpus[cpu].active)
+            continue;
+        ++checks_;
+        if (!mem.threadVersionLines(cpu).empty())
+            fail("I6.commit-clean",
+                 strfmt("idle cpu slot still owns %zu line versions",
+                        mem.threadVersionLines(cpu).size()),
+                 0, cpu, 0);
+    }
+    (void)acting_cpu;
+}
+
+void
+Auditor::checkContextsClean(const AuditView &view,
+                            std::uint64_t ctx_mask, const char *what,
+                            CpuId cpu, unsigned sub)
+{
+    ++checks_;
+    view.spec->forEachLine([&](Addr line, std::uint64_t sl,
+                               std::uint64_t sm_owners) {
+        std::uint64_t held = (sl | sm_owners) & ctx_mask;
+        if (held) {
+            unsigned ctx = static_cast<unsigned>(__builtin_ctzll(held));
+            fail(what,
+                 strfmt("context %u still holds SL/SM state", ctx),
+                 line, cpu, sub);
+        }
+    });
+}
+
+void
+Auditor::onRunStart(const AuditView &view)
+{
+    lastSub_.assign(view.numCpus, 0);
+    haveCommit_ = false;
+    lastCommitSeq_ = 0;
+    globalSweep(view, 0);
+}
+
+void
+Auditor::onEpochStart(const AuditView &view, CpuId cpu,
+                      std::uint64_t seq)
+{
+    lastSub_[cpu] = 0;
+    const AuditCpuState &s = view.cpus[cpu];
+    ++checks_;
+    if (!s.active || s.seq != seq || s.curSub != 0)
+        fail("I4.spawn-monotone",
+             "fresh epoch not active at sub-thread 0", 0, cpu, 0);
+    ++checks_;
+    if (!s.startTable ||
+        s.startTable->size() !=
+            static_cast<std::size_t>(view.numCpus) * view.k)
+        fail("I4.start-table",
+             "fresh epoch's start table is missing or mis-sized", 0,
+             cpu, 0);
+    checkContextsClean(view, view.threadMask(cpu, view.k - 1),
+                       "I6.commit-clean", cpu, 0);
+    ++checks_;
+    if (!view.mem->threadVersionLines(cpu).empty())
+        fail("I6.commit-clean",
+             "fresh epoch inherits speculative line versions", 0, cpu,
+             0);
+}
+
+void
+Auditor::onSpawn(const AuditView &view, CpuId cpu, unsigned new_sub)
+{
+    const AuditCpuState &s = view.cpus[cpu];
+
+    // I4: sub-thread indices advance by exactly one per spawn.
+    ++checks_;
+    if (new_sub != lastSub_[cpu] + 1 || new_sub >= view.k ||
+        s.curSub != new_sub)
+        fail("I4.spawn-monotone",
+             strfmt("spawned sub %u after sub %u (k=%u)", new_sub,
+                    lastSub_[cpu], view.k),
+             0, cpu, new_sub);
+    lastSub_[cpu] = new_sub;
+
+    // I4: the subthreadStart message reached every younger live epoch.
+    ContextId ctx = view.ctxId(cpu, new_sub);
+    for (unsigned d = 0; d < view.numCpus; ++d) {
+        const AuditCpuState &r = view.cpus[d];
+        if (d == cpu || !r.active || r.seq <= s.seq)
+            continue;
+        ++checks_;
+        const auto &entry = (*r.startTable)[ctx];
+        if (entry.first != s.seq || entry.second != r.curSub)
+            fail("I4.start-table",
+                 strfmt("cpu %u's start table missed spawn of epoch "
+                        "%llu sub %u",
+                        d, static_cast<unsigned long long>(s.seq),
+                        new_sub),
+                 0, cpu, new_sub);
+    }
+
+    // The newly started context must be clean: its checkpoint is
+    // fresh, so any residual SL/SM state would be another epoch's.
+    if (level_ == AuditLevel::Full)
+        checkContextsClean(view, std::uint64_t{1} << ctx,
+                           "I5.rewind-clean", cpu, new_sub);
+}
+
+void
+Auditor::onAccess(const AuditView &view, CpuId cpu, Addr line)
+{
+    checkLine(view, line, cpu);
+}
+
+void
+Auditor::onCommit(const AuditView &view, CpuId cpu, std::uint64_t seq)
+{
+    // I6: homefree token in program order.
+    ++checks_;
+    if (haveCommit_ && seq <= lastCommitSeq_)
+        fail("I6.commit-order",
+             strfmt("epoch %llu committed after %llu",
+                    static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(lastCommitSeq_)),
+             0, cpu, 0);
+    haveCommit_ = true;
+    lastCommitSeq_ = seq;
+    lastSub_[cpu] = 0;
+
+    // I6: the committed thread left nothing speculative behind.
+    ++checks_;
+    if (view.cpus[cpu].active && view.cpus[cpu].seq == seq)
+        fail("I6.commit-order", "committed epoch still active", 0, cpu,
+             0);
+    checkContextsClean(view, view.threadMask(cpu, view.k - 1),
+                       "I6.commit-clean", cpu, 0);
+
+    globalSweep(view, cpu);
+}
+
+void
+Auditor::onSquash(const AuditView &view, CpuId cpu, unsigned sub)
+{
+    lastSub_[cpu] = sub;
+
+    // I5: contexts >= sub of the rewound thread are clean.
+    std::uint64_t full = view.threadMask(cpu, view.k - 1);
+    std::uint64_t surviving =
+        sub == 0 ? 0 : view.threadMask(cpu, sub - 1);
+    checkContextsClean(view, full & ~surviving, "I5.rewind-clean", cpu,
+                       sub);
+    if (sub == 0) {
+        // A full rewind drops every speculative line version too.
+        ++checks_;
+        if (!view.mem->threadVersionLines(cpu).empty())
+            fail("I5.rewind-clean",
+                 strfmt("full rewind left %zu line versions",
+                        view.mem->threadVersionLines(cpu).size()),
+                 0, cpu, 0);
+    }
+    ++checks_;
+    if (view.cpus[cpu].curSub != sub)
+        fail("I5.rewind-clean",
+             strfmt("rewind target sub %u but current sub is %u", sub,
+                    view.cpus[cpu].curSub),
+             0, cpu, sub);
+
+    globalSweep(view, cpu);
+}
+
+RunResult
+runWithAudit(TlsMachine &m, const WorkloadTrace &workload, ExecMode mode,
+             unsigned warmup_txns, const TraceIndex *index)
+{
+    AuditLevel level = m.config().tls.auditLevel;
+    if (level == AuditLevel::Off)
+        return m.run(workload, mode, warmup_txns, index);
+
+    Auditor auditor(level);
+    struct Detach
+    {
+        TlsMachine &m;
+        ~Detach() { m.setAuditSink(nullptr); }
+    } detach{m};
+    m.setAuditSink(&auditor);
+    return m.run(workload, mode, warmup_txns, index);
+}
+
+} // namespace verify
+} // namespace tlsim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Runtime protocol invariant auditor (DESIGN.md Section 4.3).
+ *
+ * The auditor attaches to a TlsMachine through the AuditSink seam and
+ * re-derives, from first principles, the invariants the TLS protocol
+ * is supposed to maintain over the SpecState metadata, the versioned
+ * L2, and the speculative victim cache:
+ *
+ *  I1  every context holding SL/SM state belongs to a live epoch, in a
+ *      sub-thread context the epoch has actually started;
+ *  I2  at most one speculative version of a line per thread, and a
+ *      thread's L2-or-victim version exists iff the thread has SM bits
+ *      on the line (a speculative version without a modifier, or SM
+ *      bits without buffering, is a protocol bug);
+ *  I3  the same (line, version) is never buffered in both the L2 and
+ *      the victim cache;
+ *  I4  sub-thread spawns per epoch are monotone: sub-thread indices
+ *      increase by exactly one between rewinds, and the spawn's
+ *      start-table message reaches every younger live epoch;
+ *  I5  a rewind to sub-thread s leaves no SL/SM state in contexts
+ *      >= s of the rewound thread (and a full rewind leaves no
+ *      speculative line versions at all);
+ *  I6  epochs pass the homefree token in program order: committed
+ *      sequence numbers are strictly increasing, and a committed
+ *      thread leaves no speculative state or line versions behind.
+ *
+ * AuditLevel::Commit evaluates the global invariants (I1-I3 as a full
+ * sweep, I4-I6) at epoch boundaries only; AuditLevel::Full adds a
+ * line-local I1-I3 check after every tracked speculative access.
+ *
+ * Any failure throws AuditViolation naming the invariant, the line and
+ * the (cpu, sub-thread) involved.
+ */
+
+#ifndef VERIFY_AUDITOR_H
+#define VERIFY_AUDITOR_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/config.h"
+#include "core/audithooks.h"
+#include "core/machine.h"
+
+namespace tlsim {
+namespace verify {
+
+/** A protocol invariant did not hold. */
+class AuditViolation : public std::runtime_error
+{
+  public:
+    AuditViolation(std::string invariant, std::string detail, Addr line,
+                   CpuId cpu, unsigned sub);
+
+    const std::string &invariant() const { return invariant_; }
+    Addr line() const { return line_; }
+    CpuId cpu() const { return cpu_; }
+    unsigned sub() const { return sub_; }
+
+  private:
+    std::string invariant_;
+    Addr line_;
+    CpuId cpu_;
+    unsigned sub_;
+};
+
+/** The concrete invariant auditor (see file comment for the list). */
+class Auditor : public AuditSink
+{
+  public:
+    explicit Auditor(AuditLevel level);
+
+    void onRunStart(const AuditView &view) override;
+    void onEpochStart(const AuditView &view, CpuId cpu,
+                      std::uint64_t seq) override;
+    void onSpawn(const AuditView &view, CpuId cpu,
+                 unsigned new_sub) override;
+    void onAccess(const AuditView &view, CpuId cpu, Addr line) override;
+    void onCommit(const AuditView &view, CpuId cpu,
+                  std::uint64_t seq) override;
+    void onSquash(const AuditView &view, CpuId cpu,
+                  unsigned sub) override;
+
+    std::uint64_t checks() const override { return checks_; }
+
+  private:
+    /** I1-I3 for one line (line-local; used by the Full level). */
+    void checkLine(const AuditView &view, Addr line, CpuId acting_cpu);
+    /** I1-I3 over all speculative state and both caches. */
+    void globalSweep(const AuditView &view, CpuId acting_cpu);
+    /** No SL/SM state in `ctx_mask`; `what` names the invariant. */
+    void checkContextsClean(const AuditView &view,
+                            std::uint64_t ctx_mask, const char *what,
+                            CpuId cpu, unsigned sub);
+
+    [[noreturn]] void fail(const char *invariant,
+                           const std::string &detail, Addr line,
+                           CpuId cpu, unsigned sub) const;
+
+    AuditLevel level_;
+    std::uint64_t checks_ = 0;
+    /** Shadow of each CPU slot's last spawned sub-thread index (I4). */
+    std::vector<unsigned> lastSub_;
+    bool haveCommit_ = false;
+    std::uint64_t lastCommitSeq_ = 0; ///< valid when haveCommit_
+};
+
+/**
+ * Run `m` on `workload`, attaching an Auditor for the duration when
+ * the machine's TlsConfig::auditLevel is not Off. The one entry point
+ * every audited caller (tlsim, the benches, the audit tests) uses.
+ */
+RunResult runWithAudit(TlsMachine &m, const WorkloadTrace &workload,
+                       ExecMode mode, unsigned warmup_txns = 0,
+                       const TraceIndex *index = nullptr);
+
+} // namespace verify
+} // namespace tlsim
+
+#endif // VERIFY_AUDITOR_H

@@ -12,6 +12,11 @@ Every bench binary writes this schema when invoked with --json=FILE:
       "jobs": <int >= 1>,
       "wall_seconds": <number >= 0>,
       "simulated_cycles": <number >= 0>,
+      "audit": {                      # optional; present iff --audit
+        "level": "commit"|"full",
+        "invariants_checked": <number >= 0>,
+        "violations": 0               # auditor aborts on violation
+      },
       "results": [
         {"name": "<point name>", "<metric>": <number>, ...},
         ...
@@ -53,6 +58,25 @@ def check_result(path, i, entry):
     return ok
 
 
+def check_audit(path, audit):
+    if not isinstance(audit, dict):
+        return fail(path, "'audit' is not an object")
+    ok = True
+    level = audit.get("level")
+    if level not in ("commit", "full"):
+        ok = fail(path, f"audit 'level' must be 'commit' or 'full', "
+                        f"got {level!r}")
+    checked = audit.get("invariants_checked")
+    if not is_num(checked) or checked < 0:
+        ok = fail(path, "audit 'invariants_checked' must be a number "
+                        f">= 0, got {checked!r}")
+    violations = audit.get("violations")
+    if violations != 0 or isinstance(violations, bool):
+        ok = fail(path, f"audit 'violations' must be 0, "
+                        f"got {violations!r}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -78,6 +102,8 @@ def check_file(path):
         v = doc.get(key)
         if not is_num(v) or v < 0:
             ok = fail(path, f"{key!r} must be a number >= 0, got {v!r}")
+    if "audit" in doc:
+        ok = check_audit(path, doc["audit"]) and ok
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         ok = fail(path, "'results' must be a non-empty list")

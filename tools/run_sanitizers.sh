@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Build and run the test suite under sanitizers.
+#
+# Two instrumented build trees next to the source:
+#   build-asan  AddressSanitizer + UndefinedBehaviorSanitizer,
+#               full unit-test suite;
+#   build-tsan  ThreadSanitizer, the threaded components only (the
+#               parallel simulation executor and the benches' fan-out)
+#               - the rest of the simulator is single-threaded and
+#               TSan makes it ~10x slower for no additional coverage.
+#
+# Usage: tools/run_sanitizers.sh [asan|tsan|all]   (default: all)
+#
+# Any sanitizer report is fatal: the builds use
+# -fno-sanitize-recover=all, so the first finding aborts the test.
+
+set -euo pipefail
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=$(nproc)
+mode=${1:-all}
+
+run_asan() {
+    echo "=== ASan+UBSan: configure ==="
+    cmake -S "$root" -B "$root/build-asan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTLSIM_SANITIZE='address;undefined'
+    echo "=== ASan+UBSan: build ==="
+    cmake --build "$root/build-asan" -j "$jobs"
+    echo "=== ASan+UBSan: full unit-test suite ==="
+    ctest --test-dir "$root/build-asan" --output-on-failure \
+        -j "$jobs" -L '^sanitize$'
+}
+
+run_tsan() {
+    echo "=== TSan: configure ==="
+    cmake -S "$root" -B "$root/build-tsan" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTLSIM_SANITIZE=thread
+    echo "=== TSan: build ==="
+    cmake --build "$root/build-tsan" -j "$jobs" --target test_sim
+    echo "=== TSan: threaded components ==="
+    ctest --test-dir "$root/build-tsan" --output-on-failure \
+        -j "$jobs" -R 'Executor|Parallel|Shared'
+}
+
+case "$mode" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)  run_asan; run_tsan ;;
+  *)    echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "sanitizers: all clean"

@@ -20,6 +20,7 @@
  *   --mode=tls|serial|nospec   execution mode (default tls)
  *   --subthreads=K --spacing=N --cpus=N --adaptive
  *   --no-start-table --no-victim --lazy-updates
+ *   --audit=off|commit|full    protocol invariant auditor level
  *   --warmup=N         transactions excluded from statistics
  *   --profile          print the dependence profiler afterwards
  */
@@ -39,6 +40,7 @@
 #include "sim/tracecache.h"
 #include "sim/traceio.h"
 #include "tpcc/tpcc.h"
+#include "verify/auditor.h"
 
 using namespace tlsim;
 
@@ -143,6 +145,7 @@ machineConfig(const Args &a)
         mc.tls.useVictimCache = false;
     if (a.has("lazy-updates"))
         mc.tls.aggressiveUpdates = false;
+    mc.tls.auditLevel = parseAuditLevel(a.str("audit", "off"));
     return mc;
 }
 
@@ -263,7 +266,11 @@ cmdReplay(const Args &a)
     unsigned warmup = static_cast<unsigned>(a.num("warmup", 0));
 
     TlsMachine m(mc);
-    RunResult r = m.run(w, mode, warmup);
+    RunResult r = verify::runWithAudit(m, w, mode, warmup);
+    if (mc.tls.auditLevel != AuditLevel::Off)
+        std::printf("audit              %llu invariant checks, 0 "
+                    "violations\n",
+                    static_cast<unsigned long long>(r.auditChecks));
     printRun(r);
     if (a.has("profile"))
         std::printf("\n%s", m.profiler().reportText(12).c_str());
