@@ -73,11 +73,10 @@ line(const std::string &label, const RunResult &r, Cycle seq)
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
-    setInformEnabled(false);
-    sim::SimExecutor ex = bench::makeExecutor(args);
-    bench::BenchReport report("bench_ablations", args, ex.jobs());
-    report.setAuditLevel(args.audit);
+    bench::BenchSession session("bench_ablations", argc, argv);
+    bench::BenchArgs &args = session.args;
+    sim::SimExecutor &ex = session.ex;
+    bench::BenchReport &report = session.report;
     g_report = &report;
 
     sim::ExperimentConfig cfg =
@@ -230,5 +229,5 @@ main(int argc, char **argv)
                         sub ? "8 sub-threads" : "all-or-nothing"),
                  res[j_matrix[tuned][sub]], seq);
 
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

@@ -37,11 +37,10 @@ using namespace tlsim;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
-    setInformEnabled(false);
-    sim::SimExecutor ex = bench::makeExecutor(args);
-    bench::BenchReport report("bench_figure5_overall", args, ex.jobs());
-    report.setAuditLevel(args.audit);
+    bench::BenchSession session("bench_figure5_overall", argc, argv);
+    bench::BenchArgs &args = session.args;
+    sim::SimExecutor &ex = session.ex;
+    bench::BenchReport &report = session.report;
 
     std::cout << "Machine configuration (paper Table 1):\n";
     sim::ExperimentConfig probe =
@@ -93,5 +92,5 @@ main(int argc, char **argv)
     }
 
     sim::printSpeedupSummary(std::cout, rows);
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

@@ -30,11 +30,10 @@ using namespace tlsim;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
-    setInformEnabled(false);
-    sim::SimExecutor ex = bench::makeExecutor(args);
-    bench::BenchReport report("bench_figure6_sweep", args, ex.jobs());
-    report.setAuditLevel(args.audit);
+    bench::BenchSession session("bench_figure6_sweep", argc, argv);
+    bench::BenchArgs &args = session.args;
+    sim::SimExecutor &ex = session.ex;
+    bench::BenchReport &report = session.report;
 
     const std::vector<unsigned> counts = {2, 4, 8};
     const std::vector<std::uint64_t> spacings = {1000,  2500,  5000,
@@ -128,5 +127,5 @@ main(int argc, char **argv)
                  {"speedup", p.run.speedupVs(seqs[b])}});
         }
     }
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

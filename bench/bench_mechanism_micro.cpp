@@ -309,15 +309,13 @@ ablationAdaptive()
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
-    bench::BenchReport report("bench_mechanism_micro", args,
-                              /*resolved_jobs=*/1);
-    report.setAuditLevel(args.audit);
-    g_report = &report;
+    bench::BenchSession session("bench_mechanism_micro",
+                                bench::parseArgs(argc, argv));
+    g_report = &session.report;
     figure1();
     figure2();
     figure4();
     ablationVictim();
     ablationAdaptive();
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

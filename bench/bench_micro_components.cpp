@@ -436,13 +436,10 @@ main(int argc, char **argv)
                                                gbench_args.data()))
         return 2;
 
-    // Substrate microbenchmarks are single-threaded by construction;
-    // --jobs is accepted for interface uniformity and recorded as-is.
-    tlsim::bench::BenchReport report("bench_micro_components", args,
-                                     /*resolved_jobs=*/1);
-    report.setAuditLevel(args.audit);
-    CollectingReporter reporter(report);
+    tlsim::bench::BenchSession session("bench_micro_components",
+                                       std::move(args));
+    CollectingReporter reporter(session.report);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

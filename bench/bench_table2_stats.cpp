@@ -28,11 +28,10 @@ using namespace tlsim;
 int
 main(int argc, char **argv)
 {
-    bench::BenchArgs args = bench::parseArgs(argc, argv);
-    setInformEnabled(false);
-    sim::SimExecutor ex = bench::makeExecutor(args);
-    bench::BenchReport report("bench_table2_stats", args, ex.jobs());
-    report.setAuditLevel(args.audit);
+    bench::BenchSession session("bench_table2_stats", argc, argv);
+    bench::BenchArgs &args = session.args;
+    sim::SimExecutor &ex = session.ex;
+    bench::BenchReport &report = session.report;
 
     const auto &benches = tpcc::allBenchmarks();
 
@@ -61,5 +60,5 @@ main(int argc, char **argv)
                     {"threads_per_txn", r.threadsPerTxn},
                     {"epochs", static_cast<double>(r.epochs)}});
     }
-    return report.writeIfRequested(args) ? 0 : 1;
+    return session.finish();
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/config.h"
+#include "base/log.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/tracecache.h"
@@ -254,6 +255,24 @@ class BenchReport
         auditChecks_ += checks;
     }
 
+    /**
+     * Record the model-checker totals; write() then emits the
+     * "modelcheck" block (validated by tools/check_bench_json.py).
+     * states is the number of explored model states (transitions
+     * executed across all schedules), reduction the naive/DPOR
+     * schedule ratio on the reduction instances.
+     */
+    void
+    setModelcheck(double states, double schedules, double reduction,
+                  double violations)
+    {
+        mcStates_ = states;
+        mcSchedules_ = schedules;
+        mcReduction_ = reduction;
+        mcViolations_ = violations;
+        hasModelcheck_ = true;
+    }
+
     double
     wallSeconds() const
     {
@@ -289,6 +308,12 @@ class BenchReport
             os << "  \"audit\": {\"level\": \"" << escape(auditLevel_)
                << "\", \"invariants_checked\": " << auditChecks_
                << ", \"violations\": 0},\n";
+        }
+        if (hasModelcheck_) {
+            os << "  \"modelcheck\": {\"states_explored\": "
+               << mcStates_ << ", \"schedules\": " << mcSchedules_
+               << ", \"dpor_reduction\": " << mcReduction_
+               << ", \"violations\": " << mcViolations_ << "},\n";
         }
         os << "  \"results\": [";
         for (std::size_t i = 0; i < results_.size(); ++i) {
@@ -337,7 +362,54 @@ class BenchReport
     double replayRecords_ = 0;
     std::string auditLevel_ = "off";
     double auditChecks_ = 0;
+    bool hasModelcheck_ = false;
+    double mcStates_ = 0;
+    double mcSchedules_ = 0;
+    double mcReduction_ = 0;
+    double mcViolations_ = 0;
     std::vector<std::pair<std::string, Fields>> results_;
+};
+
+/**
+ * The shared main() prologue/epilogue of the reproduction benches:
+ * parse the command line, quiet the inform stream, size the executor
+ * from --jobs, and open the report with the resolved job count and
+ * audit level. finish() writes the JSON (when --json was given) and
+ * converts the outcome into main()'s exit status.
+ */
+struct BenchSession
+{
+    BenchArgs args;
+    sim::SimExecutor ex;
+    BenchReport report;
+
+    BenchSession(const char *bench, int argc, char **argv)
+        : args(parseArgs(argc, argv)), ex(makeExecutor(args)),
+          report(bench, args, ex.jobs())
+    {
+        setInformEnabled(false);
+        report.setAuditLevel(args.audit);
+    }
+
+    /**
+     * Pre-parsed variant for benches that filter the command line
+     * themselves (bench_micro_components hands --benchmark_* flags to
+     * google-benchmark first) or are single-threaded by construction
+     * (bench_mechanism_micro): --jobs is accepted for interface
+     * uniformity but resolves to one worker, and the inform stream is
+     * left alone.
+     */
+    BenchSession(const char *bench, BenchArgs parsed)
+        : args(std::move(parsed)), ex(1), report(bench, args, 1)
+    {
+        report.setAuditLevel(args.audit);
+    }
+
+    int
+    finish() const
+    {
+        return report.writeIfRequested(args) ? 0 : 1;
+    }
 };
 
 } // namespace bench

@@ -58,6 +58,12 @@ TlsMachine::setAuditSink(AuditSink *sink)
 }
 
 void
+TlsMachine::setScheduleOracle(ScheduleOracle *oracle)
+{
+    schedOracle_ = oracle;
+}
+
+void
 TlsMachine::refreshAuditView()
 {
     auditView_.spec = &spec_;
@@ -355,22 +361,30 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
         if (!queues_[cpu].empty())
             startNextEpoch(cpu);
 
+    std::vector<ScheduleChoice> choices;
     std::uint64_t remaining = sec.epochs.size();
     while (remaining > 0) {
         // Pick the runnable CPU with the smallest local clock so shared
-        // state is touched in (approximately) global time order.
+        // state is touched in (approximately) global time order. An
+        // attached schedule oracle overrides the choice (it sees the
+        // same runnable set), turning the machine into a deterministic
+        // executor of an externally chosen interleaving.
         int pick = -1;
         Cycle best = kCycleMax;
+        if (schedOracle_)
+            choices.clear();
         for (unsigned cpu = 0; cpu < numCpus_; ++cpu) {
             EpochRun *r = runs_[cpu].get();
             if (!r)
                 continue;
-            bool runnable =
-                r->st == RunState::Running ||
-                (r->st == RunState::Done &&
-                 (!specTracking_ || r->seq == nextCommitSeq_));
+            bool commit_ready =
+                r->st == RunState::Done &&
+                (!specTracking_ || r->seq == nextCommitSeq_);
+            bool runnable = r->st == RunState::Running || commit_ready;
             if (!runnable)
                 continue;
+            if (schedOracle_)
+                choices.push_back({cpu, r->seq, commit_ready});
             if (cores_[cpu].now() < best) {
                 best = cores_[cpu].now();
                 pick = static_cast<int>(cpu);
@@ -380,6 +394,16 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
             panic("TLS machine deadlock: no runnable CPU "
                   "(remaining epochs %llu)",
                   static_cast<unsigned long long>(remaining));
+        if (schedOracle_) {
+            std::size_t o = schedOracle_->pick(choices);
+            if (o != ScheduleOracle::kDefaultPick) {
+                if (o >= choices.size())
+                    panic("schedule oracle picked %zu of %zu runnable "
+                          "slots",
+                          o, choices.size());
+                pick = static_cast<int>(choices[o].cpu);
+            }
+        }
 
         EpochRun &r = *runs_[pick];
         if (r.st == RunState::Done) {

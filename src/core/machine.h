@@ -39,6 +39,7 @@
 #include "base/types.h"
 #include "core/audithooks.h"
 #include "core/profiler.h"
+#include "core/schedulehooks.h"
 #include "core/specstate.h"
 #include "core/trace.h"
 #include "core/traceindex.h"
@@ -132,6 +133,14 @@ class TlsMachine : public TlsHooks
      * per-access hook fires only when TlsConfig::auditLevel is Full.
      */
     void setAuditSink(AuditSink *sink);
+
+    /**
+     * Attach (or detach, with nullptr) an external scheduler for
+     * parallel sections (core/schedulehooks.h). Borrowed, not owned;
+     * must outlive any run(). With no oracle (or on kDefaultPick) the
+     * machine keeps its min-clock policy.
+     */
+    void setScheduleOracle(ScheduleOracle *oracle);
 
     /** Dump machine-level statistics (per-CPU caches, predictor,
      *  breakdown) in the gem5-style "name value # desc" format. */
@@ -327,6 +336,7 @@ class TlsMachine : public TlsHooks
     AuditSink *audit_ = nullptr; ///< borrowed invariant auditor
     bool auditFull_ = false;     ///< per-access hook armed (Full level)
     AuditView auditView_;
+    ScheduleOracle *schedOracle_ = nullptr; ///< borrowed scheduler
 
     // measured-region statistics (counter values at measure start)
     RunResult stats_;

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Seam between the TLS machine and an external schedule driver (the
+ * model checker's bisimulation replayer, directed protocol tests).
+ *
+ * The machine's parallel-section loop normally picks the runnable CPU
+ * with the smallest local clock. An attached ScheduleOracle overrides
+ * that choice: once per scheduler iteration the machine hands it the
+ * runnable slots and steps whichever one it returns. Everything else —
+ * record execution, sub-thread spawns, violation delivery, commit
+ * order — is unchanged, so an oracle turns the machine into a
+ * deterministic executor of an externally chosen interleaving while
+ * exercising exactly the production protocol paths.
+ *
+ * Granularity: one pick corresponds to one scheduler iteration, which
+ * is either a single stepCpu() (one trace record, one sub-thread
+ * spawn, one pending rewind, or the epoch-body completion) or, for an
+ * epoch that already finished and holds the homefree token, its
+ * commit. This matches the protocol model's transition granularity
+ * one-to-one (src/verify/modelcheck), which is what makes bit-exact
+ * model-to-machine schedule replay possible.
+ */
+
+#ifndef CORE_SCHEDULEHOOKS_H
+#define CORE_SCHEDULEHOOKS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+
+/** One runnable CPU slot offered to the oracle. */
+struct ScheduleChoice
+{
+    CpuId cpu = 0;
+    std::uint64_t seq = 0;   ///< epoch sequence number in the slot
+    /** The slot's epoch finished its body and holds the homefree
+     *  token: stepping it commits the epoch. */
+    bool commitReady = false;
+};
+
+/** External scheduler for the machine's parallel sections. */
+class ScheduleOracle
+{
+  public:
+    virtual ~ScheduleOracle() = default;
+
+    /**
+     * Choose which runnable slot steps next. `choices` is non-empty
+     * and ordered by CPU id. Return an index into `choices`, or
+     * kDefaultPick to fall back to the machine's min-clock policy for
+     * this iteration. Out-of-range picks are a fatal error.
+     */
+    virtual std::size_t pick(const std::vector<ScheduleChoice> &choices) = 0;
+
+    static constexpr std::size_t kDefaultPick = ~std::size_t{0};
+};
+
+} // namespace tlsim
+
+#endif // CORE_SCHEDULEHOOKS_H

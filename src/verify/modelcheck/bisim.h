@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Model <-> machine cross-validation (DESIGN.md Section 4.4).
+ *
+ * A model schedule is replayed bit-for-bit on the real TlsMachine:
+ * the abstract programs are lowered to a captured trace (one 4-byte
+ * access per Load/Store at a distinct line, one compute record per
+ * Tick, zero spawn overhead so records map 1:1 to model ops), the
+ * machine is configured with one CPU slot per epoch, and a
+ * ScheduleOracle feeds it the model's epoch choices — verifying at
+ * every scheduler iteration that the machine's runnable set equals
+ * the model's enabled set, commit-readiness included.
+ *
+ * After the run, the two executions must agree exactly on:
+ *  - the protocol event sequence (epoch starts, spawns, squashes,
+ *    commits, with their cpu/sub/seq arguments),
+ *  - primary/secondary violation, squash, and sub-thread counters,
+ *  - commit order and the per-violation line sequence,
+ *  - replayed record count (model Exec steps == machine records).
+ * The machine additionally runs under the full protocol Auditor, so
+ * every sampled schedule is also an I1-I6 machine check.
+ */
+
+#ifndef VERIFY_MODELCHECK_BISIM_H
+#define VERIFY_MODELCHECK_BISIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/modelcheck/model.h"
+
+namespace tlsim {
+namespace verify {
+namespace mc {
+
+/** One schedule replayed through the machine. */
+struct BisimOutcome
+{
+    bool ok = false;
+    std::string detail;            ///< first divergence, if !ok
+    std::uint64_t modelSteps = 0;  ///< schedule length
+    std::uint64_t auditChecks = 0; ///< machine-side invariant checks
+};
+
+/**
+ * Replay one maximal model schedule through the real machine.
+ * `cfg.mutation` must be None and `cfg.versionBound` 0 (mutations and
+ * the abstract buffer bound are model-only).
+ */
+BisimOutcome replaySchedule(const ModelConfig &cfg,
+                            const std::vector<Program> &programs,
+                            const std::vector<unsigned> &schedule);
+
+/** Aggregate of a random sampling sweep. */
+struct BisimSweep
+{
+    unsigned samples = 0;
+    unsigned failures = 0;
+    std::string firstFailure;
+    std::uint64_t modelSteps = 0;
+    std::uint64_t auditChecks = 0;
+
+    bool ok() const { return failures == 0; }
+};
+
+/**
+ * Sample `samples` random (programs, schedule) pairs at the `cfg`
+ * bounds (programs of `program_len` ops each) and replay every one
+ * through the machine. Deterministic in `seed`.
+ */
+BisimSweep sampleBisim(const ModelConfig &cfg, unsigned samples,
+                       std::uint64_t seed, unsigned program_len);
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim
+
+#endif // VERIFY_MODELCHECK_BISIM_H

@@ -1,0 +1,343 @@
+/**
+ * @file
+ * DFS interleaving exploration with sleep sets + DPOR backtracking.
+ */
+
+#include "verify/modelcheck/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/log.h"
+#include "base/rng.h"
+
+namespace tlsim {
+namespace verify {
+namespace mc {
+
+// ---------------------------------------------------------------------
+// Dependence relation
+// ---------------------------------------------------------------------
+
+bool
+dependentSteps(const StepRecord &a, const StepRecord &b,
+               const ModelConfig &cfg)
+{
+    if (a.epoch == b.epoch)
+        return true; // program order
+
+    // A violating step (store delivering a violation, or an
+    // overflowing store) mutates other epochs' squash state and can
+    // change what action they are about to take — dependent with
+    // everything, Ticks included.
+    if (a.violating || b.violating)
+        return true;
+
+    auto is_tick = [](const StepRecord &r) {
+        return r.kind == StepKind::Exec && r.op == OpKind::Tick;
+    };
+    // A Tick touches only its own epoch's instruction counter, and
+    // nothing a non-violating step of another epoch does can change
+    // its behaviour.
+    if (is_tick(a) || is_tick(b))
+        return false;
+
+    // Rewinds drop versions and SL/SM state that other epochs' loads
+    // and stores observe; commits merge versions into committed
+    // memory and move the homefree token (changing the next epoch's
+    // tracked-ness). Conservatively dependent with every non-Tick.
+    auto is_global = [](const StepRecord &r) {
+        return r.kind == StepKind::Rewind || r.kind == StepKind::Commit;
+    };
+    if (is_global(a) || is_global(b))
+        return true;
+
+    // Spawns write younger epochs' start tables keyed by the
+    // spawner's new sub AND the receiver's current sub, so two spawns
+    // (or a spawn racing a finish) do not commute in general. A spawn
+    // or finish against a non-violating load/store does: neither
+    // reads the other's footprint.
+    auto is_control = [](const StepRecord &r) {
+        return r.kind == StepKind::Spawn || r.kind == StepKind::Finish;
+    };
+    if (is_control(a) || is_control(b))
+        return is_control(a) && is_control(b);
+
+    // Both are non-violating Load/Store Execs.
+    if (a.op == OpKind::Load && b.op == OpKind::Load)
+        return false; // SL bits are per-context; values unaffected
+    if (a.line != b.line) {
+        // Distinct lines: versions, SM, SL and values are disjoint.
+        // Exception: with a version budget, any two stores race for
+        // buffer slots (liveVersions coupling).
+        if (a.op == OpKind::Store && b.op == OpKind::Store)
+            return cfg.versionBound != 0;
+        return false;
+    }
+    return true; // same-line load/store or store/store
+}
+
+// ---------------------------------------------------------------------
+// Outcome signatures
+// ---------------------------------------------------------------------
+
+std::string
+outcomeSignature(const ModelState &st)
+{
+    std::ostringstream os;
+    os << "commit:";
+    for (unsigned i = 0; i < st.commitCount(); ++i)
+        os << ' ' << st.commitAt(i);
+    os << " pv=" << st.primaryViolations()
+       << " sv=" << st.secondaryViolations() << " sq=" << st.squashes()
+       << " sp=" << st.subthreadsStarted() << " ov="
+       << st.overflowEvents();
+    os << " lines:";
+    for (std::size_t i = 0; i < st.violatedLineCount(); ++i)
+        os << ' ' << st.violatedLineAt(i);
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Explorer
+{
+  public:
+    Explorer(const ModelConfig &cfg, const ExploreConfig &xcfg)
+        : cfg_(cfg), xcfg_(xcfg)
+    {
+    }
+
+    ExploreResult
+    run(const std::vector<Program> &programs)
+    {
+        // Event recording is bisim-only; exploration clones states on
+        // every transition and must not drag the log along.
+        ModelState root(cfg_, programs, /*record_events=*/false);
+        // The initial state must already satisfy the invariants.
+        ModelViolation v;
+        if (xcfg_.check.invariants && !root.checkInvariants(v)) {
+            v.schedule = {};
+            result_.violations.push_back(v);
+            return std::move(result_);
+        }
+        dfs(root, 0, 0);
+        return std::move(result_);
+    }
+
+  private:
+    struct Frame
+    {
+        std::array<unsigned char, kMaxEpochs> enabled{};
+        std::array<StepRecord, kMaxEpochs> probes{}; ///< parallel
+        unsigned nEnabled = 0;
+        std::uint64_t sleep = 0;
+        std::uint64_t backtrack = 0;
+        std::uint64_t explored = 0;
+        StepRecord rec; ///< step of the branch currently explored
+    };
+
+    bool
+    stopped() const
+    {
+        return !result_.violations.empty() || result_.budgetExhausted;
+    }
+
+    void
+    dfs(const ModelState &state, std::uint64_t sleep, std::uint64_t depth)
+    {
+        result_.stats.maxDepth = std::max(result_.stats.maxDepth, depth);
+
+        Frame frame;
+        for (unsigned e = 0; e < cfg_.epochs; ++e)
+            if (state.enabled(e))
+                frame.enabled[frame.nEnabled++] =
+                    static_cast<unsigned char>(e);
+        frame.sleep = sleep;
+        if (frame.nEnabled == 0) {
+            ++result_.stats.schedulesCompleted;
+            ModelViolation v;
+            if (!state.checkQuiescent(xcfg_.check, v)) {
+                v.schedule = schedule_;
+                result_.violations.push_back(v);
+                return;
+            }
+            if (xcfg_.collectOutcomes)
+                result_.outcomes.insert(outcomeSignature(state));
+            if (xcfg_.maxSchedules != 0 &&
+                result_.stats.schedulesCompleted >= xcfg_.maxSchedules)
+                result_.budgetExhausted = true;
+            return;
+        }
+        if (xcfg_.maxSteps != 0 && depth >= xcfg_.maxSteps) {
+            ++result_.stats.truncated;
+            return;
+        }
+
+        for (unsigned i = 0; i < frame.nEnabled; ++i)
+            frame.probes[i] = state.probe(frame.enabled[i]);
+
+        if (xcfg_.dpor) {
+            // Seed the persistent set with the first non-sleeping
+            // enabled epoch; backward scans from descendants add more.
+            unsigned first = cfg_.epochs;
+            for (unsigned i = 0; i < frame.nEnabled; ++i)
+                if (!(frame.sleep >> frame.enabled[i] & 1)) {
+                    first = frame.enabled[i];
+                    break;
+                }
+            if (first == cfg_.epochs) {
+                // Everything enabled is asleep: any continuation from
+                // here is a reordering of one explored elsewhere.
+                ++result_.stats.sleepBlocked;
+                return;
+            }
+            frame.backtrack = std::uint64_t{1} << first;
+        } else {
+            for (unsigned i = 0; i < frame.nEnabled; ++i)
+                frame.backtrack |= std::uint64_t{1} << frame.enabled[i];
+        }
+
+        path_.push_back(&frame);
+        while (!stopped()) {
+            std::uint64_t todo =
+                frame.backtrack & ~frame.explored & ~frame.sleep;
+            if (todo == 0)
+                break;
+            unsigned p =
+                static_cast<unsigned>(__builtin_ctzll(todo));
+
+            ModelState child = state;
+            StepRecord rec = child.step(p);
+            frame.rec = rec;
+            ++result_.stats.transitions;
+
+            if (xcfg_.dpor) {
+                // DPOR update: every earlier step this one is
+                // dependent with gets a backtrack point at its
+                // pre-state — the alternative "run p first" schedule.
+                for (std::size_t i = 0; i + 1 < path_.size(); ++i) {
+                    Frame &f = *path_[i];
+                    if (f.rec.epoch == rec.epoch ||
+                        !dependentSteps(f.rec, rec, cfg_))
+                        continue;
+                    bool enabled_there = false;
+                    for (unsigned j = 0; j < f.nEnabled; ++j)
+                        if (f.enabled[j] == rec.epoch) {
+                            enabled_there = true;
+                            break;
+                        }
+                    if (enabled_there)
+                        f.backtrack |= std::uint64_t{1} << rec.epoch;
+                    else
+                        for (unsigned j = 0; j < f.nEnabled; ++j)
+                            f.backtrack |= std::uint64_t{1}
+                                           << f.enabled[j];
+                }
+            }
+
+            ModelViolation v;
+            if (xcfg_.check.invariants && !child.checkInvariants(v)) {
+                schedule_.push_back(p);
+                v.schedule = schedule_;
+                schedule_.pop_back();
+                result_.violations.push_back(v);
+                break;
+            }
+
+            std::uint64_t child_sleep = 0;
+            if (xcfg_.dpor) {
+                // A sleeping sibling stays asleep only if its pending
+                // action is independent of what just ran.
+                for (unsigned i = 0; i < frame.nEnabled; ++i) {
+                    unsigned q = frame.enabled[i];
+                    if (q == p || !(frame.sleep >> q & 1))
+                        continue;
+                    if (!dependentSteps(frame.probes[i], rec, cfg_))
+                        child_sleep |= std::uint64_t{1} << q;
+                }
+            }
+
+            schedule_.push_back(p);
+            dfs(child, child_sleep, depth + 1);
+            schedule_.pop_back();
+
+            frame.explored |= std::uint64_t{1} << p;
+            if (xcfg_.dpor) {
+                // Later branches must not re-derive interleavings
+                // that start with an explored sibling.
+                frame.sleep |= std::uint64_t{1} << p;
+            }
+        }
+        path_.pop_back();
+    }
+
+    const ModelConfig &cfg_;
+    const ExploreConfig &xcfg_;
+    ExploreResult result_;
+    std::vector<Frame *> path_;
+    std::vector<unsigned> schedule_;
+};
+
+} // namespace
+
+ExploreResult
+explore(const ModelConfig &cfg, const std::vector<Program> &programs,
+        const ExploreConfig &xcfg)
+{
+    if (cfg.versionBound != 0 && xcfg.maxSteps == 0)
+        panic("explore: versionBound needs a maxSteps bound "
+              "(overflow squash/retry loops can cycle)");
+    Explorer ex(cfg, xcfg);
+    return ex.run(programs);
+}
+
+// ---------------------------------------------------------------------
+// Schedule utilities
+// ---------------------------------------------------------------------
+
+ModelState
+runSchedule(const ModelConfig &cfg,
+            const std::vector<Program> &programs,
+            const std::vector<unsigned> &schedule,
+            std::vector<StepRecord> *out_steps)
+{
+    ModelState st(cfg, programs);
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+        unsigned e = schedule[i];
+        if (e >= cfg.epochs || !st.enabled(e))
+            panic("schedule step %zu: epoch %u not enabled", i, e);
+        StepRecord rec = st.step(e);
+        if (out_steps)
+            out_steps->push_back(rec);
+    }
+    return st;
+}
+
+std::vector<unsigned>
+randomSchedule(const ModelConfig &cfg,
+               const std::vector<Program> &programs, Rng &rng)
+{
+    ModelState st(cfg, programs);
+    std::vector<unsigned> schedule;
+    for (;;) {
+        auto enabled = st.enabledEpochs();
+        if (enabled.empty())
+            break;
+        unsigned pick = enabled[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(enabled.size()) - 1))];
+        st.step(pick);
+        schedule.push_back(pick);
+        if (cfg.versionBound != 0 && schedule.size() > 100000)
+            panic("randomSchedule: no terminal state after 100000 steps");
+    }
+    return schedule;
+}
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim

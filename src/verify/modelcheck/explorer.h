@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Bounded exhaustive schedule exploration with dynamic partial-order
+ * reduction (DESIGN.md Section 4.4).
+ *
+ * The explorer enumerates interleavings of a ModelState by stateful
+ * DFS (states are small and copied onto the stack, so no replay is
+ * needed). Two modes:
+ *
+ *  - naive: every enabled epoch is branched at every node — the full
+ *    interleaving tree. Ground truth for the soundness tests and the
+ *    denominator of the reported reduction factor.
+ *  - dpor: sleep sets plus persistent-set style backtracking in the
+ *    Flanagan/Godefroid shape. When a step is executed, every earlier
+ *    step of the path it is dependent with gains a backtrack point at
+ *    its pre-state; a child node sleeps every sibling branch whose
+ *    pending action is independent of the executed step, plus (on
+ *    later branches) the already-explored siblings.
+ *
+ * The dependence relation (dependentSteps) is conservative — anything
+ * not provably commuting is dependent — which keeps the reduction
+ * sound; the modelcheck tests cross-check by asserting the naive and
+ * DPOR explorations reach the same set of terminal outcomes.
+ *
+ * Every step is followed by ModelState::checkInvariants and every
+ * terminal state by checkQuiescent (liveness + serializability);
+ * exploration stops at the first violation and reports the schedule
+ * that reproduces it.
+ */
+
+#ifndef VERIFY_MODELCHECK_EXPLORER_H
+#define VERIFY_MODELCHECK_EXPLORER_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verify/modelcheck/model.h"
+
+namespace tlsim {
+
+class Rng;
+
+namespace verify {
+namespace mc {
+
+struct ExploreConfig
+{
+    bool dpor = true;
+    CheckOptions check;
+    /**
+     * Path depth bound. 0 = unbounded, which is only sound when the
+     * transition system is acyclic — with versionBound != 0, overflow
+     * squash/retry loops can cycle, so a bound is required there.
+     */
+    std::uint64_t maxSteps = 0;
+    /** Stop after this many completed schedules (0 = no limit). */
+    std::uint64_t maxSchedules = 0;
+    /** Record a signature per terminal state (soundness tests). */
+    bool collectOutcomes = false;
+};
+
+struct ExploreStats
+{
+    std::uint64_t transitions = 0;        ///< step() executions
+    std::uint64_t schedulesCompleted = 0; ///< maximal paths reached
+    std::uint64_t sleepBlocked = 0;       ///< paths pruned by sleep sets
+    std::uint64_t truncated = 0;          ///< paths cut by maxSteps
+    std::uint64_t maxDepth = 0;
+};
+
+struct ExploreResult
+{
+    ExploreStats stats;
+    std::vector<ModelViolation> violations;
+    /** Canonical terminal-state signatures (collectOutcomes). */
+    std::set<std::string> outcomes;
+    /** Hit maxSchedules before finishing. */
+    bool budgetExhausted = false;
+
+    bool ok() const { return violations.empty(); }
+};
+
+/** Explore every interleaving of `programs` under `cfg` bounds. */
+ExploreResult explore(const ModelConfig &cfg,
+                      const std::vector<Program> &programs,
+                      const ExploreConfig &xcfg);
+
+/**
+ * Conservative step-dependence relation for different-epoch steps.
+ * True unless the two steps provably commute (see explorer.cc for the
+ * case analysis). `a` and `b` must be footprints from the same state
+ * region; same-epoch steps are always dependent.
+ */
+bool dependentSteps(const StepRecord &a, const StepRecord &b,
+                    const ModelConfig &cfg);
+
+/**
+ * Execute one explicit schedule (panics if an entry is disabled).
+ * Returns the resulting state; `out_steps`, when non-null, receives
+ * each step's footprint.
+ */
+ModelState runSchedule(const ModelConfig &cfg,
+                       const std::vector<Program> &programs,
+                       const std::vector<unsigned> &schedule,
+                       std::vector<StepRecord> *out_steps = nullptr);
+
+/**
+ * A uniformly random maximal schedule (random walk over enabled
+ * epochs until terminal) — the bisimulation sampler's source.
+ */
+std::vector<unsigned> randomSchedule(const ModelConfig &cfg,
+                                     const std::vector<Program> &programs,
+                                     Rng &rng);
+
+/** Canonical terminal-state signature (what `outcomes` stores). */
+std::string outcomeSignature(const ModelState &st);
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim
+
+#endif // VERIFY_MODELCHECK_EXPLORER_H

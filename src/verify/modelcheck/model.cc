@@ -1,0 +1,959 @@
+/**
+ * @file
+ * Protocol model transition relation. Every function here mirrors a
+ * TlsMachine member (core/machine.cc) line-for-line at the protocol
+ * level — the comments name the counterpart. Divergence between the
+ * two is caught by modelcheck/bisim, which replays model schedules
+ * through the real machine via the ScheduleOracle seam.
+ */
+
+#include "verify/modelcheck/model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/log.h"
+
+namespace tlsim {
+namespace verify {
+namespace mc {
+
+// ---------------------------------------------------------------------
+// Value hashing
+// ---------------------------------------------------------------------
+
+std::uint64_t
+mixValue(std::uint64_t x)
+{
+    // splitmix64 finalizer — the same mix SpecState uses for line
+    // hashing; collisions between distinct chains are negligible.
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+initialLineValue(unsigned line)
+{
+    return mixValue(0x1234abcdull + line);
+}
+
+std::uint64_t
+storeValue(unsigned epoch, std::uint32_t op_idx, std::uint64_t obs_hash)
+{
+    // Chained from everything the storing execution observed: a
+    // re-execution that saw even one different load value produces a
+    // different store value, so stale forwarded data is detectable.
+    return mixValue(obs_hash ^
+                    mixValue((std::uint64_t{epoch} << 32) | op_idx));
+}
+
+std::uint64_t
+foldObservation(std::uint64_t obs_hash, std::uint64_t value)
+{
+    return mixValue(obs_hash ^ (value * 0x2545f4914f6cdd1dull));
+}
+
+namespace {
+
+std::uint64_t
+epochObsSeed(unsigned epoch)
+{
+    return mixValue(0x0b5e55ed00000000ull ^ epoch);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Names
+// ---------------------------------------------------------------------
+
+const char *
+mutationName(Mutation m)
+{
+    switch (m) {
+      case Mutation::None: return "none";
+      case Mutation::WrongStartTable: return "wrong-start-table";
+      case Mutation::MissedSecondary: return "missed-secondary";
+      case Mutation::PrematureRecycle: return "premature-recycle";
+    }
+    return "?";
+}
+
+const char *
+stepKindName(StepKind k)
+{
+    switch (k) {
+      case StepKind::Exec: return "exec";
+      case StepKind::Spawn: return "spawn";
+      case StepKind::Finish: return "finish";
+      case StepKind::Rewind: return "rewind";
+      case StepKind::Commit: return "commit";
+    }
+    return "?";
+}
+
+std::string
+eventToString(const Event &e)
+{
+    std::ostringstream os;
+    switch (e.kind) {
+      case Event::Kind::EpochStart: os << "start"; break;
+      case Event::Kind::Spawn: os << "spawn"; break;
+      case Event::Kind::Squash: os << "squash"; break;
+      case Event::Kind::Commit: os << "commit"; break;
+    }
+    os << "(cpu=" << e.cpu << ", " << e.arg << ")";
+    return os.str();
+}
+
+std::string
+ModelViolation::toString() const
+{
+    std::ostringstream os;
+    os << family << ": " << detail << " [schedule:";
+    for (unsigned e : schedule)
+        os << ' ' << e;
+    os << ']';
+    return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------
+
+ModelState::ModelState(const ModelConfig &cfg,
+                       const std::vector<Program> &programs,
+                       bool record_events)
+    : recordEvents_(record_events)
+{
+    if (cfg.epochs == 0 || cfg.k == 0 || cfg.lines == 0)
+        panic("model bounds must be nonzero");
+    if (cfg.epochs > kMaxEpochs || cfg.k > kMaxK ||
+        cfg.lines > kMaxLines)
+        panic("model bounds exceed inline caps (epochs<=%u k<=%u "
+              "lines<=%u)",
+              kMaxEpochs, kMaxK, kMaxLines);
+    if (cfg.contexts() > 64)
+        panic("model needs %u contexts, max 64", cfg.contexts());
+    if (programs.size() != cfg.epochs)
+        panic("%zu programs for %u epochs", programs.size(), cfg.epochs);
+
+    auto sh = std::make_shared<Shared>();
+    sh->cfg = cfg;
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        const Program &p = programs[e];
+        if (p.size() > kMaxLen)
+            panic("program of %zu ops, max %u", p.size(), kMaxLen);
+        sh->programLen[e] = static_cast<std::uint8_t>(p.size());
+        for (std::size_t i = 0; i < p.size(); ++i) {
+            if (p[i].kind != OpKind::Tick && p[i].line >= cfg.lines)
+                panic("op touches line %u of %u", p[i].line, cfg.lines);
+            sh->programs[e][i] = p[i];
+        }
+    }
+    // The serial reference depends only on (cfg, programs): compute it
+    // once here, where construction is per-tuple, instead of at every
+    // terminal state of the exploration.
+    std::vector<std::uint64_t> serial_mem;
+    auto serial_obs = serialReference(cfg, programs, serial_mem);
+    for (unsigned l = 0; l < cfg.lines; ++l)
+        sh->serialMem[l] = serial_mem[l];
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        sh->nSerialObs[e] =
+            static_cast<std::uint8_t>(serial_obs[e].size());
+        for (std::size_t i = 0; i < serial_obs[e].size(); ++i)
+            sh->serialObs[e][i] = serial_obs[e][i];
+    }
+    shared_ = std::move(sh);
+
+    commitOrder_.fill(0);
+    nFinalObs_.fill(0);
+    lastSub_.fill(0);
+    for (unsigned l = 0; l < cfg.lines; ++l)
+        lines_[l].committedValue = initialLineValue(l);
+    // startNextEpoch: all epochs begin at the section start (the bisim
+    // machine runs numCpus == epochs, one slot each), with the implicit
+    // sub-0 checkpoint and an empty start table.
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        Epoch &ep = epochs_[e];
+        ep.nextSpawn = cfg.spacing;
+        ep.cps[ep.nCps++] = {0, 0, 0, epochObsSeed(e)};
+        for (unsigned c = 0; c < cfg.contexts(); ++c)
+            ep.startTable[c] = {kNoOrigin, 0};
+        ep.obsHash = epochObsSeed(e);
+        pushEvent(Event::Kind::EpochStart, e, e);
+    }
+}
+
+ModelState::ModelState(const ModelState &o)
+    : shared_(o.shared_), nextCommitSeq_(o.nextCommitSeq_),
+      primary_(o.primary_), secondary_(o.secondary_),
+      squashes_(o.squashes_), spawns_(o.spawns_),
+      overflows_(o.overflows_), commitOrder_(o.commitOrder_),
+      nCommits_(o.nCommits_), nViolLines_(o.nViolLines_),
+      recordEvents_(o.recordEvents_), nEvents_(o.nEvents_),
+      nFinalObs_(o.nFinalObs_), lastSub_(o.lastSub_),
+      stashedFamily_(o.stashedFamily_), stashedDetail_(o.stashedDetail_)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        const Epoch &s = o.epochs_[e];
+        Epoch &d = epochs_[e];
+        d.st = s.st;
+        d.cursor = s.cursor;
+        d.curSub = s.curSub;
+        d.specInsts = s.specInsts;
+        d.nextSpawn = s.nextSpawn;
+        d.pendingSquash = s.pendingSquash;
+        d.squashSub = s.squashSub;
+        d.nCps = s.nCps;
+        for (unsigned i = 0; i < s.nCps; ++i)
+            d.cps[i] = s.cps[i];
+        for (unsigned c = 0; c < cfg.contexts(); ++c)
+            d.startTable[c] = s.startTable[c];
+        d.nObs = s.nObs;
+        for (unsigned i = 0; i < s.nObs; ++i)
+            d.observations[i] = s.observations[i];
+        d.obsHash = s.obsHash;
+        for (unsigned i = 0; i < nFinalObs_[e]; ++i)
+            finalObs_[e][i] = o.finalObs_[e][i];
+    }
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        const LineState &s = o.lines_[l];
+        LineState &d = lines_[l];
+        d.sl = s.sl;
+        d.sm = s.sm;
+        d.committedValue = s.committedValue;
+        d.versionLive = s.versionLive;
+        for (unsigned e = 0; e < cfg.epochs; ++e)
+            d.version[e] = s.version[e];
+    }
+    for (unsigned i = 0; i < nViolLines_; ++i)
+        violatedLines_[i] = o.violatedLines_[i];
+    for (unsigned i = 0; i < nEvents_; ++i)
+        events_[i] = o.events_[i];
+}
+
+void
+ModelState::pushEvent(Event::Kind kind, unsigned cpu, unsigned arg)
+{
+    if (!recordEvents_)
+        return;
+    if (nEvents_ >= kMaxEvents)
+        panic("model event log overflow (cap %u)", kMaxEvents);
+    events_[nEvents_++] = {static_cast<std::uint8_t>(kind),
+                           static_cast<std::uint8_t>(cpu),
+                           static_cast<std::uint16_t>(arg)};
+}
+
+// ---------------------------------------------------------------------
+// Transition system
+// ---------------------------------------------------------------------
+
+bool
+ModelState::spawnEnabled(const Epoch &ep) const
+{
+    // stepCpu: curSub + 1 < k && specInsts >= nextSpawn. (Not gated on
+    // oldest-ness — the machine checkpoints the oldest epoch too.)
+    return ep.curSub + 1 < shared_->cfg.k &&
+           ep.specInsts >= ep.nextSpawn;
+}
+
+bool
+ModelState::enabled(unsigned e) const
+{
+    const Epoch &ep = epochs_[e];
+    if (ep.st == RunState::Committed)
+        return false;
+    if (ep.st == RunState::Done)
+        return isOldest(e); // commit_ready: homefree token held
+    return true;            // Running always has a unique action
+}
+
+StepKind
+ModelState::nextAction(unsigned e) const
+{
+    const Epoch &ep = epochs_[e];
+    if (ep.st == RunState::Done)
+        return StepKind::Commit;
+    // stepCpu's dispatch order, exactly:
+    if (ep.pendingSquash)
+        return StepKind::Rewind;
+    if (ep.cursor >= shared_->programLen[e])
+        return StepKind::Finish;
+    if (spawnEnabled(ep))
+        return StepKind::Spawn;
+    return StepKind::Exec;
+}
+
+std::vector<unsigned>
+ModelState::enabledEpochs() const
+{
+    std::vector<unsigned> out;
+    for (unsigned e = 0; e < shared_->cfg.epochs; ++e)
+        if (enabled(e))
+            out.push_back(e);
+    return out;
+}
+
+bool
+ModelState::allCommitted() const
+{
+    for (unsigned e = 0; e < shared_->cfg.epochs; ++e)
+        if (epochs_[e].st != RunState::Committed)
+            return false;
+    return true;
+}
+
+StepRecord
+ModelState::step(unsigned e)
+{
+    if (!enabled(e))
+        panic("step of disabled epoch %u", e);
+    Epoch &ep = epochs_[e];
+    StepRecord rec;
+    rec.epoch = e;
+    rec.kind = nextAction(e);
+    switch (rec.kind) {
+      case StepKind::Rewind:
+        doRewind(e);
+        break;
+      case StepKind::Finish:
+        ep.st = RunState::Done; // finishEpochBody
+        break;
+      case StepKind::Commit:
+        doCommit(e);
+        break;
+      case StepKind::Spawn:
+        doSpawn(e);
+        break;
+      case StepKind::Exec: {
+        const Op &op = shared_->programs[e][ep.cursor];
+        rec.op = op.kind;
+        rec.line = op.line;
+        switch (op.kind) {
+          case OpKind::Tick:
+            ep.specInsts += shared_->cfg.tickInsts;
+            ++ep.cursor;
+            break;
+          case OpKind::Load:
+            execLoad(e, op.line);
+            break;
+          case OpKind::Store:
+            execStore(e, op.line, rec);
+            break;
+        }
+        break;
+      }
+    }
+    return rec;
+}
+
+StepRecord
+ModelState::probe(unsigned e) const
+{
+    const ModelConfig &cfg = shared_->cfg;
+    StepRecord rec;
+    rec.epoch = e;
+    rec.kind = nextAction(e);
+    if (rec.kind != StepKind::Exec)
+        return rec;
+    const Epoch &ep = epochs_[e];
+    const Op &op = shared_->programs[e][ep.cursor];
+    rec.op = op.kind;
+    rec.line = op.line;
+    if (op.kind == OpKind::Store) {
+        const LineState &L = lines_[op.line];
+        if (!isOldest(e)) {
+            if (cfg.versionBound != 0 && !versionLive(op.line, e) &&
+                liveVersions() >= cfg.versionBound) {
+                rec.violating = true; // would overflow and squash
+                return rec;
+            }
+        }
+        // Would checkViolations find a younger exposed reader?
+        std::uint64_t holders = L.sl & ~threadMask(e, cfg.k - 1);
+        while (holders) {
+            unsigned ctx =
+                static_cast<unsigned>(__builtin_ctzll(holders));
+            holders &= holders - 1;
+            if (ctx / cfg.k > e) {
+                rec.violating = true;
+                break;
+            }
+        }
+    }
+    return rec;
+}
+
+// ---------------------------------------------------------------------
+// Accesses
+// ---------------------------------------------------------------------
+
+std::uint64_t
+ModelState::loadValue(unsigned e, unsigned line) const
+{
+    // Versioned read: the youngest speculative version no younger than
+    // the reader (own stores included), else committed memory. Older
+    // committed epochs already merged into committedValue.
+    const LineState &L = lines_[line];
+    for (unsigned d = e + 1; d-- > 0;)
+        if (L.versionLive >> d & 1)
+            return L.version[d];
+    return L.committedValue;
+}
+
+void
+ModelState::execLoad(unsigned e, unsigned line)
+{
+    Epoch &ep = epochs_[e];
+    LineState &L = lines_[line];
+
+    std::uint64_t v = loadValue(e, line);
+    ep.observations[ep.nObs++] = v;
+    ep.obsHash = foldObservation(ep.obsHash, v);
+
+    // execLoad: strack = spec && specTracking && !isOldest; the oldest
+    // epoch reads non-speculatively (no SL, cannot be violated).
+    if (!isOldest(e)) {
+        // SpecState::recordLoad — only loads not covered by the
+        // thread's own earlier stores are exposed and set SL.
+        bool exposed = (L.sm & threadMask(e, ep.curSub)) == 0;
+        if (exposed)
+            L.sl |= std::uint64_t{1} << ctxId(e, ep.curSub);
+    }
+    ep.specInsts += shared_->cfg.memInsts;
+    ++ep.cursor;
+}
+
+bool
+ModelState::execStore(unsigned e, unsigned line, StepRecord &rec)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    Epoch &ep = epochs_[e];
+    LineState &L = lines_[line];
+    bool strack = !isOldest(e);
+
+    if (strack && cfg.versionBound != 0 && !versionLive(line, e) &&
+        liveVersions() >= cfg.versionBound) {
+        // handleOverflow: the speculative buffer is full. Squash the
+        // youngest thread holding speculative state to free space (or
+        // ourselves, back to sub 0, if nothing younger holds any); the
+        // access retries, so the cursor does not advance.
+        ++overflows_;
+        unsigned victim = e;
+        bool found = false;
+        for (unsigned d = cfg.epochs; d-- > 0;) {
+            if (epochs_[d].st == RunState::Committed)
+                continue;
+            bool holds = false;
+            for (unsigned l = 0; l < cfg.lines; ++l) {
+                const LineState &ls = lines_[l];
+                std::uint64_t mask = threadMask(d, cfg.k - 1);
+                if (((ls.sl | ls.sm) & mask) != 0 ||
+                    (ls.versionLive >> d & 1) != 0) {
+                    holds = true;
+                    break;
+                }
+            }
+            if (holds) {
+                victim = d;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            victim = e;
+        scheduleSquash(victim, 0);
+        rec.violating = true;
+        return false;
+    }
+
+    std::uint64_t val = storeValue(e, ep.cursor, ep.obsHash);
+    if (strack) {
+        // mem_.store(strack) buffers a per-thread version;
+        // SpecState::recordStore sets the SM bit.
+        L.version[e] = val;
+        L.versionLive |= std::uint8_t(1u << e);
+        L.sm |= std::uint64_t{1} << ctxId(e, ep.curSub);
+    } else if (L.versionLive >> e & 1) {
+        // The oldest epoch writes non-speculatively, but if the thread
+        // still buffers its own version of the line (stores made
+        // before it became oldest), the write updates that version —
+        // the thread's image of the line — and reaches memory when
+        // the versions commit.
+        L.version[e] = val;
+    } else {
+        // The oldest epoch writes committed memory directly…
+        L.committedValue = val;
+    }
+    // …but every store, tracked or not, scans for younger exposed
+    // readers (execStore always calls checkViolations under
+    // aggressive updates).
+    checkViolations(e, line, rec);
+    ep.specInsts += cfg.memInsts;
+    ++ep.cursor;
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Violations
+// ---------------------------------------------------------------------
+
+void
+ModelState::checkViolations(unsigned storer, unsigned line,
+                            StepRecord &rec)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    const LineState &L = lines_[line];
+    std::uint64_t holders = L.sl;
+    holders &= ~threadMask(storer, cfg.k - 1); // never self-violate
+    if (!holders)
+        return;
+
+    std::array<unsigned, kMaxEpochs> own_sub;
+    own_sub.fill(cfg.k);
+    unsigned primary = cfg.epochs;
+    while (holders) {
+        unsigned ctx = static_cast<unsigned>(__builtin_ctzll(holders));
+        holders &= holders - 1;
+        unsigned d = ctx / cfg.k;
+        unsigned sub = ctx % cfg.k;
+        if (d <= storer) // older threads legitimately read the old value
+            continue;
+        own_sub[d] = std::min(own_sub[d], sub);
+        if (primary == cfg.epochs || d < primary)
+            primary = d;
+    }
+    if (primary == cfg.epochs)
+        return;
+
+    unsigned primary_sub = own_sub[primary];
+    ++primary_;
+    if (nViolLines_ >= kMaxViolLines)
+        panic("model violated-line log overflow (cap %u)",
+              kMaxViolLines);
+    violatedLines_[nViolLines_++] = static_cast<std::uint8_t>(line);
+    rec.violating = true;
+    scheduleSquash(primary, primary_sub);
+
+    // Secondary violations from the primary's restarted sub-thread:
+    // with the start table only dependent sub-threads restart
+    // (Figure 4(b)), otherwise whole threads (4(a)).
+    ContextId origin_ctx = ctxId(primary, primary_sub);
+    if (cfg.mutation != Mutation::MissedSecondary) {
+        for (unsigned d = primary + 1; d < cfg.epochs; ++d) {
+            if (epochs_[d].st == RunState::Committed)
+                continue;
+            unsigned sub = 0;
+            if (cfg.useStartTable) {
+                const StartEntry &entry =
+                    epochs_[d].startTable[origin_ctx];
+                if (entry.origin == primary)
+                    sub = entry.sub;
+            }
+            if (own_sub[d] < sub)
+                sub = own_sub[d]; // it also read the line directly
+            ++secondary_;
+            scheduleSquash(d, sub);
+        }
+    }
+
+    // Spec check (independent of the transition code above): a primary
+    // violation must leave every live younger epoch with a pending
+    // squash — the protocol's violation-propagation rule (I4 family).
+    for (unsigned d = primary + 1; d < cfg.epochs; ++d) {
+        if (epochs_[d].st == RunState::Committed)
+            continue;
+        if (!epochs_[d].pendingSquash) {
+            std::ostringstream os;
+            os << "store by epoch " << storer << " to line " << line
+               << " violated epoch " << primary << " but epoch " << d
+               << " received no secondary violation";
+            stash("I4.secondary-missing", os.str());
+        }
+    }
+}
+
+void
+ModelState::scheduleSquash(unsigned victim, unsigned sub)
+{
+    Epoch &ep = epochs_[victim];
+    if (sub > ep.curSub)
+        sub = ep.curSub;
+    if (ep.pendingSquash)
+        ep.squashSub = std::min(ep.squashSub, sub);
+    else {
+        ep.pendingSquash = true;
+        ep.squashSub = sub;
+    }
+    if (ep.st == RunState::Done)
+        ep.st = RunState::Running; // pulled back from the homefree wait
+}
+
+void
+ModelState::doRewind(unsigned e)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    Epoch &ep = epochs_[e];
+    unsigned sub = std::min(ep.squashSub, ep.curSub);
+
+    // applySquash: discard sub-threads sub..curSub youngest-first so
+    // dead-version detection sees the surviving contexts.
+    for (unsigned s = ep.curSub + 1; s-- > sub;)
+        clearContext(e, s, s == 0 ? 0 : threadMask(e, s - 1));
+    if (cfg.mutation == Mutation::PrematureRecycle && sub >= 1) {
+        // Seeded bug: the still-live context sub-1 is recycled too,
+        // losing exposed-load tracking for work that is NOT re-run.
+        clearContext(e, sub - 1,
+                     sub - 1 == 0 ? 0 : threadMask(e, sub - 2));
+    }
+
+    ++squashes_;
+    const Checkpoint &cp = ep.cps[sub];
+    ep.cursor = cp.opIdx;
+    ep.curSub = sub;
+    ep.specInsts = cp.specInsts;
+    ep.nextSpawn = cp.specInsts + cfg.spacing;
+    ep.nObs = cp.obsCount;
+    ep.obsHash = cp.obsHash;
+    ep.nCps = sub + 1;
+    ep.pendingSquash = false;
+    ep.st = RunState::Running;
+    lastSub_[e] = static_cast<std::uint8_t>(sub);
+    pushEvent(Event::Kind::Squash, e, sub);
+
+    // I5: a rewind to sub leaves contexts >= sub clean.
+    std::uint64_t doomed =
+        threadMask(e, cfg.k - 1) &
+        ~(sub == 0 ? 0 : threadMask(e, sub - 1));
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        if (((lines_[l].sl | lines_[l].sm) & doomed) != 0) {
+            std::ostringstream os;
+            os << "epoch " << e << " rewound to sub " << sub
+               << " but line " << l << " still has state in a cleared "
+               << "context";
+            stash("I5.dirty-rewind", os.str());
+        }
+    }
+}
+
+void
+ModelState::clearContext(unsigned e, unsigned sub,
+                         std::uint64_t surviving_mask)
+{
+    std::uint64_t bit = std::uint64_t{1} << ctxId(e, sub);
+    for (unsigned l = 0; l < shared_->cfg.lines; ++l) {
+        LineState &L = lines_[l];
+        bool had_sm = (L.sm & bit) != 0;
+        L.sl &= ~bit;
+        L.sm &= ~bit;
+        // SpecState::clearContext dead-line rule: no surviving context
+        // of the thread modifies the line any more, so its L2 version
+        // is dead and dropped (mem_.dropThreadVersion).
+        if (had_sm && (L.sm & surviving_mask) == 0)
+            L.versionLive &= std::uint8_t(~(1u << e));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spawn and commit
+// ---------------------------------------------------------------------
+
+void
+ModelState::doSpawn(unsigned e)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    Epoch &ep = epochs_[e];
+    ++ep.curSub;
+    ep.cps[ep.nCps++] = {ep.cursor, ep.specInsts, ep.nObs, ep.obsHash};
+    ep.nextSpawn += cfg.spacing;
+    ++spawns_;
+
+    // I4: sub-threads start in order, one past the last live one.
+    if (ep.curSub != lastSub_[e] + 1u) {
+        std::ostringstream os;
+        os << "epoch " << e << " spawned sub " << ep.curSub
+           << " after sub " << unsigned{lastSub_[e]};
+        stash("I4.spawn-monotone", os.str());
+    }
+    lastSub_[e] = static_cast<std::uint8_t>(ep.curSub);
+
+    // maybeSpawnSubthread: subthreadStart message — logically-later
+    // threads record which of their sub-threads is current.
+    ContextId ctx = ctxId(e, ep.curSub);
+    for (unsigned d = e + 1; d < cfg.epochs; ++d) {
+        if (epochs_[d].st == RunState::Committed)
+            continue;
+        unsigned deliver = epochs_[d].curSub;
+        if (cfg.mutation == Mutation::WrongStartTable) {
+            // Seeded bug: record one sub too late, so a secondary
+            // violation later restarts too little of the thread.
+            deliver = std::min(epochs_[d].curSub + 1, cfg.k - 1);
+        }
+        epochs_[d].startTable[ctx] = {static_cast<std::uint8_t>(e),
+                                      static_cast<std::uint8_t>(deliver)};
+    }
+    pushEvent(Event::Kind::Spawn, e, ep.curSub);
+
+    // Spec check: the table entry every live younger thread holds for
+    // the new sub-thread must name its own current sub (I4 family).
+    for (unsigned d = e + 1; d < cfg.epochs; ++d) {
+        if (epochs_[d].st == RunState::Committed)
+            continue;
+        const StartEntry &entry = epochs_[d].startTable[ctx];
+        if (entry.origin != e || entry.sub != epochs_[d].curSub) {
+            std::ostringstream os;
+            os << "epoch " << e << " spawned sub " << ep.curSub
+               << " but epoch " << d << " recorded start-table entry ("
+               << unsigned{entry.origin} << ", " << unsigned{entry.sub}
+               << "), expected (" << e << ", " << epochs_[d].curSub
+               << ")";
+            stash("I4.start-table", os.str());
+        }
+    }
+}
+
+void
+ModelState::doCommit(unsigned e)
+{
+    const ModelConfig &cfg = shared_->cfg;
+    Epoch &ep = epochs_[e];
+
+    // I6: commits happen in program order.
+    if (e != nCommits_ || !isOldest(e)) {
+        std::ostringstream os;
+        os << "epoch " << e << " committed out of order (" << nCommits_
+           << " commits so far)";
+        stash("I6.commit-order", os.str());
+    }
+
+    // commitEpoch: clearThread, then commitThreadVersions.
+    std::uint64_t mask = threadMask(e, cfg.k - 1);
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        LineState &L = lines_[l];
+        L.sl &= ~mask;
+        L.sm &= ~mask;
+        if (L.versionLive >> e & 1) {
+            L.committedValue = L.version[e];
+            L.versionLive &= std::uint8_t(~(1u << e));
+        }
+    }
+    ++nextCommitSeq_;
+    ep.st = RunState::Committed;
+    commitOrder_[nCommits_++] = static_cast<std::uint8_t>(e);
+    nFinalObs_[e] = static_cast<std::uint8_t>(ep.nObs);
+    for (unsigned i = 0; i < ep.nObs; ++i)
+        finalObs_[e][i] = ep.observations[i];
+    pushEvent(Event::Kind::Commit, e, e);
+}
+
+std::uint64_t
+ModelState::liveVersions() const
+{
+    std::uint64_t n = 0;
+    for (unsigned l = 0; l < shared_->cfg.lines; ++l)
+        n += static_cast<std::uint64_t>(
+            __builtin_popcount(lines_[l].versionLive));
+    return n;
+}
+
+void
+ModelState::stash(const char *family, std::string detail)
+{
+    if (stashedFamily_.empty()) {
+        stashedFamily_ = family;
+        stashedDetail_ = std::move(detail);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checks
+// ---------------------------------------------------------------------
+
+bool
+ModelState::checkInvariants(ModelViolation &out) const
+{
+    if (!stashedFamily_.empty()) {
+        out.family = stashedFamily_;
+        out.detail = stashedDetail_;
+        return false;
+    }
+
+    const ModelConfig &cfg = shared_->cfg;
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        const LineState &L = lines_[l];
+        // I1: SL/SM state only in live epochs' started contexts.
+        std::uint64_t state = L.sl | L.sm;
+        while (state) {
+            unsigned ctx = static_cast<unsigned>(__builtin_ctzll(state));
+            state &= state - 1;
+            unsigned e = ctx / cfg.k;
+            unsigned sub = ctx % cfg.k;
+            if (epochs_[e].st == RunState::Committed) {
+                std::ostringstream os;
+                os << "line " << l << " holds state for committed epoch "
+                   << e << " sub " << sub;
+                out = {"I1.holder-committed", os.str(), {}};
+                return false;
+            }
+            if (sub > epochs_[e].curSub) {
+                std::ostringstream os;
+                os << "line " << l << " holds state for epoch " << e
+                   << " sub " << sub << " beyond curSub "
+                   << epochs_[e].curSub;
+                out = {"I1.holder-unstarted", os.str(), {}};
+                return false;
+            }
+        }
+        // I2: a thread's speculative line version exists iff the
+        // thread has SM bits on the line.
+        for (unsigned e = 0; e < cfg.epochs; ++e) {
+            bool has_sm = (L.sm & threadMask(e, cfg.k - 1)) != 0;
+            bool live = (L.versionLive >> e & 1) != 0;
+            if (has_sm != live) {
+                std::ostringstream os;
+                os << "line " << l << " epoch " << e << ": version "
+                   << (live ? "live" : "dead") << " but SM "
+                   << (has_sm ? "set" : "clear");
+                out = {"I2.version-sm", os.str(), {}};
+                return false;
+            }
+        }
+    }
+
+    // I4 (state form): every sub-thread an uncommitted epoch has live
+    // is recorded in every live younger epoch's start table.
+    for (unsigned o = 0; o < cfg.epochs; ++o) {
+        if (epochs_[o].st == RunState::Committed)
+            continue;
+        for (unsigned s = 1; s <= epochs_[o].curSub; ++s) {
+            ContextId ctx = ctxId(o, s);
+            for (unsigned r = o + 1; r < cfg.epochs; ++r) {
+                if (epochs_[r].st == RunState::Committed)
+                    continue;
+                if (epochs_[r].startTable[ctx].origin != o) {
+                    std::ostringstream os;
+                    os << "epoch " << r << " has no start-table entry "
+                       << "for live sub " << s << " of epoch " << o;
+                    out = {"I4.start-table-undelivered", os.str(), {}};
+                    return false;
+                }
+            }
+        }
+    }
+
+    // Internal sanity: Done means the body finished cleanly.
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        const Epoch &ep = epochs_[e];
+        if (ep.st == RunState::Done &&
+            (ep.cursor < shared_->programLen[e] || ep.pendingSquash)) {
+            out = {"model.internal", "Done epoch with unfinished body",
+                   {}};
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ModelState::checkQuiescent(const CheckOptions &check,
+                           ModelViolation &out) const
+{
+    const ModelConfig &cfg = shared_->cfg;
+    if (check.liveness && !allCommitted()) {
+        std::ostringstream os;
+        os << "terminal state with uncommitted epochs:";
+        for (unsigned e = 0; e < cfg.epochs; ++e)
+            if (epochs_[e].st != RunState::Committed)
+                os << ' ' << e;
+        out = {"liveness.stuck", os.str(), {}};
+        return false;
+    }
+    if (!allCommitted())
+        return true; // nothing further to compare
+
+    // I6 residue: a fully committed run leaves no speculative state.
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        const LineState &L = lines_[l];
+        if (L.sl != 0 || L.sm != 0 || L.versionLive != 0) {
+            std::ostringstream os;
+            os << "line " << l << " holds residual speculative state "
+               << "after all commits";
+            out = {"I6.residual-state", os.str(), {}};
+            return false;
+        }
+    }
+
+    if (!check.serializability)
+        return true;
+
+    // The committed execution must equal the serial one (cached at
+    // construction): every surviving observation, and final memory,
+    // bit-for-bit.
+    for (unsigned e = 0; e < cfg.epochs; ++e) {
+        bool same = nFinalObs_[e] == shared_->nSerialObs[e];
+        std::size_t i = 0;
+        if (same)
+            for (; i < nFinalObs_[e]; ++i)
+                if (finalObs_[e][i] != shared_->serialObs[e][i]) {
+                    same = false;
+                    break;
+                }
+        if (!same) {
+            std::ostringstream os;
+            os << "epoch " << e << " committed "
+               << unsigned{nFinalObs_[e]}
+               << " observations differing from the serial execution "
+               << "(first divergence at index " << i << ")";
+            out = {"serializability.observations", os.str(), {}};
+            return false;
+        }
+    }
+    for (unsigned l = 0; l < cfg.lines; ++l) {
+        if (lines_[l].committedValue != shared_->serialMem[l]) {
+            std::ostringstream os;
+            os << "final value of line " << l
+               << " differs from the serial execution";
+            out = {"serializability.memory", os.str(), {}};
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Serial reference
+// ---------------------------------------------------------------------
+
+std::vector<std::vector<std::uint64_t>>
+serialReference(const ModelConfig &cfg,
+                const std::vector<Program> &programs,
+                std::vector<std::uint64_t> &final_values)
+{
+    final_values.resize(cfg.lines);
+    for (unsigned l = 0; l < cfg.lines; ++l)
+        final_values[l] = initialLineValue(l);
+
+    std::vector<std::vector<std::uint64_t>> obs(programs.size());
+    for (unsigned e = 0; e < programs.size(); ++e) {
+        std::uint64_t h = epochObsSeed(e);
+        for (std::uint32_t i = 0; i < programs[e].size(); ++i) {
+            const Op &op = programs[e][i];
+            if (op.kind == OpKind::Load) {
+                std::uint64_t v = final_values[op.line];
+                obs[e].push_back(v);
+                h = foldObservation(h, v);
+            } else if (op.kind == OpKind::Store) {
+                final_values[op.line] = storeValue(e, i, h);
+            }
+        }
+    }
+    return obs;
+}
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim

@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Abstract protocol model of the sub-thread TLS machine
+ * (DESIGN.md Section 4.4).
+ *
+ * The model executes N abstract epochs (straight-line programs of
+ * Load(line) / Store(line) / Tick ops) over M cache lines with k
+ * sub-thread contexts per epoch, mirroring TlsMachine's protocol
+ * semantics *exactly* at the step granularity of the machine's
+ * scheduler loop:
+ *
+ *   Exec    one program op (one trace record in the machine)
+ *   Spawn   a sub-thread checkpoint (specInsts crossed nextSpawn)
+ *   Finish  the epoch body completed (RunState::Done)
+ *   Rewind  a pending squash was applied
+ *   Commit  the epoch passed the homefree token
+ *
+ * Each epoch has exactly one enabled local action per state, so the
+ * only nondeterminism is the interleaving — a schedule is a sequence
+ * of epoch ids, and the same sequence can be replayed on the real
+ * machine through the ScheduleOracle seam (core/schedulehooks.h) for
+ * bit-exact cross-validation (modelcheck/bisim).
+ *
+ * On top of the machine's semantics the model adds what the machine
+ * does not have: abstract *values*. Every store produces a value
+ * hash-chained from the epoch's current-execution load observations,
+ * and every load records the value it observed (nearest version from
+ * an older-or-own thread, else committed memory). At quiescence the
+ * checker compares each committed epoch's surviving observations — and
+ * final memory — against a serial execution of the same programs;
+ * any protocol bug that lets a stale read survive (missed secondary
+ * violation, wrong start-table restart sub, premature context recycle)
+ * shows up as a serializability failure even if every structural
+ * invariant still holds.
+ *
+ * Checked per step (invariant families of verify/auditor.h):
+ *   I1  SL/SM state only in live epochs' started sub-thread contexts
+ *   I2  per-thread speculative line version exists iff SM bits do
+ *   I4  spawn monotonicity + start-table delivery to younger epochs
+ *   I5  a rewind to sub s leaves contexts >= s clean
+ *   I6  commits in program order; committed threads leave nothing
+ * (I3, L2-xor-victim buffering, is a machine-level placement property
+ * with no model analogue; bisimulation replays run the real machine at
+ * AuditLevel::Full, which checks it on every sampled schedule.)
+ *
+ * The protocol mutations of the regression corpus are injected here
+ * (Mutation): each corrupts one transition-relation detail and must be
+ * caught by bounded exhaustive exploration (modelcheck/explorer).
+ *
+ * ModelState is a flat fixed-capacity value type: the explorer clones
+ * one state per transition on its DFS stack, so a copy must be a
+ * straight memberwise copy with no allocation. The kMax* caps below
+ * bound the inline storage; the constructor rejects configs beyond
+ * them.
+ */
+
+#ifndef VERIFY_MODELCHECK_MODEL_H
+#define VERIFY_MODELCHECK_MODEL_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+namespace verify {
+namespace mc {
+
+// Inline-storage caps (explicit bounds of the bounded checker).
+constexpr unsigned kMaxEpochs = 6;
+constexpr unsigned kMaxK = 6;
+constexpr unsigned kMaxLines = 4;
+constexpr unsigned kMaxLen = 8; ///< program ops per epoch
+constexpr unsigned kMaxCtx = kMaxEpochs * kMaxK;
+constexpr unsigned kMaxEvents = 256;
+constexpr unsigned kMaxViolLines = 128;
+
+/** One abstract program op. */
+enum class OpKind : std::uint8_t {
+    Load,  ///< 4-byte load at the line's base address
+    Store, ///< 4-byte store at the line's base address
+    Tick,  ///< pure computation of ModelConfig::tickInsts instructions
+};
+
+struct Op
+{
+    OpKind kind = OpKind::Tick;
+    std::uint8_t line = 0; ///< ignored for Tick
+
+    bool
+    operator==(const Op &o) const
+    {
+        return kind == o.kind && (kind == OpKind::Tick || line == o.line);
+    }
+};
+
+using Program = std::vector<Op>;
+
+/** Seeded protocol bugs (regression corpus; see ISSUE satellite). */
+enum class Mutation : std::uint8_t {
+    None,
+    /** Spawn records a too-late sub-thread in younger epochs' start
+     *  tables, so a secondary violation restarts too little work. */
+    WrongStartTable,
+    /** checkViolations never delivers secondary violations at all. */
+    MissedSecondary,
+    /** A rewind to sub s also recycles (clears) the still-live
+     *  context s-1, losing exposed-load tracking the protocol still
+     *  needs. */
+    PrematureRecycle,
+};
+
+const char *mutationName(Mutation m);
+
+/** Empty start-table entry sentinel (the machine's kNoEpoch). */
+constexpr std::uint64_t kNoSeq = ~std::uint64_t{0};
+
+/** Model bounds and protocol switches (mirrors TlsConfig). */
+struct ModelConfig
+{
+    unsigned epochs = 3; ///< N; one CPU slot per epoch
+    unsigned k = 2;      ///< sub-thread contexts per epoch
+    unsigned lines = 2;  ///< M distinct cache lines
+    std::uint64_t spacing = 100;   ///< TlsConfig::subthreadSpacing
+    std::uint64_t tickInsts = 100; ///< instructions per Tick op
+    /** Instructions charged per 4-byte Load/Store (the capture
+     *  tracer's ceil(size/8) = 1). */
+    std::uint64_t memInsts = 1;
+    bool useStartTable = true; ///< Figure 4(b) selective restart
+    /**
+     * Model-only speculative-buffer bound: a tracked store that would
+     * create a version beyond this many live versions overflows and
+     * squashes the youngest state-holding epoch (the machine's
+     * handleOverflow policy). 0 = unbounded (required for bisim; the
+     * machine's bound is L2-set-geometry dependent).
+     */
+    unsigned versionBound = 0;
+    Mutation mutation = Mutation::None;
+
+    unsigned contexts() const { return epochs * k; }
+};
+
+/** Step kinds at the machine scheduler's granularity. */
+enum class StepKind : std::uint8_t { Exec, Spawn, Finish, Rewind, Commit };
+
+const char *stepKindName(StepKind k);
+
+/**
+ * What one executed step touched — the input to the explorer's
+ * independence relation (modelcheck/explorer.cc).
+ */
+struct StepRecord
+{
+    unsigned epoch = 0;
+    StepKind kind = StepKind::Exec;
+    OpKind op = OpKind::Tick; ///< valid when kind == Exec
+    std::uint8_t line = 0;    ///< valid for Load/Store Exec steps
+    /** The step scheduled at least one squash (violating store or
+     *  overflowing store) — dependent with everything. */
+    bool violating = false;
+};
+
+/** Observable protocol event (mirrors the AuditSink hook sequence). */
+struct Event
+{
+    enum class Kind : std::uint8_t { EpochStart, Spawn, Squash, Commit };
+
+    Kind kind = Kind::EpochStart;
+    CpuId cpu = 0;
+    /** seq for EpochStart/Commit; sub-thread index for Spawn/Squash. */
+    std::uint64_t arg = 0;
+
+    bool
+    operator==(const Event &o) const
+    {
+        return kind == o.kind && cpu == o.cpu && arg == o.arg;
+    }
+};
+
+std::string eventToString(const Event &e);
+
+/** A model check failed on some schedule. */
+struct ModelViolation
+{
+    std::string family; ///< "I1.holders-live", "serializability", ...
+    std::string detail;
+    std::vector<unsigned> schedule; ///< epoch ids reproducing it
+
+    std::string toString() const;
+};
+
+/** Which checker families run (tests turn some off to prove the
+ *  semantic checks catch mutations on their own). */
+struct CheckOptions
+{
+    bool invariants = true;      ///< I1/I2/I4/I5/I6 after every step
+    bool serializability = true; ///< value check at quiescence
+    bool liveness = true;        ///< no stuck states at quiescence
+};
+
+/**
+ * The explicit protocol state. Copyable (the explorer snapshots it on
+ * its DFS stack) and deliberately flat: per-line context masks like
+ * SpecState, per-epoch cursors/checkpoints like EpochRun, all in
+ * fixed-capacity inline arrays so a copy never allocates.
+ */
+class ModelState
+{
+  public:
+    /**
+     * `record_events` gates the protocol event log: bisimulation
+     * replays need it, exhaustive exploration does not (and clones
+     * states once per transition, so the log would be pure copy
+     * weight there).
+     */
+    ModelState(const ModelConfig &cfg,
+               const std::vector<Program> &programs,
+               bool record_events = true);
+    /** Prefix copy: only the live parts of the inline arrays. */
+    ModelState(const ModelState &o);
+    ModelState &operator=(const ModelState &) = delete;
+
+    // ----- transition system -----------------------------------------
+
+    /** The epoch's unique enabled action, if any. */
+    bool enabled(unsigned e) const;
+    StepKind nextAction(unsigned e) const;
+    /** Epoch ids with an enabled action, ascending. */
+    std::vector<unsigned> enabledEpochs() const;
+
+    /**
+     * Execute epoch `e`'s enabled action. Returns its footprint.
+     * Checks are separate — the explorer calls checkInvariants()
+     * after each step and checkQuiescent() at terminal states.
+     */
+    StepRecord step(unsigned e);
+
+    /**
+     * The exact footprint step(e) would return, without executing —
+     * including whether a Store would deliver a violation or overflow
+     * in the current state. The explorer's sleep-set filtering needs
+     * this to be precise, not conservative.
+     */
+    StepRecord probe(unsigned e) const;
+
+    /** No epoch has an enabled action. */
+    bool
+    terminal() const
+    {
+        for (unsigned e = 0; e < shared_->cfg.epochs; ++e)
+            if (enabled(e))
+                return false;
+        return true;
+    }
+    bool allCommitted() const;
+
+    // ----- checks ------------------------------------------------------
+
+    /** I1/I2/I4/I5/I6 over the current state; nullopt-style: returns
+     *  false and fills `out` on the first violated invariant. */
+    bool checkInvariants(ModelViolation &out) const;
+
+    /** Terminal-state checks: liveness + serializability (against the
+     *  serial reference cached at construction). */
+    bool checkQuiescent(const CheckOptions &check,
+                        ModelViolation &out) const;
+
+    // ----- observability ----------------------------------------------
+
+    std::size_t eventCount() const { return nEvents_; }
+    Event
+    event(std::size_t i) const
+    {
+        const PackedEvent &p = events_[i];
+        return {static_cast<Event::Kind>(p.kind), p.cpu, p.arg};
+    }
+    std::uint64_t primaryViolations() const { return primary_; }
+    std::uint64_t secondaryViolations() const { return secondary_; }
+    std::uint64_t squashes() const { return squashes_; }
+    std::uint64_t subthreadsStarted() const { return spawns_; }
+    std::uint64_t overflowEvents() const { return overflows_; }
+    unsigned commitCount() const { return nCommits_; }
+    unsigned commitAt(unsigned i) const { return commitOrder_[i]; }
+    std::size_t violatedLineCount() const { return nViolLines_; }
+    unsigned
+    violatedLineAt(std::size_t i) const
+    {
+        return violatedLines_[i];
+    }
+    const ModelConfig &config() const { return shared_->cfg; }
+    unsigned curSub(unsigned e) const { return epochs_[e].curSub; }
+
+  private:
+    enum class RunState : std::uint8_t { Running, Done, Committed };
+
+    // The aggregates below carry no default member initializers so
+    // that default-initializing the containing arrays costs nothing;
+    // the constructors write every field that is ever read.
+    struct Checkpoint
+    {
+        std::uint32_t opIdx;
+        std::uint64_t specInsts;
+        std::uint32_t obsCount;
+        std::uint64_t obsHash;
+    };
+
+    /** startTable[ctx] = (origin epoch, own sub at delivery);
+     *  origin == kNoOrigin = empty (mirrors EpochRun::startTable). */
+    struct StartEntry
+    {
+        std::uint8_t origin;
+        std::uint8_t sub;
+    };
+    static constexpr std::uint8_t kNoOrigin = 0xff;
+
+    struct Epoch
+    {
+        RunState st = RunState::Running;
+        std::uint32_t cursor = 0;
+        unsigned curSub = 0;
+        std::uint64_t specInsts = 0;
+        std::uint64_t nextSpawn = 0;
+        bool pendingSquash = false;
+        unsigned squashSub = 0;
+        std::array<Checkpoint, kMaxK> cps;
+        unsigned nCps = 0;
+        std::array<StartEntry, kMaxCtx> startTable;
+        /** Values observed by loads of the current execution. */
+        std::array<std::uint64_t, kMaxLen> observations;
+        unsigned nObs = 0;
+        std::uint64_t obsHash = 0; ///< running fold of observations
+    };
+
+    struct LineState
+    {
+        std::uint64_t sl = 0; ///< SL bit per context
+        std::uint64_t sm = 0; ///< SM (whole-line; all ops are 1-word)
+        std::uint64_t committedValue = 0;
+        /** Per-thread speculative version (valid iff the matching
+         *  versionLive bit). */
+        std::array<std::uint64_t, kMaxEpochs> version;
+        std::uint8_t versionLive = 0; ///< bit per epoch
+    };
+
+    struct PackedEvent
+    {
+        std::uint8_t kind;
+        std::uint8_t cpu;
+        std::uint16_t arg;
+    };
+
+    ContextId ctxId(unsigned e, unsigned sub) const
+    {
+        return e * shared_->cfg.k + sub;
+    }
+
+    std::uint64_t threadMask(unsigned e, unsigned up_to_sub) const
+    {
+        return ((std::uint64_t{2} << up_to_sub) - 1)
+               << (e * shared_->cfg.k);
+    }
+
+    bool isOldest(unsigned e) const { return e == nextCommitSeq_; }
+    bool spawnEnabled(const Epoch &ep) const;
+
+    bool versionLive(unsigned line, unsigned e) const
+    {
+        return (lines_[line].versionLive >> e & 1) != 0;
+    }
+
+    void pushEvent(Event::Kind kind, unsigned cpu, unsigned arg);
+
+    std::uint64_t loadValue(unsigned e, unsigned line) const;
+    void execLoad(unsigned e, unsigned line);
+    /** Returns false if the store overflowed (op must retry). */
+    bool execStore(unsigned e, unsigned line, StepRecord &rec);
+    void checkViolations(unsigned storer, unsigned line,
+                         StepRecord &rec);
+    void scheduleSquash(unsigned victim, unsigned sub);
+    void doSpawn(unsigned e);
+    void doRewind(unsigned e);
+    void doCommit(unsigned e);
+    void clearContext(unsigned e, unsigned sub,
+                      std::uint64_t surviving_mask);
+    std::uint64_t liveVersions() const;
+    /** Record a spec violation detected by a transient post-step
+     *  check (reported by the next checkInvariants()). */
+    void stash(const char *family, std::string detail);
+
+    /** Immutable per-tuple data, shared by every clone of the state:
+     *  bounds, programs, and the serial reference the terminal
+     *  serializability check compares against. */
+    struct Shared
+    {
+        ModelConfig cfg;
+        std::array<std::array<Op, kMaxLen>, kMaxEpochs> programs{};
+        std::array<std::uint8_t, kMaxEpochs> programLen{};
+        std::array<std::array<std::uint64_t, kMaxLen>, kMaxEpochs>
+            serialObs{};
+        std::array<std::uint8_t, kMaxEpochs> nSerialObs{};
+        std::array<std::uint64_t, kMaxLines> serialMem{};
+    };
+
+    std::shared_ptr<const Shared> shared_;
+    // The mutable state below is deliberately NOT value-initialized:
+    // the copy constructor fills only live prefixes (bounded by the
+    // counts), and every read is count-bounded too.
+    std::array<Epoch, kMaxEpochs> epochs_;
+    std::array<LineState, kMaxLines> lines_;
+    std::uint64_t nextCommitSeq_ = 0;
+
+    std::uint64_t primary_ = 0;
+    std::uint64_t secondary_ = 0;
+    std::uint64_t squashes_ = 0;
+    std::uint64_t spawns_ = 0;
+    std::uint64_t overflows_ = 0;
+    std::array<std::uint8_t, kMaxEpochs> commitOrder_;
+    unsigned nCommits_ = 0;
+    std::array<std::uint8_t, kMaxViolLines> violatedLines_;
+    unsigned nViolLines_ = 0;
+    bool recordEvents_ = true;
+    std::array<PackedEvent, kMaxEvents> events_;
+    unsigned nEvents_ = 0;
+    /** Committed epochs' final observation vectors (serializability). */
+    std::array<std::array<std::uint64_t, kMaxLen>, kMaxEpochs>
+        finalObs_;
+    std::array<std::uint8_t, kMaxEpochs> nFinalObs_;
+    /** Shadow of each epoch's last spawned sub (I4, like the
+     *  auditor's lastSub_). */
+    std::array<std::uint8_t, kMaxEpochs> lastSub_;
+    /** First violation found by a transient post-step check. */
+    std::string stashedFamily_;
+    std::string stashedDetail_;
+};
+
+/**
+ * Reference semantics: run the programs serially, one epoch after
+ * another against a single memory. Returns per-epoch observation
+ * vectors and leaves the final line values in `final_values`.
+ */
+std::vector<std::vector<std::uint64_t>>
+serialReference(const ModelConfig &cfg,
+                const std::vector<Program> &programs,
+                std::vector<std::uint64_t> &final_values);
+
+/** Deterministic value hashing shared by model and reference. */
+std::uint64_t mixValue(std::uint64_t x);
+std::uint64_t initialLineValue(unsigned line);
+std::uint64_t storeValue(unsigned epoch, std::uint32_t op_idx,
+                         std::uint64_t obs_hash);
+std::uint64_t foldObservation(std::uint64_t obs_hash,
+                              std::uint64_t value);
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim
+
+#endif // VERIFY_MODELCHECK_MODEL_H

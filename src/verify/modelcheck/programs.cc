@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Program-family enumeration for the bounded sweeps.
+ */
+
+#include "verify/modelcheck/programs.h"
+
+#include <array>
+
+#include "base/rng.h"
+
+namespace tlsim {
+namespace verify {
+namespace mc {
+
+std::vector<Op>
+opAlphabet(unsigned lines)
+{
+    std::vector<Op> ops;
+    ops.push_back({OpKind::Tick, 0});
+    for (unsigned l = 0; l < lines; ++l) {
+        ops.push_back({OpKind::Load, static_cast<std::uint8_t>(l)});
+        ops.push_back({OpKind::Store, static_cast<std::uint8_t>(l)});
+    }
+    return ops;
+}
+
+std::vector<Program>
+allPrograms(unsigned len, unsigned lines)
+{
+    auto alphabet = opAlphabet(lines);
+    std::vector<Program> out{{}};
+    for (unsigned i = 0; i < len; ++i) {
+        std::vector<Program> next;
+        next.reserve(out.size() * alphabet.size());
+        for (const Program &p : out)
+            for (const Op &op : alphabet) {
+                next.push_back(p);
+                next.back().push_back(op);
+            }
+        out = std::move(next);
+    }
+    return out;
+}
+
+bool
+programsInteract(const std::vector<Program> &programs)
+{
+    // line -> (stored-by mask, touched-by mask) over epochs.
+    std::array<std::uint64_t, 256> stored{}, touched{};
+    for (std::size_t e = 0; e < programs.size(); ++e)
+        for (const Op &op : programs[e]) {
+            if (op.kind == OpKind::Tick)
+                continue;
+            touched[op.line] |= std::uint64_t{1} << e;
+            if (op.kind == OpKind::Store)
+                stored[op.line] |= std::uint64_t{1} << e;
+        }
+    for (unsigned l = 0; l < 256; ++l)
+        if (stored[l] != 0 && (touched[l] & ~stored[l]) != 0)
+            return true;
+    // Also interacting: two different epochs both store the line.
+    for (unsigned l = 0; l < 256; ++l)
+        if ((stored[l] & (stored[l] - 1)) != 0)
+            return true;
+    return false;
+}
+
+namespace {
+
+/** True if the tuple's line names appear in first-use order. */
+bool
+isCanonical(const std::vector<Program> &programs, unsigned lines)
+{
+    unsigned next_name = 0;
+    for (const Program &p : programs)
+        for (const Op &op : p) {
+            if (op.kind == OpKind::Tick)
+                continue;
+            if (op.line > next_name)
+                return false; // skipped a smaller unused name
+            if (op.line == next_name)
+                ++next_name;
+        }
+    (void)lines;
+    return true;
+}
+
+} // namespace
+
+std::vector<std::vector<Program>>
+programFamilies(unsigned epochs, unsigned len, unsigned lines,
+                bool interacting_only)
+{
+    auto singles = allPrograms(len, lines);
+    std::vector<std::vector<Program>> out;
+    // Odometer over epochs-many indices into `singles`.
+    std::vector<std::size_t> idx(epochs, 0);
+    for (;;) {
+        std::vector<Program> tuple;
+        tuple.reserve(epochs);
+        for (std::size_t i : idx)
+            tuple.push_back(singles[i]);
+        if (isCanonical(tuple, lines) &&
+            (!interacting_only || programsInteract(tuple)))
+            out.push_back(std::move(tuple));
+        std::size_t pos = 0;
+        while (pos < epochs && ++idx[pos] == singles.size()) {
+            idx[pos] = 0;
+            ++pos;
+        }
+        if (pos == epochs)
+            break;
+    }
+    return out;
+}
+
+std::vector<Program>
+samplePrograms(const ModelConfig &cfg, unsigned len, Rng &rng)
+{
+    auto alphabet = opAlphabet(cfg.lines);
+    std::vector<Program> tuple;
+    for (unsigned attempt = 0; attempt < 64; ++attempt) {
+        tuple.assign(cfg.epochs, {});
+        for (Program &p : tuple)
+            for (unsigned i = 0; i < len; ++i)
+                p.push_back(alphabet[static_cast<std::size_t>(rng.uniform(
+                    0, static_cast<std::int64_t>(alphabet.size()) - 1))]);
+        if (programsInteract(tuple))
+            break;
+    }
+    return tuple;
+}
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim

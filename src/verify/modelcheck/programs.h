@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Abstract-program families for the model checker: bounded exhaustive
+ * enumeration (every N-tuple of programs over the Tick/Load/Store
+ * alphabet, canonicalized up to line renaming) and seeded random
+ * sampling for the bisimulation driver.
+ */
+
+#ifndef VERIFY_MODELCHECK_PROGRAMS_H
+#define VERIFY_MODELCHECK_PROGRAMS_H
+
+#include <vector>
+
+#include "verify/modelcheck/model.h"
+
+namespace tlsim {
+
+class Rng;
+
+namespace verify {
+namespace mc {
+
+/** The op alphabet over `lines` lines: Tick, Load(l), Store(l). */
+std::vector<Op> opAlphabet(unsigned lines);
+
+/** Every program of exactly `len` ops over the alphabet. */
+std::vector<Program> allPrograms(unsigned len, unsigned lines);
+
+/**
+ * Every N-tuple (one program per epoch) of length-`len` programs,
+ * filtered to canonical representatives: tuples equal to another
+ * under a permutation of line names (first-use order, epoch 0 first)
+ * are dropped. With `interacting_only`, tuples where no line is
+ * stored by one epoch and touched by a different one are dropped too
+ * — they exercise no cross-epoch protocol.
+ */
+std::vector<std::vector<Program>>
+programFamilies(unsigned epochs, unsigned len, unsigned lines,
+                bool interacting_only);
+
+/**
+ * One random interacting tuple for `cfg` (length `len` each), for
+ * schedule sampling. Rejection-samples toward cross-epoch conflicts;
+ * falls back to the last draw if none shows up.
+ */
+std::vector<Program> samplePrograms(const ModelConfig &cfg,
+                                    unsigned len, Rng &rng);
+
+/** True if some line is stored by one epoch and touched by another. */
+bool programsInteract(const std::vector<Program> &programs);
+
+} // namespace mc
+} // namespace verify
+} // namespace tlsim
+
+#endif // VERIFY_MODELCHECK_PROGRAMS_H

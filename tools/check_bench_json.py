@@ -17,6 +17,12 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "invariants_checked": <number >= 0>,
         "violations": 0               # auditor aborts on violation
       },
+      "modelcheck": {                 # optional; bench_modelcheck only
+        "states_explored": <number > 0>,
+        "schedules": <number > 0>,
+        "dpor_reduction": <number >= 5>,
+        "violations": 0               # sweeps must be clean
+      },
       "results": [
         {"name": "<point name>", "<metric>": <number>, ...},
         ...
@@ -77,6 +83,28 @@ def check_audit(path, audit):
     return ok
 
 
+def check_modelcheck(path, mc):
+    if not isinstance(mc, dict):
+        return fail(path, "'modelcheck' is not an object")
+    ok = True
+    for key in ("states_explored", "schedules"):
+        v = mc.get(key)
+        if not is_num(v) or v <= 0:
+            ok = fail(path, f"modelcheck {key!r} must be a number > 0, "
+                            f"got {v!r}")
+    reduction = mc.get("dpor_reduction")
+    if not is_num(reduction) or reduction < 5:
+        # Acceptance bound: DPOR must prune at least 5x vs the naive
+        # enumeration on the reported reduction instances.
+        ok = fail(path, "modelcheck 'dpor_reduction' must be a number "
+                        f">= 5, got {reduction!r}")
+    violations = mc.get("violations")
+    if violations != 0 or isinstance(violations, bool):
+        ok = fail(path, f"modelcheck 'violations' must be 0, "
+                        f"got {violations!r}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -104,6 +132,8 @@ def check_file(path):
             ok = fail(path, f"{key!r} must be a number >= 0, got {v!r}")
     if "audit" in doc:
         ok = check_audit(path, doc["audit"]) and ok
+    if "modelcheck" in doc:
+        ok = check_modelcheck(path, doc["modelcheck"]) and ok
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         ok = fail(path, "'results' must be a non-empty list")

@@ -8,6 +8,13 @@ PATHs given) against the compile commands of the build directory
 (default: ./build; configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON,
 which the `lint` ctest target's build tree already does).
 
+Headers under src/verify/ and src/core/ are additionally linted as
+standalone translation units (clang-tidy FILE -- -std=c++17 -I src).
+HeaderFilterRegex only surfaces a header's diagnostics when some
+linted .cc includes it, so protocol-seam headers consumed solely by
+the tests (core/schedulehooks.h, core/audithooks.h, ...) would
+otherwise never be parsed at all.
+
 Exit status:
   0   clean
   1   findings (clang-tidy diagnostics on stdout)
@@ -26,6 +33,10 @@ import sys
 
 SOURCE_DIRS = ("src", "tools", "bench")
 SOURCE_EXTS = (".cc", ".cpp")
+# Headers linted as standalone TUs (no compile command needed).
+HEADER_DIRS = (os.path.join("src", "verify"),
+               os.path.join("src", "core"))
+HEADER_EXTS = (".h",)
 
 
 def find_sources(root, paths):
@@ -36,6 +47,10 @@ def find_sources(root, paths):
         for dirpath, _, files in os.walk(os.path.join(root, d)):
             out.extend(os.path.join(dirpath, f) for f in sorted(files)
                        if f.endswith(SOURCE_EXTS))
+    for d in HEADER_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(root, d)):
+            out.extend(os.path.join(dirpath, f) for f in sorted(files)
+                       if f.endswith(HEADER_EXTS))
     return out
 
 
@@ -87,14 +102,23 @@ def main():
                 sys.stdout.write(out)
         procs[:] = live
 
-    for i in range(0, len(sources), batch):
+    headers = [s for s in sources if s.endswith(HEADER_EXTS)]
+    db_sources = [s for s in sources if not s.endswith(HEADER_EXTS)]
+    cmds = [[tidy, "-p", build, "--quiet", *db_sources[i:i + batch]]
+            for i in range(0, len(db_sources), batch)]
+    # Standalone-TU mode: headers have no compile command, so supply
+    # the flags directly instead of consulting the database.
+    header_flags = ["--", "-std=c++17", "-I",
+                    os.path.join(root, "src"), "-x", "c++"]
+    cmds += [[tidy, "--quiet", *headers[i:i + batch], *header_flags]
+             for i in range(0, len(headers), batch)]
+    for cmd in cmds:
         while len(procs) >= args.jobs:
             reap(block=False)
             if len(procs) >= args.jobs:
                 procs[0].wait()
         procs.append(subprocess.Popen(
-            [tidy, "-p", build, "--quiet", *sources[i:i + batch]],
-            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
             text=True))
     reap(block=True)
 

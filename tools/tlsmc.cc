@@ -1,0 +1,378 @@
+/**
+ * @file
+ * tlsmc — bounded exhaustive model checker for the sub-thread TLS
+ * protocol (DESIGN.md Section 4.4).
+ *
+ * Modes:
+ *   --sweep   (default) enumerate every canonical interacting program
+ *             tuple at the given bounds and explore every interleaving
+ *             of each (DPOR unless --no-dpor). Any invariant,
+ *             serializability, or liveness violation fails the run and
+ *             prints the reproducing schedule.
+ *   --bisim   sample random (programs, schedule) pairs and replay each
+ *             schedule bit-for-bit through the real TlsMachine via the
+ *             ScheduleOracle seam, under the full protocol Auditor.
+ *   --mutate=<wrong-start-table|missed-secondary|premature-recycle>
+ *             inject the named protocol bug into the model and sweep
+ *             until it is caught; exits 0 only if a violation is
+ *             found (the regression corpus of the modelcheck tests).
+ *   --cross-check  after each DPOR exploration, re-explore naively
+ *             and require the same set of terminal outcomes
+ *             (empirical soundness check of the reduction).
+ *
+ * Exit status: 0 success, 1 violation found (or, for --mutate, the
+ * seeded bug escaped), 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "verify/modelcheck/bisim.h"
+#include "verify/modelcheck/explorer.h"
+#include "verify/modelcheck/model.h"
+#include "verify/modelcheck/programs.h"
+
+using namespace tlsim;
+using namespace tlsim::verify::mc;
+
+namespace {
+
+struct Args
+{
+    bool sweep = true;
+    bool bisim = false;
+    bool dpor = true;
+    bool crossCheck = false;
+    bool quiet = false;
+    unsigned epochs = 3;
+    unsigned k = 2;
+    unsigned lines = 2;
+    unsigned len = 2;
+    std::uint64_t spacing = 1;
+    std::uint64_t tick = 100;
+    unsigned samples = 200;
+    std::uint64_t seed = 0x5eed;
+    std::uint64_t maxSteps = 0;
+    bool wholeThread = false; ///< Figure 4(a): no start table
+    bool progress = false;    ///< periodic progress lines to stderr
+    unsigned shardIndex = 0;  ///< --shard=I/N: explore tuples I mod N
+    unsigned shardCount = 1;
+    Mutation mutation = Mutation::None;
+    std::string jsonPath;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--sweep|--bisim] [options]\n"
+        "  --epochs=N --k=K --lines=M --len=L   model bounds\n"
+        "  --spacing=S --tick=T                 spawn spacing / tick cost\n"
+        "  --whole-thread                       Figure 4(a): no start table\n"
+        "  --no-dpor                            naive full enumeration\n"
+        "  --cross-check                        DPOR vs naive outcome sets\n"
+        "  --mutate=<name>                      seeded-bug mode\n"
+        "  --samples=N --seed=S                 bisim sampling\n"
+        "  --max-steps=N                        path depth bound\n"
+        "  --shard=I/N                          explore tuples I mod N\n"
+        "  --progress                           progress lines to stderr\n"
+        "  --json=PATH                          write a JSON summary\n"
+        "  --quiet\n",
+        argv0);
+    std::exit(2);
+}
+
+bool
+flagValue(const char *arg, const char *name, const char **out)
+{
+    std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *out = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *v = nullptr;
+        if (std::strcmp(arg, "--sweep") == 0) {
+            a.sweep = true;
+            a.bisim = false;
+        } else if (std::strcmp(arg, "--bisim") == 0) {
+            a.bisim = true;
+            a.sweep = false;
+        } else if (std::strcmp(arg, "--no-dpor") == 0) {
+            a.dpor = false;
+        } else if (std::strcmp(arg, "--cross-check") == 0) {
+            a.crossCheck = true;
+        } else if (std::strcmp(arg, "--whole-thread") == 0) {
+            a.wholeThread = true;
+        } else if (std::strcmp(arg, "--quiet") == 0) {
+            a.quiet = true;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            a.progress = true;
+        } else if (flagValue(arg, "--shard", &v)) {
+            char *end = nullptr;
+            a.shardIndex =
+                static_cast<unsigned>(std::strtoul(v, &end, 10));
+            if (!end || *end != '/')
+                usage(argv[0]);
+            a.shardCount =
+                static_cast<unsigned>(std::strtoul(end + 1, nullptr, 10));
+            if (a.shardCount == 0 || a.shardIndex >= a.shardCount)
+                usage(argv[0]);
+        } else if (flagValue(arg, "--epochs", &v)) {
+            a.epochs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flagValue(arg, "--k", &v)) {
+            a.k = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flagValue(arg, "--lines", &v)) {
+            a.lines = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flagValue(arg, "--len", &v)) {
+            a.len = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flagValue(arg, "--spacing", &v)) {
+            a.spacing = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(arg, "--tick", &v)) {
+            a.tick = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(arg, "--samples", &v)) {
+            a.samples = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+        } else if (flagValue(arg, "--seed", &v)) {
+            a.seed = std::strtoull(v, nullptr, 0);
+        } else if (flagValue(arg, "--max-steps", &v)) {
+            a.maxSteps = std::strtoull(v, nullptr, 10);
+        } else if (flagValue(arg, "--json", &v)) {
+            a.jsonPath = v;
+        } else if (flagValue(arg, "--mutate", &v)) {
+            if (std::strcmp(v, "wrong-start-table") == 0)
+                a.mutation = Mutation::WrongStartTable;
+            else if (std::strcmp(v, "missed-secondary") == 0)
+                a.mutation = Mutation::MissedSecondary;
+            else if (std::strcmp(v, "premature-recycle") == 0)
+                a.mutation = Mutation::PrematureRecycle;
+            else
+                usage(argv[0]);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return a;
+}
+
+ModelConfig
+modelConfig(const Args &a)
+{
+    ModelConfig cfg;
+    cfg.epochs = a.epochs;
+    cfg.k = a.k;
+    cfg.lines = a.lines;
+    cfg.spacing = a.spacing;
+    cfg.tickInsts = a.tick;
+    cfg.useStartTable = !a.wholeThread;
+    cfg.mutation = a.mutation;
+    return cfg;
+}
+
+struct SweepTotals
+{
+    std::uint64_t tuples = 0;
+    std::uint64_t transitions = 0;
+    std::uint64_t schedules = 0;
+    std::uint64_t sleepBlocked = 0;
+    std::uint64_t naiveTransitions = 0; ///< cross-check mode only
+    bool caught = false;
+    ModelViolation violation;
+    std::vector<Program> violationPrograms;
+};
+
+int
+runSweep(const Args &a, SweepTotals &tot)
+{
+    ModelConfig cfg = modelConfig(a);
+    auto families =
+        programFamilies(a.epochs, a.len, a.lines, /*interacting=*/true);
+
+    ExploreConfig xcfg;
+    xcfg.dpor = a.dpor;
+    xcfg.maxSteps = a.maxSteps;
+    xcfg.collectOutcomes = a.crossCheck;
+
+    for (std::size_t fi = 0; fi < families.size(); ++fi) {
+        if (fi % a.shardCount != a.shardIndex)
+            continue;
+        const auto &programs = families[fi];
+        ++tot.tuples;
+        if (a.progress)
+            std::fprintf(stderr,
+                         "tlsmc sweep: tuple %zu (%llu done), %llu "
+                         "transitions, %llu schedules\n",
+                         fi,
+                         static_cast<unsigned long long>(tot.tuples),
+                         static_cast<unsigned long long>(tot.transitions),
+                         static_cast<unsigned long long>(tot.schedules));
+        ExploreResult res = explore(cfg, programs, xcfg);
+        tot.transitions += res.stats.transitions;
+        tot.schedules += res.stats.schedulesCompleted;
+        tot.sleepBlocked += res.stats.sleepBlocked;
+        if (!res.ok()) {
+            tot.caught = true;
+            tot.violation = res.violations.front();
+            tot.violationPrograms = programs;
+            return a.mutation == Mutation::None ? 1 : 0;
+        }
+        if (a.crossCheck && a.dpor) {
+            ExploreConfig ncfg = xcfg;
+            ncfg.dpor = false;
+            ExploreResult naive = explore(cfg, programs, ncfg);
+            tot.naiveTransitions += naive.stats.transitions;
+            if (!naive.ok()) {
+                tot.caught = true;
+                tot.violation = naive.violations.front();
+                tot.violationPrograms = programs;
+                return a.mutation == Mutation::None ? 1 : 0;
+            }
+            if (naive.outcomes != res.outcomes) {
+                tot.caught = true;
+                tot.violation = {"dpor.unsound",
+                                 "naive and DPOR explorations reach "
+                                 "different terminal outcomes",
+                                 {}};
+                tot.violationPrograms = programs;
+                return 1;
+            }
+        }
+    }
+    // A seeded mutation that no sweep caught is itself a failure.
+    return a.mutation == Mutation::None ? 0 : 1;
+}
+
+const char *
+opToString(const Op &op)
+{
+    static char buf[16];
+    switch (op.kind) {
+      case OpKind::Tick: return "T";
+      case OpKind::Load:
+        std::snprintf(buf, sizeof buf, "L%u", op.line);
+        return buf;
+      case OpKind::Store:
+        std::snprintf(buf, sizeof buf, "S%u", op.line);
+        return buf;
+    }
+    return "?";
+}
+
+void
+printPrograms(const std::vector<Program> &programs)
+{
+    for (std::size_t e = 0; e < programs.size(); ++e) {
+        std::fprintf(stderr, "  epoch %zu:", e);
+        for (const Op &op : programs[e])
+            std::fprintf(stderr, " %s", opToString(op));
+        std::fprintf(stderr, "\n");
+    }
+}
+
+void
+writeJson(const Args &a, const SweepTotals &tot, const BisimSweep &bs,
+          int status)
+{
+    std::FILE *f = std::fopen(a.jsonPath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "tlsmc: cannot write %s\n",
+                     a.jsonPath.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"schema\": \"tlsmc-v1\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"bounds\": {\"epochs\": %u, \"k\": %u, "
+                 "\"lines\": %u, \"len\": %u},\n"
+                 "  \"dpor\": %s,\n"
+                 "  \"mutation\": \"%s\",\n"
+                 "  \"tuples\": %llu,\n"
+                 "  \"transitions\": %llu,\n"
+                 "  \"schedules\": %llu,\n"
+                 "  \"naive_transitions\": %llu,\n"
+                 "  \"bisim_samples\": %u,\n"
+                 "  \"bisim_failures\": %u,\n"
+                 "  \"violations\": %d,\n"
+                 "  \"status\": %d\n"
+                 "}\n",
+                 a.bisim ? "bisim" : "sweep",
+                 a.epochs, a.k, a.lines, a.len,
+                 a.dpor ? "true" : "false", mutationName(a.mutation),
+                 static_cast<unsigned long long>(tot.tuples),
+                 static_cast<unsigned long long>(tot.transitions),
+                 static_cast<unsigned long long>(tot.schedules),
+                 static_cast<unsigned long long>(tot.naiveTransitions),
+                 bs.samples, bs.failures, tot.caught ? 1 : 0, status);
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args a = parse(argc, argv);
+    SweepTotals tot;
+    BisimSweep bs;
+    int status = 0;
+
+    if (a.bisim) {
+        if (a.mutation != Mutation::None) {
+            std::fprintf(stderr,
+                         "tlsmc: --mutate is a model-only mode\n");
+            return 2;
+        }
+        bs = sampleBisim(modelConfig(a), a.samples, a.seed, a.len);
+        status = bs.ok() ? 0 : 1;
+        if (!a.quiet) {
+            std::fprintf(stderr,
+                         "tlsmc bisim: %u samples, %llu model steps, "
+                         "%llu machine audit checks, %u divergences\n",
+                         bs.samples,
+                         static_cast<unsigned long long>(bs.modelSteps),
+                         static_cast<unsigned long long>(bs.auditChecks),
+                         bs.failures);
+            if (!bs.ok())
+                std::fprintf(stderr, "tlsmc bisim: first failure: %s\n",
+                             bs.firstFailure.c_str());
+        }
+    } else {
+        status = runSweep(a, tot);
+        if (!a.quiet) {
+            std::fprintf(
+                stderr,
+                "tlsmc sweep: %llu tuples, %llu transitions, "
+                "%llu schedules%s\n",
+                static_cast<unsigned long long>(tot.tuples),
+                static_cast<unsigned long long>(tot.transitions),
+                static_cast<unsigned long long>(tot.schedules),
+                a.dpor ? " (dpor)" : " (naive)");
+            if (tot.caught) {
+                std::fprintf(stderr, "tlsmc sweep: violation: %s\n",
+                             tot.violation.toString().c_str());
+                printPrograms(tot.violationPrograms);
+            } else if (a.mutation != Mutation::None) {
+                std::fprintf(stderr,
+                             "tlsmc sweep: seeded mutation '%s' was "
+                             "NOT caught\n",
+                             mutationName(a.mutation));
+            }
+        }
+    }
+
+    if (!a.jsonPath.empty())
+        writeJson(a, tot, bs, status);
+    return status;
+}
