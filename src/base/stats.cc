@@ -96,5 +96,41 @@ StatGroup::resetAll()
         s->reset();
 }
 
+GlobalCounters &
+GlobalCounters::instance()
+{
+    static GlobalCounters counters;
+    return counters;
+}
+
+void
+GlobalCounters::add(const std::string &name, std::uint64_t delta)
+{
+    MutexLock lk(mtx_);
+    counters_[name] += delta;
+}
+
+std::uint64_t
+GlobalCounters::value(const std::string &name) const
+{
+    MutexLock lk(mtx_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+GlobalCounters::snapshot() const
+{
+    MutexLock lk(mtx_);
+    return {counters_.begin(), counters_.end()};
+}
+
+void
+GlobalCounters::reset()
+{
+    MutexLock lk(mtx_);
+    counters_.clear();
+}
+
 } // namespace stats
 } // namespace tlsim

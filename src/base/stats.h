@@ -10,9 +10,14 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "base/sync.h"
+#include "base/threadannot.h"
 
 namespace tlsim {
 namespace stats {
@@ -138,6 +143,48 @@ class StatGroup
   private:
     std::string name_;
     std::vector<Stat *> stats_;
+};
+
+/**
+ * Process-wide, thread-safe named counters for host-side plumbing
+ * observability (executor batches/steals, trace-cache hits, ...).
+ *
+ * Unlike Stat/StatGroup — which are single-threaded by design, owned
+ * by one simulated machine and dumped with its results — these are
+ * shared across every worker thread and guarded accordingly; the
+ * annotations make the discipline checkable under TLSIM_THREAD_SAFETY.
+ * They never feed simulation output, so bit-identical replay is
+ * unaffected by how the host schedules the increments.
+ */
+class GlobalCounters
+{
+  public:
+    static GlobalCounters &instance();
+
+    GlobalCounters(const GlobalCounters &) = delete;
+    GlobalCounters &operator=(const GlobalCounters &) = delete;
+
+    /** Add `delta` to the named counter (created at zero). */
+    void add(const std::string &name, std::uint64_t delta = 1)
+        TLSIM_EXCLUDES(mtx_);
+
+    /** Current value (zero if never incremented). */
+    std::uint64_t value(const std::string &name) const
+        TLSIM_EXCLUDES(mtx_);
+
+    /** All counters, sorted by name (a consistent point-in-time view). */
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const
+        TLSIM_EXCLUDES(mtx_);
+
+    /** Drop every counter (tests isolate themselves with this). */
+    void reset() TLSIM_EXCLUDES(mtx_);
+
+  private:
+    GlobalCounters() = default;
+
+    mutable Mutex mtx_;
+    std::map<std::string, std::uint64_t> counters_
+        TLSIM_GUARDED_BY(mtx_);
 };
 
 } // namespace stats

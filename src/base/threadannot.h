@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Clang thread-safety analysis annotations.
+ *
+ * The macros wrap Clang's capability attributes
+ * (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the
+ * parallel subsystems can declare, in the type system, which mutex
+ * guards which field and which capabilities a function requires. With
+ * `-DTLSIM_THREAD_SAFETY=ON` (CMake option; Clang only) the build runs
+ * `-Wthread-safety -Werror=thread-safety`, so a lock-discipline
+ * mistake — touching a guarded field without its mutex, releasing a
+ * lock twice, calling a REQUIRES function unlocked — fails the build
+ * instead of waiting for a lucky schedule under TSan.
+ *
+ * On GCC (which has no thread-safety analysis) and on Clang without
+ * the option, every macro expands to nothing: the annotations are
+ * free, always-on documentation.
+ *
+ * Naming follows the capability-based spelling of the Clang docs,
+ * prefixed TLSIM_ to stay out of other libraries' way.
+ */
+
+#ifndef BASE_THREADANNOT_H
+#define BASE_THREADANNOT_H
+
+#if defined(__clang__) && defined(TLSIM_THREAD_SAFETY)
+#define TLSIM_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define TLSIM_THREAD_ANNOTATION__(x)
+#endif
+
+/** Marks a type as a capability (e.g. a mutex wrapper). */
+#define TLSIM_CAPABILITY(x) TLSIM_THREAD_ANNOTATION__(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define TLSIM_SCOPED_CAPABILITY TLSIM_THREAD_ANNOTATION__(scoped_lockable)
+
+/** Field may only be read/written while holding `x`. */
+#define TLSIM_GUARDED_BY(x) TLSIM_THREAD_ANNOTATION__(guarded_by(x))
+
+/** Pointee may only be read/written while holding `x`. */
+#define TLSIM_PT_GUARDED_BY(x) TLSIM_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/** Function acquires the capability and does not release it. */
+#define TLSIM_ACQUIRE(...) \
+    TLSIM_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/** Function releases the capability. */
+#define TLSIM_RELEASE(...) \
+    TLSIM_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/** Function attempts the acquire; first arg is the success value. */
+#define TLSIM_TRY_ACQUIRE(...) \
+    TLSIM_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must hold the capability when calling (and keeps it). */
+#define TLSIM_REQUIRES(...) \
+    TLSIM_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (the callee locks internally;
+ *  guards against self-deadlock on non-reentrant mutexes). */
+#define TLSIM_EXCLUDES(...) \
+    TLSIM_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/** Declares a lock-acquisition ordering between two capabilities. */
+#define TLSIM_ACQUIRED_BEFORE(...) \
+    TLSIM_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define TLSIM_ACQUIRED_AFTER(...) \
+    TLSIM_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/** Runtime assertion that the capability is held (trusted by the
+ *  analysis from this point on). */
+#define TLSIM_ASSERT_CAPABILITY(x) \
+    TLSIM_THREAD_ANNOTATION__(assert_capability(x))
+
+/** Function returns a reference to the named capability. */
+#define TLSIM_RETURN_CAPABILITY(x) \
+    TLSIM_THREAD_ANNOTATION__(lock_returned(x))
+
+/** Escape hatch: the function's locking is beyond the analysis. Every
+ *  use needs a comment saying why (and shows up in review). */
+#define TLSIM_NO_THREAD_SAFETY_ANALYSIS \
+    TLSIM_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif // BASE_THREADANNOT_H

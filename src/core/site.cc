@@ -14,7 +14,7 @@ SiteRegistry::instance()
 Pc
 SiteRegistry::intern(const std::string &name)
 {
-    std::lock_guard<std::mutex> lk(mtx_);
+    MutexLock lk(mtx_);
     auto it = byName_.find(name);
     if (it != byName_.end())
         return it->second;
@@ -27,7 +27,7 @@ SiteRegistry::intern(const std::string &name)
 std::string
 SiteRegistry::name(Pc pc) const
 {
-    std::lock_guard<std::mutex> lk(mtx_);
+    MutexLock lk(mtx_);
     if (pc >= kCodeBase) {
         std::size_t idx = (pc - kCodeBase) / kBlockBytes;
         if (idx < names_.size())

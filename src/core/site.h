@@ -12,11 +12,12 @@
 #ifndef CORE_SITE_H
 #define CORE_SITE_H
 
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.h"
+#include "base/threadannot.h"
 #include "base/types.h"
 
 namespace tlsim {
@@ -28,16 +29,16 @@ class SiteRegistry
     static SiteRegistry &instance();
 
     /** Get (or create) the PC for a site name. */
-    Pc intern(const std::string &name);
+    Pc intern(const std::string &name) TLSIM_EXCLUDES(mtx_);
 
     /** Resolve a PC to its site name ("<pc 0x...>" if unknown). */
-    std::string name(Pc pc) const;
+    std::string name(Pc pc) const TLSIM_EXCLUDES(mtx_);
 
     /** Number of registered sites. */
     std::size_t
-    size() const
+    size() const TLSIM_EXCLUDES(mtx_)
     {
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         return names_.size();
     }
 
@@ -45,9 +46,9 @@ class SiteRegistry
      *  Snapshot by value: interning from another thread must not
      *  invalidate the caller's view. */
     std::vector<std::string>
-    allNames() const
+    allNames() const TLSIM_EXCLUDES(mtx_)
     {
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         return names_;
     }
 
@@ -66,9 +67,9 @@ class SiteRegistry
   private:
     SiteRegistry() = default;
 
-    mutable std::mutex mtx_;
-    std::unordered_map<std::string, Pc> byName_;
-    std::vector<std::string> names_;
+    mutable Mutex mtx_;
+    std::unordered_map<std::string, Pc> byName_ TLSIM_GUARDED_BY(mtx_);
+    std::vector<std::string> names_ TLSIM_GUARDED_BY(mtx_);
 };
 
 /**

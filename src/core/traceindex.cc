@@ -10,6 +10,7 @@
 
 #include "base/addr.h"
 #include "base/log.h"
+#include "base/narrow.h"
 
 namespace tlsim {
 
@@ -232,12 +233,13 @@ TraceIndex::pack(const EpochFlags &flags)
                 panic("TraceIndex: record size %u exceeds the packed "
                       "head's 7-bit field",
                       r.size);
+            // Widening packs: brace-init is narrowing-proof by
+            // language rule, so a future field growth fails to
+            // compile instead of silently truncating.
             std::uint32_t head =
-                (static_cast<std::uint32_t>(r.op) & EpochView::kOpMask) |
-                (static_cast<std::uint32_t>(r.size)
-                 << EpochView::kSizeShift) |
-                (static_cast<std::uint32_t>(r.aux)
-                 << EpochView::kAuxShift);
+                (static_cast<unsigned>(r.op) & EpochView::kOpMask) |
+                (std::uint32_t{r.size} << EpochView::kSizeShift) |
+                (std::uint32_t{r.aux} << EpochView::kAuxShift);
             if (f[i] & 1)
                 head |= EpochView::kConflictBit;
             if (f[i] & 2)
@@ -248,10 +250,10 @@ TraceIndex::pack(const EpochFlags &flags)
             if (raw > std::numeric_limits<std::uint32_t>::max()) {
                 head |= EpochView::kWideBit;
                 v.addr32[i] =
-                    static_cast<std::uint32_t>(v.wide.size());
+                    checkedNarrow<std::uint32_t>(v.wide.size());
                 v.wide.push_back(r.addr);
             } else {
-                v.addr32[i] = static_cast<std::uint32_t>(raw);
+                v.addr32[i] = checkedNarrow<std::uint32_t>(raw);
             }
             v.head[i] = head;
             v.pc[i] = r.pc;
@@ -267,7 +269,7 @@ TraceIndex::pack(const EpochFlags &flags)
         std::sort(fp.begin(), fp.end());
         fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
         v.footprint = std::move(fp);
-        viewIdx_.emplace(&e, static_cast<std::uint32_t>(ei));
+        viewIdx_.emplace(&e, checkedNarrow<std::uint32_t>(ei));
     }
 }
 
@@ -302,7 +304,7 @@ TraceIndex::save(std::ostream &os) const
         put<std::uint64_t>(os, v.size());
         buf.resize(v.size());
         for (std::size_t i = 0; i < v.size(); ++i)
-            buf[i] = static_cast<std::uint8_t>((v.head[i] >> 11) & 3);
+            buf[i] = checkedNarrow<std::uint8_t>((v.head[i] >> 11) & 3);
         os.write(reinterpret_cast<const char *>(buf.data()),
                  static_cast<std::streamsize>(buf.size()));
     }

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/narrow.h"
 #include "base/types.h"
 #include "core/trace.h"
 
@@ -97,7 +98,9 @@ struct EpochView
     }
     static std::uint16_t aux(std::uint32_t h)
     {
-        return static_cast<std::uint16_t>(h >> kAuxShift);
+        // Always in range (16 payload bits above kAuxShift); the
+        // check folds away, and T3 keeps the cast honest.
+        return checkedNarrow<std::uint16_t>(h >> kAuxShift);
     }
 
     /** Full address of memory record `i` (op Load/Store). */

@@ -1,8 +1,7 @@
 #include "sim/executor.h"
 
-#include <algorithm>
-
 #include "base/log.h"
+#include "base/stats.h"
 
 namespace tlsim {
 namespace sim {
@@ -21,7 +20,7 @@ SimExecutor::SimExecutor(unsigned jobs)
         return; // inline mode: no threads, no queues
     queues_.reserve(jobs_);
     for (unsigned i = 0; i < jobs_; ++i)
-        queues_.push_back(std::make_unique<Queue>());
+        queues_.push_back(std::make_unique<TaskQueue>());
     // Worker 0 is the submitting thread; spawn the other jobs_ - 1.
     threads_.reserve(jobs_ - 1);
     for (unsigned i = 1; i < jobs_; ++i)
@@ -33,7 +32,7 @@ SimExecutor::~SimExecutor()
     if (jobs_ == 1)
         return;
     {
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         shutdown_ = true;
     }
     wake_.notify_all();
@@ -44,38 +43,30 @@ SimExecutor::~SimExecutor()
 bool
 SimExecutor::nextTask(unsigned self, std::size_t *out)
 {
-    {
-        Queue &q = *queues_[self];
-        std::lock_guard<std::mutex> lk(q.mtx);
-        if (!q.tasks.empty()) {
-            *out = q.tasks.back(); // own work LIFO: cache-warm
-            q.tasks.pop_back();
-            return true;
-        }
-    }
-    // Steal oldest work from the fullest other queue.
+    if (queues_[self]->popBack(out)) // own work LIFO: cache-warm
+        return true;
+    // Steal oldest work from the fullest other queue. The size scan is
+    // advisory; popFront() re-checks emptiness under the queue's own
+    // lock, so losing a race with the owner just rescans.
     while (true) {
         unsigned victim = jobs_;
         std::size_t most = 0;
         for (unsigned v = 0; v < jobs_; ++v) {
             if (v == self)
                 continue;
-            Queue &q = *queues_[v];
-            std::lock_guard<std::mutex> lk(q.mtx);
-            if (q.tasks.size() > most) {
-                most = q.tasks.size();
+            std::size_t sz = queues_[v]->size();
+            if (sz > most) {
+                most = sz;
                 victim = v;
             }
         }
         if (victim == jobs_)
             return false;
-        Queue &q = *queues_[victim];
-        std::lock_guard<std::mutex> lk(q.mtx);
-        if (q.tasks.empty())
-            continue; // raced with the owner; rescan
-        *out = q.tasks.front();
-        q.tasks.pop_front();
-        return true;
+        if (queues_[victim]->popFront(out)) {
+            stats::GlobalCounters::instance().add("executor.steals");
+            return true;
+        }
+        // Raced with the owner; rescan.
     }
 }
 
@@ -84,7 +75,7 @@ SimExecutor::runTasks(unsigned self)
 {
     const std::function<void(std::size_t)> *fn;
     {
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         fn = batchFn_;
     }
     if (!fn)
@@ -94,11 +85,11 @@ SimExecutor::runTasks(unsigned self)
         try {
             (*fn)(idx);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(mtx_);
+            MutexLock lk(mtx_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         if (--pending_ == 0)
             done_.notify_all();
     }
@@ -110,10 +101,9 @@ SimExecutor::workerLoop(unsigned self)
     std::uint64_t seen = 0;
     while (true) {
         {
-            std::unique_lock<std::mutex> lk(mtx_);
-            wake_.wait(lk, [&] {
-                return shutdown_ || batchId_ != seen;
-            });
+            UniqueLock lk(mtx_);
+            while (!shutdown_ && batchId_ == seen)
+                wake_.wait(lk);
             if (shutdown_)
                 return;
             seen = batchId_;
@@ -121,7 +111,7 @@ SimExecutor::workerLoop(unsigned self)
         }
         runTasks(self);
         {
-            std::lock_guard<std::mutex> lk(mtx_);
+            MutexLock lk(mtx_);
             if (--active_ == 0)
                 done_.notify_all();
         }
@@ -141,39 +131,47 @@ SimExecutor::parallelFor(std::size_t n,
     }
 
     {
-        // A worker still draining the previous batch holds a pointer to
-        // that batch's function object; never seed new tasks it could
-        // pick up until every worker has left runTasks().
-        std::unique_lock<std::mutex> lk(mtx_);
-        if (batchFn_)
+        // Claim the batch slot atomically with the reentrancy check:
+        // the old `if (batchFn_)` guard only tripped once the racing
+        // submitter had already published its function, so two threads
+        // could both pass it and interleave their seeding. batchOpen_
+        // is set under the same critical section that inspects it.
+        UniqueLock lk(mtx_);
+        if (batchOpen_)
             panic("SimExecutor::parallelFor is not reentrant");
-        done_.wait(lk, [&] { return active_ == 0; });
+        batchOpen_ = true;
+        // A worker still draining the previous batch holds a pointer
+        // to that batch's function object; never seed new tasks it
+        // could pick up until every worker has left runTasks().
+        while (active_ != 0)
+            done_.wait(lk);
     }
 
     // Seed round-robin so early indices spread across workers.
-    for (std::size_t i = 0; i < n; ++i) {
-        Queue &q = *queues_[i % jobs_];
-        std::lock_guard<std::mutex> lk(q.mtx);
-        q.tasks.push_back(i);
-    }
+    for (std::size_t i = 0; i < n; ++i)
+        queues_[i % jobs_]->push(i);
     {
-        std::lock_guard<std::mutex> lk(mtx_);
+        MutexLock lk(mtx_);
         batchFn_ = &fn;
         pending_ = n;
         firstError_ = nullptr;
         ++batchId_;
     }
     wake_.notify_all();
+    stats::GlobalCounters::instance().add("executor.batches");
+    stats::GlobalCounters::instance().add("executor.tasks", n);
 
     runTasks(0); // the caller works too
 
     std::exception_ptr err;
     {
-        std::unique_lock<std::mutex> lk(mtx_);
-        done_.wait(lk, [&] { return pending_ == 0; });
+        UniqueLock lk(mtx_);
+        while (pending_ != 0)
+            done_.wait(lk);
         batchFn_ = nullptr;
         err = firstError_;
         firstError_ = nullptr;
+        batchOpen_ = false;
     }
     if (err)
         std::rethrow_exception(err);

@@ -17,20 +17,28 @@
  * steals from the front of the busiest other deque (FIFO, oldest
  * first) when empty. The submitting thread participates as a worker,
  * so `jobs` is the total number of threads doing simulation work.
+ *
+ * Lock discipline (checked at compile time under TLSIM_THREAD_SAFETY):
+ * every per-worker deque is a self-locking TaskQueue capability — all
+ * push/pop/steal paths acquire the queue's own mutex inside the
+ * method, so a steal can never touch a victim's deque unlocked — and
+ * every batch-lifecycle field is GUARDED_BY the single batch mutex.
  */
 
 #ifndef SIM_EXECUTOR_H
 #define SIM_EXECUTOR_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/sync.h"
+#include "base/threadannot.h"
 
 namespace tlsim {
 namespace sim {
@@ -52,8 +60,10 @@ class SimExecutor
      * Run fn(0) .. fn(n-1) to completion, in parallel across the pool.
      * Blocks until every task finished. The first exception thrown by
      * any task is rethrown on the caller once the batch has drained.
-     * Not reentrant: tasks must not themselves call parallelFor on the
-     * same executor.
+     * Not reentrant and single-submitter: a task calling parallelFor
+     * on its own executor, or a second thread submitting while a batch
+     * is open, panics (the claim check is atomic with the claim, so a
+     * racing submitter can never corrupt an in-flight batch).
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &fn);
@@ -72,10 +82,58 @@ class SimExecutor
     static unsigned hardwareJobs();
 
   private:
-    struct Queue
+    /**
+     * One worker's task deque as a capability: the deque is only
+     * reachable through methods that take the internal mutex, so the
+     * owner's LIFO pop and a thief's FIFO steal are provably locked.
+     */
+    class TaskQueue
     {
-        std::mutex mtx;
-        std::deque<std::size_t> tasks;
+      public:
+        /** Append a task (submit-time round-robin seeding). */
+        void
+        push(std::size_t idx) TLSIM_EXCLUDES(mtx_)
+        {
+            MutexLock lk(mtx_);
+            tasks_.push_back(idx);
+        }
+
+        /** Owner path: newest task (cache-warm). */
+        bool
+        popBack(std::size_t *out) TLSIM_EXCLUDES(mtx_)
+        {
+            MutexLock lk(mtx_);
+            if (tasks_.empty())
+                return false;
+            *out = tasks_.back();
+            tasks_.pop_back();
+            return true;
+        }
+
+        /** Thief path: oldest task (largest remaining chain). */
+        bool
+        popFront(std::size_t *out) TLSIM_EXCLUDES(mtx_)
+        {
+            MutexLock lk(mtx_);
+            if (tasks_.empty())
+                return false;
+            *out = tasks_.front();
+            tasks_.pop_front();
+            return true;
+        }
+
+        /** Size snapshot for victim selection; stale by the time the
+         *  thief acts, so popFront() re-checks under the lock. */
+        std::size_t
+        size() const TLSIM_EXCLUDES(mtx_)
+        {
+            MutexLock lk(mtx_);
+            return tasks_.size();
+        }
+
+      private:
+        mutable Mutex mtx_;
+        std::deque<std::size_t> tasks_ TLSIM_GUARDED_BY(mtx_);
     };
 
     void workerLoop(unsigned self);
@@ -85,17 +143,24 @@ class SimExecutor
 
     unsigned jobs_;
     std::vector<std::thread> threads_;
-    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::unique_ptr<TaskQueue>> queues_;
 
-    std::mutex mtx_;
-    std::condition_variable wake_;  ///< workers: a batch is ready
-    std::condition_variable done_;  ///< caller: batch fully drained
-    const std::function<void(std::size_t)> *batchFn_ = nullptr;
-    std::size_t pending_ = 0; ///< tasks not yet finished in this batch
-    unsigned active_ = 0;     ///< workers currently inside runTasks()
-    std::uint64_t batchId_ = 0;
-    std::exception_ptr firstError_;
-    bool shutdown_ = false;
+    Mutex mtx_;
+    CondVar wake_; ///< workers: a batch is ready
+    CondVar done_; ///< caller: batch fully drained
+
+    /** Claimed by parallelFor before anything else, under mtx_, so a
+     *  second submitter panics instead of racing the open batch. */
+    bool batchOpen_ TLSIM_GUARDED_BY(mtx_) = false;
+    const std::function<void(std::size_t)> *batchFn_
+        TLSIM_GUARDED_BY(mtx_) = nullptr;
+    /** Tasks not yet finished in this batch. */
+    std::size_t pending_ TLSIM_GUARDED_BY(mtx_) = 0;
+    /** Workers currently inside runTasks(). */
+    unsigned active_ TLSIM_GUARDED_BY(mtx_) = 0;
+    std::uint64_t batchId_ TLSIM_GUARDED_BY(mtx_) = 0;
+    std::exception_ptr firstError_ TLSIM_GUARDED_BY(mtx_);
+    bool shutdown_ TLSIM_GUARDED_BY(mtx_) = false;
 };
 
 } // namespace sim

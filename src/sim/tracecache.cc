@@ -1,8 +1,13 @@
 #include "sim/tracecache.h"
 
 #include <filesystem>
+#include <map>
+#include <memory>
 
 #include "base/log.h"
+#include "base/stats.h"
+#include "base/sync.h"
+#include "base/threadannot.h"
 #include "core/traceindex.h"
 #include "sim/traceio.h"
 
@@ -10,6 +15,41 @@ namespace tlsim {
 namespace sim {
 
 namespace {
+
+/**
+ * Per-stem capture serialization. Two simulation points wanting the
+ * same (benchmark, config) capture used to race the load-or-capture
+ * sequence: both would miss, both would run the expensive capture, and
+ * both would write the same .trace/.idx files concurrently — a torn
+ * file for any later reader. Callers now hold the stem's mutex across
+ * the whole sequence, so the first caller captures and everyone else
+ * loads the finished bytes ("single-flight"). Distinct stems stay
+ * fully parallel; the registry lock only covers the map probe.
+ */
+class StemLocks
+{
+  public:
+    static StemLocks &instance()
+    {
+        static StemLocks locks;
+        return locks;
+    }
+
+    /** The (process-lifetime) mutex serializing work on `stem`. */
+    Mutex &forStem(const std::string &stem) TLSIM_EXCLUDES(mtx_)
+    {
+        MutexLock lk(mtx_);
+        auto &slot = locks_[stem];
+        if (!slot)
+            slot = std::make_unique<Mutex>();
+        return *slot;
+    }
+
+  private:
+    Mutex mtx_;
+    std::map<std::string, std::unique_ptr<Mutex>> locks_
+        TLSIM_GUARDED_BY(mtx_);
+};
 
 /** FNV-1a, accumulated field by field. */
 struct KeyHash
@@ -107,6 +147,7 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
 {
     unsigned line_bytes = cfg.machine.mem.lineBytes;
     if (cache_dir.empty()) {
+        stats::GlobalCounters::instance().add("tracecache.bypass");
         auto traces = std::make_shared<BenchmarkTraces>(
             captureTraces(type, cfg));
         traces->buildIndexes(line_bytes);
@@ -119,6 +160,11 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
     std::string orig_path = stem + ".orig.trace";
     std::string tls_path = stem + ".tls.trace";
 
+    // Single-flight: concurrent callers of the same stem serialize
+    // here; the first one through captures (or loads) and the rest
+    // load the files it finished writing.
+    MutexLock stem_lock(StemLocks::instance().forStem(stem));
+
     if (fs::exists(orig_path) && fs::exists(tls_path)) {
         auto traces = std::make_shared<BenchmarkTraces>();
         WorkloadTrace orig, tls;
@@ -127,6 +173,7 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
             traces->original = std::move(orig);
             traces->tls = std::move(tls);
             attachIndexes(*traces, line_bytes, stem);
+            stats::GlobalCounters::instance().add("tracecache.hit");
             return traces;
         }
         inform("trace cache: %s has a foreign format, re-capturing",
@@ -139,6 +186,7 @@ captureTracesShared(tpcc::TxnType type, const ExperimentConfig &cfg,
         fatal("trace cache: cannot create directory %s: %s",
               cache_dir.c_str(), ec.message().c_str());
 
+    stats::GlobalCounters::instance().add("tracecache.capture");
     auto traces =
         std::make_shared<BenchmarkTraces>(captureTraces(type, cfg));
     saveTraceFile(orig_path, traces->original);

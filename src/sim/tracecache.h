@@ -12,6 +12,12 @@
  * byte-identical across processes (a fresh capture records raw heap
  * addresses, which change between processes; a reloaded trace does
  * not).
+ *
+ * Thread safety: captureTracesShared() may be called from concurrent
+ * executor tasks. Calls for the same cache stem are serialized
+ * single-flight (one capture, everyone else loads the finished
+ * files); distinct stems proceed in parallel. Cache traffic is
+ * counted in stats::GlobalCounters under "tracecache.*".
  */
 
 #ifndef SIM_TRACECACHE_H

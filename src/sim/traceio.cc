@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "base/log.h"
+#include "base/narrow.h"
 #include "core/site.h"
 
 namespace tlsim {
@@ -63,10 +64,10 @@ void
 putVarint(std::ostream &os, std::uint64_t v)
 {
     while (v >= 0x80) {
-        put<std::uint8_t>(os, static_cast<std::uint8_t>(v) | 0x80);
+        put<std::uint8_t>(os, truncateNarrow<std::uint8_t>(v | 0x80));
         v >>= 7;
     }
-    put<std::uint8_t>(os, static_cast<std::uint8_t>(v));
+    put<std::uint8_t>(os, checkedNarrow<std::uint8_t>(v));
 }
 
 /**
@@ -103,7 +104,8 @@ putEpoch(std::ostream &os, const EpochTrace &e)
     const std::size_t n = e.records.size();
     put<std::uint64_t>(os, n);
     for (const TraceRecord &r : e.records)
-        put<std::uint8_t>(os, static_cast<std::uint8_t>(r.op));
+        put<std::uint8_t>(os, checkedNarrow<std::uint8_t>(
+                                  static_cast<unsigned>(r.op)));
     for (const TraceRecord &r : e.records)
         put<std::uint8_t>(os, r.size);
     for (const TraceRecord &r : e.records)
@@ -141,7 +143,8 @@ getEpoch(std::istream &is, EpochTrace *out)
     e.records.resize(n);
     for (auto &r : e.records) {
         auto op = get<std::uint8_t>(is);
-        if (op > static_cast<std::uint8_t>(TraceOp::EscapeEnd)) {
+        if (op > checkedNarrow<std::uint8_t>(
+                     static_cast<unsigned>(TraceOp::EscapeEnd))) {
             inform("trace file rejected: bad opcode %u", op);
             return false;
         }
@@ -212,7 +215,7 @@ saveTrace(std::ostream &os, const WorkloadTrace &w)
     const auto &names = SiteRegistry::instance().allNames();
     put<std::uint64_t>(os, names.size());
     for (const std::string &n : names) {
-        put<std::uint32_t>(os, static_cast<std::uint32_t>(n.size()));
+        put<std::uint32_t>(os, checkedNarrow<std::uint32_t>(n.size()));
         os.write(n.data(), static_cast<std::streamsize>(n.size()));
     }
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * checkedNarrow/truncateNarrow tests: in-range values pass through
+ * exactly, out-of-range checked casts panic, and the truncating form
+ * wraps modulo 2^N like the static_casts it replaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "base/narrow.h"
+
+namespace tlsim {
+namespace {
+
+TEST(CheckedNarrow, InRangePassesThrough)
+{
+    EXPECT_EQ(checkedNarrow<std::uint8_t>(std::uint64_t{0}), 0u);
+    EXPECT_EQ(checkedNarrow<std::uint8_t>(std::uint64_t{255}), 255u);
+    EXPECT_EQ(checkedNarrow<std::uint16_t>(65535u), 65535u);
+    EXPECT_EQ(checkedNarrow<std::int8_t>(-128), -128);
+    EXPECT_EQ(checkedNarrow<std::int8_t>(127), 127);
+    EXPECT_EQ(checkedNarrow<std::uint32_t>(
+                  std::uint64_t{0xFFFFFFFFull}),
+              0xFFFFFFFFu);
+}
+
+TEST(CheckedNarrow, SignednessChangesAreChecked)
+{
+    // Negative to unsigned must die, not wrap.
+    EXPECT_EQ(checkedNarrow<std::uint32_t>(std::int64_t{7}), 7u);
+    EXPECT_DEATH(checkedNarrow<std::uint32_t>(std::int64_t{-1}),
+                 "checkedNarrow");
+    // Large unsigned to signed must die, not go negative.
+    EXPECT_DEATH(checkedNarrow<std::int8_t>(200u), "checkedNarrow");
+}
+
+TEST(CheckedNarrowDeathTest, OutOfRangePanics)
+{
+    EXPECT_DEATH(checkedNarrow<std::uint8_t>(std::uint64_t{256}),
+                 "checkedNarrow");
+    EXPECT_DEATH(
+        checkedNarrow<std::uint32_t>(
+            std::numeric_limits<std::uint64_t>::max()),
+        "checkedNarrow");
+}
+
+TEST(TruncateNarrow, WrapsModulo)
+{
+    EXPECT_EQ(truncateNarrow<std::uint8_t>(std::uint64_t{0x1FF}),
+              0xFFu);
+    EXPECT_EQ(truncateNarrow<std::uint8_t>(std::uint64_t{0x100}), 0u);
+    EXPECT_EQ(truncateNarrow<std::uint16_t>(std::uint64_t{0x12345}),
+              0x2345u);
+}
+
+TEST(CheckedNarrow, WideningIsAlwaysFine)
+{
+    EXPECT_EQ(checkedNarrow<std::uint64_t>(std::uint8_t{200}), 200u);
+    EXPECT_EQ(checkedNarrow<std::int64_t>(-5), -5);
+}
+
+} // namespace
+} // namespace tlsim

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "base/stats.h"
 
@@ -94,6 +96,49 @@ TEST(StatGroup, ResetAllResetsMembers)
     g.resetAll();
     EXPECT_DOUBLE_EQ(a.value(), 0);
     EXPECT_DOUBLE_EQ(b.value(), 0);
+}
+
+TEST(GlobalCounters, AddValueSnapshotReset)
+{
+    auto &gc = GlobalCounters::instance();
+    gc.reset();
+    EXPECT_EQ(gc.value("gc_test.never"), 0u);
+
+    gc.add("gc_test.a");
+    gc.add("gc_test.a", 4);
+    gc.add("gc_test.b", 2);
+    EXPECT_EQ(gc.value("gc_test.a"), 5u);
+    EXPECT_EQ(gc.value("gc_test.b"), 2u);
+
+    auto snap = gc.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].first, "gc_test.a");
+    EXPECT_EQ(snap[0].second, 5u);
+    EXPECT_EQ(snap[1].first, "gc_test.b");
+    EXPECT_EQ(snap[1].second, 2u);
+
+    gc.reset();
+    EXPECT_EQ(gc.value("gc_test.a"), 0u);
+    EXPECT_TRUE(gc.snapshot().empty());
+}
+
+TEST(GlobalCounters, ConcurrentAddsAllLand)
+{
+    auto &gc = GlobalCounters::instance();
+    gc.reset();
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i)
+                gc.add("gc_test.concurrent");
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(gc.value("gc_test.concurrent"),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    gc.reset();
 }
 
 } // namespace

@@ -1,0 +1,18 @@
+// tlslint fixture: T1 must flag speculative-state mutation outside
+// the audited mutator modules. Linted as-if at src/sim/rogue.cc.
+// Expected: exactly 2 [T1] diagnostics (lines 12 and 14).
+
+#include <cstdint>
+
+struct FakeState;
+
+void
+rogueMutations(FakeState &spec_state, FakeState &other, int line)
+{
+    spec_state.recordStore(0x1000, 8, 0); // distinct mutator name
+
+    victim_cache.insert(line); // generic name + victim receiver
+
+    other.insert(line); // generic name, neutral receiver: NOT flagged
+    spec_state.query(line); // non-mutator method: NOT flagged
+}

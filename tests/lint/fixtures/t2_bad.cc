@@ -1,0 +1,17 @@
+// tlslint fixture: T2 must flag direct thread creation outside
+// sim/executor. Linted as-if at src/mem/rogue.cc.
+// Expected: exactly 2 [T2] diagnostics (lines 10 and 12).
+
+#include <thread>
+
+void
+rogueThreads()
+{
+    std::thread worker([] {});
+
+    worker.detach();
+
+    // Reads of thread facilities are fine: NOT flagged.
+    unsigned hw = std::thread::hardware_concurrency();
+    (void)hw;
+}

@@ -1,0 +1,14 @@
+// tlslint fixture: T4 must flag a bench main() that bypasses
+// BenchSession. Linted as-if at bench/bench_rogue.cc.
+// Expected: exactly 1 [T4] diagnostic (line 8).
+
+#include <cstdio>
+
+int
+main(int argc, char **argv)
+{
+    // Hand-rolled argument parsing instead of the shared prologue.
+    std::printf("%d\n", argc);
+    (void)argv;
+    return 0;
+}

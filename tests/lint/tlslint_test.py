@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/tlslint.py.
+
+Each known-bad translation unit in fixtures/ must produce its exact
+expected diagnostics — count, check id, and line — and the suppression
+fixtures must show that a reasoned allow silences a check while a bare
+allow is itself an error. A lint whose checks stop firing passes on
+the real tree vacuously; this driver is what keeps the checks honest.
+
+Runs the lex engine explicitly so results are identical with and
+without the libclang bindings; a second pass exercises whatever
+`--engine=auto` resolves to and requires the same counts from both
+engines on every fixture.
+
+Usage: tlslint_test.py [--tlslint PATH] [--fixtures DIR]
+Exit: 0 all expectations met, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): "
+                     r"\[(?P<check>[\w-]+)\] ")
+
+# fixture -> (treat-as path, expected [(check, line), ...], exit code,
+#             expected suppression count)
+EXPECTATIONS = {
+    "t1_bad.cc": ("src/sim/rogue.cc",
+                  [("T1", 12), ("T1", 14)], 1, 0),
+    "t2_bad.cc": ("src/mem/rogue.cc",
+                  [("T2", 10), ("T2", 12)], 1, 0),
+    "t3_bad.cc": ("src/sim/traceio.cc",
+                  [("T3", 10), ("T3", 12)], 1, 0),
+    "t4_bad.cc": ("bench/bench_rogue.cc",
+                  [("T4", 8)], 1, 0),
+    "suppressed_ok.cc": ("src/sim/traceio.cc",
+                         [], 0, 1),
+    "suppressed_noreason.cc": ("src/sim/traceio.cc",
+                               [("T3", 12), ("allow-syntax", 12)], 1, 0),
+}
+
+
+def run_lint(tlslint, fixture, treat_as, engine, json_path=None):
+    cmd = [sys.executable, tlslint, f"--engine={engine}",
+           f"--treat-as={treat_as}", fixture]
+    if json_path:
+        cmd += ["--json", json_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((m.group("check"), int(m.group("line"))))
+    return proc, diags
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tlslint",
+                    default=os.path.join(root, "tools", "tlslint.py"))
+    ap.add_argument("--fixtures",
+                    default=os.path.join(here, "fixtures"))
+    args = ap.parse_args()
+
+    failures = []
+
+    def check(cond, what):
+        tag = "ok" if cond else "FAIL"
+        print(f"  [{tag}] {what}")
+        if not cond:
+            failures.append(what)
+
+    for name, (treat_as, want, want_rc, want_supp) in sorted(
+            EXPECTATIONS.items()):
+        fixture = os.path.join(args.fixtures, name)
+        print(f"fixture {name} (as {treat_as}):")
+        if not os.path.exists(fixture):
+            check(False, f"{name}: fixture file exists")
+            continue
+
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tf:
+            json_path = tf.name
+        try:
+            proc, diags = run_lint(args.tlslint, fixture, treat_as,
+                                   "lex", json_path)
+            check(sorted(diags) == sorted(want),
+                  f"{name}: diagnostics {sorted(diags)} == "
+                  f"{sorted(want)}")
+            check(proc.returncode == want_rc,
+                  f"{name}: exit {proc.returncode} == {want_rc}")
+            with open(json_path, encoding="utf-8") as f:
+                doc = json.load(f)
+            sa = doc.get("staticanalysis", {})
+            check(doc.get("schema") == "tlsim-bench-v1",
+                  f"{name}: json schema tag")
+            check(sa.get("violations") == len(want),
+                  f"{name}: json violations {sa.get('violations')} == "
+                  f"{len(want)}")
+            check(sa.get("suppressions") == want_supp,
+                  f"{name}: json suppressions "
+                  f"{sa.get('suppressions')} == {want_supp}")
+            check(sa.get("files_scanned") == 1 and
+                  sa.get("checks_run") == 4,
+                  f"{name}: json files/checks counts")
+        finally:
+            os.unlink(json_path)
+
+        # Engine-parity: auto (libclang when importable, else lex
+        # again) must agree exactly.
+        proc_auto, diags_auto = run_lint(args.tlslint, fixture,
+                                         treat_as, "auto")
+        check(sorted(diags_auto) == sorted(want),
+              f"{name}: auto-engine diagnostics match lex")
+
+    if failures:
+        print(f"\n{len(failures)} expectation(s) FAILED")
+        return 1
+    print(f"\nall fixture expectations met "
+          f"({len(EXPECTATIONS)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,53 @@ TEST(SimExecutor, AutoJobsIsAtLeastOne)
     EXPECT_GE(ex.jobs(), 1u);
 }
 
+TEST(SimExecutor, ManySmallBatchesStress)
+{
+    // Hammer the open/seed/drain/close cycle: with 4 workers and
+    // batches as small as a single task, any window where the batch
+    // state is published before it is fully initialized (or recycled
+    // before the last worker is out) shows up as a lost or double
+    // execution — and as a TSan report in the instrumented build.
+    SimExecutor ex(4);
+    for (int round = 0; round < 200; ++round) {
+        const std::size_t n = 1 + round % 7;
+        std::atomic<std::size_t> sum{0};
+        ex.parallelFor(n, [&](std::size_t) { sum++; });
+        ASSERT_EQ(sum.load(), n) << "round " << round;
+    }
+}
+
+TEST(SimExecutorDeathTest, ConcurrentSubmissionPanics)
+{
+    // The executor is single-submitter by contract; a second
+    // parallelFor while a batch is open must panic, not corrupt the
+    // shared batch state. The first submitter's task blocks until the
+    // overlapping submission has been made, so the overlap is
+    // deterministic, not a lucky interleaving.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            SimExecutor ex(2);
+            std::atomic<bool> inside{false};
+            std::atomic<bool> release{false};
+            std::thread submitter([&] {
+                ex.parallelFor(1, [&](std::size_t) {
+                    inside = true;
+                    while (!release)
+                        std::this_thread::yield();
+                });
+            });
+            while (!inside)
+                std::this_thread::yield();
+            // Batch still open (its only task is spinning): the
+            // overlapping submission must die here.
+            ex.parallelFor(1, [](std::size_t) {});
+            release = true;
+            submitter.join();
+        },
+        "not reentrant");
+}
+
 // ---------------------------------------------------------------------
 // Determinism regression: parallel == serial, bit for bit.
 // ---------------------------------------------------------------------

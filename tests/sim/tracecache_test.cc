@@ -11,7 +11,10 @@
 
 #include <fstream>
 #include <string>
+#include <vector>
 
+#include "base/stats.h"
+#include "sim/executor.h"
 #include "sim/tracecache.h"
 #include "sim/traceio.h"
 
@@ -112,6 +115,43 @@ TEST(TraceCache, SecondLoadReplaysIdentically)
             << barName(bar);
         EXPECT_EQ(a.epochs, b.epochs) << barName(bar);
     }
+}
+
+TEST(TraceCache, ParallelSameKeySingleCapture)
+{
+    // Concurrent executor tasks asking for the same (benchmark,
+    // config) must be serialized single-flight: exactly one capture
+    // writes the cache files, everyone else loads them. Before the
+    // per-stem lock, two concurrent captures could interleave their
+    // writes to the same paths and leave a torn trace on disk.
+    ExperimentConfig cfg = tinyConfig();
+    std::string dir = freshCacheDir("parallel");
+    auto &gc = stats::GlobalCounters::instance();
+    gc.reset();
+
+    constexpr std::size_t kCallers = 8;
+    std::vector<SharedTraces> got(kCallers);
+    SimExecutor ex(kCallers);
+    ex.parallelFor(kCallers, [&](std::size_t i) {
+        got[i] = captureTracesShared(tpcc::TxnType::Delivery, cfg, dir);
+    });
+
+    for (std::size_t i = 0; i < kCallers; ++i)
+        ASSERT_NE(got[i], nullptr) << "caller " << i;
+    EXPECT_EQ(gc.value("tracecache.capture"), 1u);
+    EXPECT_EQ(gc.value("tracecache.hit"), kCallers - 1);
+
+    // The files the racers left behind are complete and loadable.
+    std::string key = traceCacheKey(tpcc::TxnType::Delivery, cfg);
+    std::string base = dir + "/DELIVERY-" + key;
+    WorkloadTrace orig, tls;
+    EXPECT_TRUE(loadTraceFile(base + ".orig.trace", &orig));
+    EXPECT_TRUE(loadTraceFile(base + ".tls.trace", &tls));
+
+    // Every caller sees the same shape (they share one capture).
+    for (std::size_t i = 1; i < kCallers; ++i)
+        EXPECT_EQ(got[i]->tls.txns.size(), got[0]->tls.txns.size());
+    gc.reset();
 }
 
 TEST(TraceCache, CorruptCacheFileFallsBackToCapture)

@@ -23,6 +23,13 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "dpor_reduction": <number >= 5>,
         "violations": 0               # sweeps must be clean
       },
+      "staticanalysis": {             # optional; tlslint --json only
+        "engine": "libclang"|"lex",
+        "checks_run": <int >= 4>,     # all of T1..T4 must have run
+        "files_scanned": <int > 0>,
+        "violations": 0,              # the tree must be clean
+        "suppressions": <int >= 0>    # reasoned allows, informational
+      },
       "results": [
         {"name": "<point name>", "<metric>": <number>, ...},
         ...
@@ -105,6 +112,37 @@ def check_modelcheck(path, mc):
     return ok
 
 
+def check_staticanalysis(path, sa):
+    if not isinstance(sa, dict):
+        return fail(path, "'staticanalysis' is not an object")
+    ok = True
+    engine = sa.get("engine")
+    if engine not in ("libclang", "lex"):
+        ok = fail(path, "staticanalysis 'engine' must be 'libclang' "
+                        f"or 'lex', got {engine!r}")
+    checks = sa.get("checks_run")
+    if not isinstance(checks, int) or isinstance(checks, bool) \
+            or checks < 4:
+        # All four repo-invariant checks (T1..T4) must have run; a
+        # report from a --check subset does not count as a clean tree.
+        ok = fail(path, "staticanalysis 'checks_run' must be an "
+                        f"integer >= 4, got {checks!r}")
+    scanned = sa.get("files_scanned")
+    if not isinstance(scanned, int) or isinstance(scanned, bool) \
+            or scanned <= 0:
+        ok = fail(path, "staticanalysis 'files_scanned' must be an "
+                        f"integer > 0, got {scanned!r}")
+    violations = sa.get("violations")
+    if violations != 0 or isinstance(violations, bool):
+        ok = fail(path, "staticanalysis 'violations' must be 0, "
+                        f"got {violations!r}")
+    supp = sa.get("suppressions")
+    if not isinstance(supp, int) or isinstance(supp, bool) or supp < 0:
+        ok = fail(path, "staticanalysis 'suppressions' must be an "
+                        f"integer >= 0, got {supp!r}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -134,6 +172,8 @@ def check_file(path):
         ok = check_audit(path, doc["audit"]) and ok
     if "modelcheck" in doc:
         ok = check_modelcheck(path, doc["modelcheck"]) and ok
+    if "staticanalysis" in doc:
+        ok = check_staticanalysis(path, doc["staticanalysis"]) and ok
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         ok = fail(path, "'results' must be a non-empty list")

@@ -8,6 +8,15 @@ PATHs given) against the compile commands of the build directory
 (default: ./build; configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON,
 which the `lint` ctest target's build tree already does).
 
+The repo's Python tooling (tools/*.py, tests/lint/*.py) is linted in
+the same run: always byte-compiled (py_compile catches syntax errors
+before CI ever executes the tool in anger), and additionally checked
+with `ruff check` when ruff is on PATH — scoped to the always-wrong
+classes (E9 syntax/io, F63 comparison, F7 statement, F82 undefined
+name) so a missing ruff never hides a real break and an installed
+ruff never argues about style. The Python step runs even when
+clang-tidy is absent; a Python failure is exit 1, never the skip.
+
 Headers under src/verify/ and src/core/ are additionally linted as
 standalone translation units (clang-tidy FILE -- -std=c++17 -I src).
 HeaderFilterRegex only surfaces a header's diagnostics when some
@@ -19,17 +28,20 @@ Exit status:
   0   clean
   1   findings (clang-tidy diagnostics on stdout)
   2   usage / missing compile_commands.json
-  77  clang-tidy is not installed - the ctest `lint` label treats this
-      as SKIP (SKIP_RETURN_CODE), so environments without clang keep a
-      green suite without silently pretending the lint ran.
+  77  clang-tidy is not installed AND the Python step was clean - the
+      ctest `lint` label treats this as SKIP (SKIP_RETURN_CODE), so
+      environments without clang keep a green suite without silently
+      pretending the lint ran.
 """
 
 import argparse
 import multiprocessing
 import os
+import py_compile
 import shutil
 import subprocess
 import sys
+import tempfile
 
 SOURCE_DIRS = ("src", "tools", "bench")
 SOURCE_EXTS = (".cc", ".cpp")
@@ -37,6 +49,10 @@ SOURCE_EXTS = (".cc", ".cpp")
 HEADER_DIRS = (os.path.join("src", "verify"),
                os.path.join("src", "core"))
 HEADER_EXTS = (".h",)
+# Python tooling linted by lint_python(); ruff checks are limited to
+# definite-bug classes so style churn never blocks CI.
+PYTHON_DIRS = ("tools", os.path.join("tests", "lint"))
+RUFF_SELECT = "E9,F63,F7,F82"
 
 
 def find_sources(root, paths):
@@ -54,6 +70,37 @@ def find_sources(root, paths):
     return out
 
 
+def lint_python(root):
+    """Byte-compile the repo's Python tooling; ruff on top if present.
+    Returns True if everything passed."""
+    files = []
+    for d in PYTHON_DIRS:
+        for dirpath, _, names in os.walk(os.path.join(root, d)):
+            files.extend(os.path.join(dirpath, f) for f in sorted(names)
+                         if f.endswith(".py"))
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="pylint") as tmp:
+        for f in files:
+            try:
+                py_compile.compile(f, doraise=True,
+                                   cfile=os.path.join(tmp, "scratch.pyc"))
+            except py_compile.PyCompileError as e:
+                print(e.msg, file=sys.stderr)
+                ok = False
+    ruff = shutil.which("ruff")
+    if ruff:
+        proc = subprocess.run(
+            [ruff, "check", "--select", RUFF_SELECT, "--quiet", *files],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            sys.stdout.write(proc.stdout)
+            ok = False
+    tail = "py_compile+ruff" if ruff else "py_compile"
+    print(f"run_clang_tidy: {len(files)} python files ({tail}): " +
+          ("clean" if ok else "FINDINGS"))
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default=None,
@@ -64,13 +111,20 @@ def main():
     ap.add_argument("paths", nargs="*")
     args = ap.parse_args()
 
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+    # The Python step needs no external tooling, so it runs (and can
+    # fail the lint) even where clang-tidy would make us skip.
+    python_ok = args.paths or lint_python(root)
+
     tidy = shutil.which("clang-tidy")
     if not tidy:
+        if not python_ok:
+            return 1
         print("run_clang_tidy: clang-tidy not installed; skipping "
               "(exit 77)", file=sys.stderr)
         return 77
 
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     build = args.build_dir or os.path.join(root, "build")
     if not os.path.exists(os.path.join(build, "compile_commands.json")):
         print(f"run_clang_tidy: no compile_commands.json in {build}; "
@@ -125,7 +179,7 @@ def main():
     print("run_clang_tidy: " +
           ("FINDINGS (see above)" if failed else
            f"{len(sources)} files clean"))
-    return 1 if failed else 0
+    return 1 if failed or not python_ok else 0
 
 
 if __name__ == "__main__":

@@ -9,7 +9,16 @@
 #               - the rest of the simulator is single-threaded and
 #               TSan makes it ~10x slower for no additional coverage.
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|all]   (default: all)
+# The static mode needs no execution at all:
+#   build-tsa   Clang thread-safety analysis (-Wthread-safety as
+#               errors via -DTLSIM_THREAD_SAFETY=ON) - compile-time
+#               proof of the lock discipline TSan can only spot-check
+#               dynamically. Skipped with a notice when clang++ is not
+#               installed; tlslint (pure python) runs either way, with
+#               its --json report validated by check_bench_json.py.
+#
+# Usage: tools/run_sanitizers.sh [asan|tsan|static|all]  (default: all)
+# (--static is accepted as a synonym for static.)
 #
 # Any sanitizer report is fatal: the builds use
 # -fno-sanitize-recover=all, so the first finding aborts the test.
@@ -44,11 +53,33 @@ run_tsan() {
         -j "$jobs" -R 'Executor|Parallel|Shared'
 }
 
+run_static() {
+    if command -v clang++ >/dev/null 2>&1; then
+        echo "=== static: thread-safety analysis (clang) ==="
+        cmake -S "$root" -B "$root/build-tsa" \
+            -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DCMAKE_CXX_COMPILER=clang++ \
+            -DTLSIM_THREAD_SAFETY=ON
+        # Compiling IS the test: -Werror=thread-safety fails the build
+        # on any lock-discipline violation. Nothing is executed.
+        cmake --build "$root/build-tsa" -j "$jobs"
+    else
+        echo "=== static: clang++ not installed; skipping" \
+             "thread-safety analysis build ==="
+    fi
+    echo "=== static: tlslint ==="
+    python3 "$root/tools/tlslint.py" --root "$root" \
+        --json "$root/build-tlslint-report.json"
+    python3 "$root/tools/check_bench_json.py" \
+        "$root/build-tlslint-report.json"
+}
+
 case "$mode" in
-  asan) run_asan ;;
-  tsan) run_tsan ;;
-  all)  run_asan; run_tsan ;;
-  *)    echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+  asan)          run_asan ;;
+  tsan)          run_tsan ;;
+  static|--static) run_static ;;
+  all)           run_asan; run_tsan; run_static ;;
+  *) echo "usage: $0 [asan|tsan|static|all]" >&2; exit 2 ;;
 esac
 
 echo "sanitizers: all clean"

@@ -1,0 +1,554 @@
+#!/usr/bin/env python3
+"""tlslint: project-specific static-analysis checks for the simulator.
+
+Usage: tlslint.py [--root DIR] [--engine auto|libclang|lex]
+                  [--check T1,T2,...] [--treat-as RELPATH]
+                  [--json FILE] [--list-checks] [-q] [PATH...]
+
+Clang's thread-safety analysis (the TLSIM_THREAD_SAFETY build) proves
+lock discipline; these checks enforce the *repo invariants* that no
+generic tool knows about:
+
+  T1  spec-metadata mutations stay behind the audited mutators.
+      Mutating calls on SpecState (recordLoad/recordStore/clearContext/
+      clearThread/recordLoadExposed/reserveLines) and on the victim
+      cache (insert/remove/reset/accessLine on a spec*/victim*
+      receiver, renameToCommitted, dropOneCommitted) are only allowed
+      in the owning modules - core/machine, core/specstate, mem/victim,
+      mem/memsys, mem/l2cache - where the AuditSink seam (PR 3)
+      observes every mutation. A rogue call site elsewhere would
+      mutate speculative state the auditor never sees.
+
+  T2  no direct thread creation outside sim/executor.
+      std::thread / std::jthread construction, pthread_create, and
+      .detach() anywhere but sim/executor.{h,cc} bypasses the
+      work-stealing pool (and its shutdown/exception discipline).
+
+  T3  narrowing casts in the trace decode paths go through
+      base/narrow.h. In sim/traceio.* and core/traceindex.*, a
+      static_cast to a fixed-width type of <= 32 bits must be spelled
+      checkedNarrow<T>() or truncateNarrow<T>(); a raw cast silently
+      truncates untrusted file bytes. (Brace-init T{x} is exempt: the
+      language already rejects narrowing there.)
+
+  T4  bench binaries use the shared BenchSession prologue.
+      A main() under bench/ without BenchSession regresses to the
+      hand-rolled argument parsing PR 4 deduplicated.
+
+Suppression: append `// tlslint:allow(Tn): reason` to the flagged
+line (or put it alone on the line above). The reason is mandatory; a
+bare allow is itself a diagnostic, so the tree never accumulates
+unexplained exemptions.
+
+Engines: with the libclang python bindings installed, files are
+tokenized by libclang (`--engine=libclang`); otherwise a built-in
+C++ lexer produces the same token stream (`--engine=lex`). Both feed
+the identical rule matcher; `auto` (default) picks libclang when it
+is importable and loadable.
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+
+--json writes a tlsim-bench-v1 report whose "staticanalysis" block
+(checks run, files scanned, violations) is validated by
+tools/check_bench_json.py, so CI can assert the lint actually ran.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+import time
+
+# ---------------------------------------------------------------------
+# Check definitions
+# ---------------------------------------------------------------------
+
+CHECK_IDS = ("T1", "T2", "T3", "T4")
+
+# T1: the audited-mutator allowlist (repo-relative, forward slashes).
+T1_ALLOWED_FILES = {
+    "src/core/machine.cc",
+    "src/core/specstate.h",
+    "src/core/specstate.cc",
+    "src/mem/victim.h",
+    "src/mem/victim.cc",
+    "src/mem/memsys.h",
+    "src/mem/memsys.cc",
+    "src/mem/l2cache.h",
+    "src/mem/l2cache.cc",
+}
+# Mutator names distinctive enough to flag on any receiver.
+T1_DISTINCT_MUTATORS = {
+    "recordLoad", "recordLoadExposed", "recordStore", "clearContext",
+    "clearThread", "reserveLines", "renameToCommitted",
+    "dropOneCommitted",
+}
+# Generic names: flagged only when the receiver looks like the
+# speculative state or the victim cache.
+T1_GENERIC_MUTATORS = {"insert", "remove", "reset", "accessLine"}
+T1_RECEIVER_HINTS = ("spec", "victim")
+T1_SCOPE_DIRS = ("src/",)
+
+T2_ALLOWED_FILES = {"src/sim/executor.h", "src/sim/executor.cc"}
+T2_SCOPE_DIRS = ("src/", "bench/", "tools/")
+
+T3_SCOPE_FILES = {
+    "src/sim/traceio.h", "src/sim/traceio.cc",
+    "src/core/traceindex.h", "src/core/traceindex.cc",
+}
+T3_NARROW_TYPES = {
+    "std::uint8_t", "std::uint16_t", "std::uint32_t",
+    "std::int8_t", "std::int16_t", "std::int32_t",
+    "uint8_t", "uint16_t", "uint32_t",
+    "int8_t", "int16_t", "int32_t",
+    "char", "signed char", "unsigned char",
+    "short", "unsigned short", "short int", "unsigned short int",
+}
+
+T4_SCOPE_DIRS = ("bench/",)
+
+DEFAULT_SCAN_DIRS = ("src", "bench", "tools")
+SOURCE_EXTS = (".h", ".cc", ".cpp")
+
+ALLOW_RE = re.compile(
+    r"tlslint:\s*allow\(\s*(T\d+)\s*\)\s*(?::\s*(\S.*))?")
+
+
+class Diagnostic:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+class Token:
+    """One lexed token: spelling, 1-based line, and a coarse kind."""
+
+    __slots__ = ("text", "line", "kind")
+
+    def __init__(self, text, line, kind):
+        self.text = text
+        self.line = line
+        self.kind = kind  # 'id', 'punct', 'lit', 'comment'
+
+
+# ---------------------------------------------------------------------
+# Tokenizers
+# ---------------------------------------------------------------------
+
+_LEX_RE = re.compile(
+    r"""
+      (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<rawstr>R"(?P<delim>[^\s()\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>"(?:\\.|[^"\\\n])*")
+    | (?P<char>'(?:\\.|[^'\\\n])*')
+    | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<punct>::|->|\+\+|--|<<|>>|[{}()\[\];,<>=!&|^~?:.*/%+-]|\#)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def lex_tokens(text):
+    """Tokenize C++ with a small lexer: identifiers, punctuation,
+    literals and comments, each tagged with its starting line."""
+    tokens = []
+    pos = 0
+    line = 1
+    for m in _LEX_RE.finditer(text):
+        line += text.count("\n", pos, m.start())
+        pos = m.start()
+        kind = m.lastgroup
+        tok = m.group()
+        if kind == "comment":
+            tokens.append(Token(tok, line, "comment"))
+        elif kind in ("rawstr", "str", "char", "num"):
+            tokens.append(Token(tok, line, "lit"))
+        elif kind == "id":
+            tokens.append(Token(tok, line, "id"))
+        elif kind == "punct":
+            tokens.append(Token(tok, line, "punct"))
+        # 'delim' is an internal group of rawstr; never a lastgroup.
+    return tokens
+
+
+def libclang_tokens(path, text):
+    """Tokenize with libclang; raises if the bindings are unusable.
+    Produces the same Token shape as lex_tokens() so both engines feed
+    one rule matcher."""
+    import clang.cindex as ci
+
+    index = ci.Index.create()
+    tu = index.parse(
+        path, args=["-std=c++20", "-fsyntax-only"],
+        unsaved_files=[(path, text)],
+        options=ci.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD)
+    kinds = {
+        ci.TokenKind.IDENTIFIER: "id",
+        ci.TokenKind.KEYWORD: "id",
+        ci.TokenKind.PUNCTUATION: "punct",
+        ci.TokenKind.LITERAL: "lit",
+        ci.TokenKind.COMMENT: "comment",
+    }
+    tokens = []
+    for tok in tu.cursor.get_tokens():
+        kind = kinds.get(tok.kind)
+        if kind is None:
+            continue
+        tokens.append(Token(tok.spelling, tok.location.line, kind))
+    return tokens
+
+
+def make_tokenizer(engine):
+    """Resolve the engine choice to (tokenizer, resolved_name)."""
+    if engine in ("auto", "libclang"):
+        try:
+            import clang.cindex as ci
+            ci.Index.create()  # verifies libclang itself loads
+            return (libclang_tokens, "libclang")
+        except Exception as e:  # ImportError, LibclangError, ...
+            if engine == "libclang":
+                print(f"tlslint: libclang engine unavailable: {e}",
+                      file=sys.stderr)
+                sys.exit(2)
+    return (lambda path, text: lex_tokens(text), "lex")
+
+
+# ---------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------
+
+class Suppressions:
+    """Per-file map of `// tlslint:allow(Tn): reason` comments.
+
+    A well-formed allow on line L suppresses check Tn on line L and —
+    when the comment stands alone — on the next line as well. An allow
+    without a reason is itself a diagnostic (and suppresses nothing):
+    every exemption in the tree must say why it is sound.
+    """
+
+    def __init__(self, path, tokens, lines):
+        self.allowed = {}  # line -> set of check ids
+        self.used = set()  # (line, check) pairs that fired
+        self.diags = []
+        self.count = 0
+        for tok in tokens:
+            if tok.kind != "comment":
+                continue
+            for m in ALLOW_RE.finditer(tok.text):
+                check, reason = m.group(1), m.group(2)
+                if not reason or not reason.strip():
+                    self.diags.append(Diagnostic(
+                        path, tok.line, "allow-syntax",
+                        f"tlslint:allow({check}) without a reason "
+                        "string; write "
+                        f"`// tlslint:allow({check}): <why this is "
+                        "sound>`"))
+                    continue
+                self.count += 1
+                span = [tok.line]
+                before = lines[tok.line - 1] if tok.line <= len(lines) \
+                    else ""
+                if before.lstrip().startswith(("//", "/*")):
+                    span.append(tok.line + 1)  # standalone comment
+                for ln in span:
+                    self.allowed.setdefault(ln, set()).add(check)
+
+    def suppresses(self, line, check):
+        if check in self.allowed.get(line, set()):
+            self.used.add((line, check))
+            return True
+        return False
+
+
+# ---------------------------------------------------------------------
+# Rule matchers (token-stream level, shared by both engines)
+# ---------------------------------------------------------------------
+
+def in_scope(relpath, dirs=None, files=None):
+    rel = relpath.replace(os.sep, "/")
+    if files is not None:
+        return rel in files
+    return any(rel.startswith(d) for d in dirs)
+
+
+def check_t1(relpath, tokens, report):
+    if not in_scope(relpath, dirs=T1_SCOPE_DIRS):
+        return
+    if in_scope(relpath, files=T1_ALLOWED_FILES):
+        return
+    code = [t for t in tokens if t.kind != "comment"]
+    for i in range(len(code) - 3):
+        recv, dot, meth, paren = code[i:i + 4]
+        if dot.text not in (".", "->") or paren.text != "(":
+            continue
+        if recv.kind != "id" or meth.kind != "id":
+            continue
+        name = meth.text
+        if name in T1_DISTINCT_MUTATORS:
+            pass
+        elif name in T1_GENERIC_MUTATORS and any(
+                h in recv.text.lower() for h in T1_RECEIVER_HINTS):
+            pass
+        else:
+            continue
+        report(Diagnostic(
+            relpath, meth.line, "T1",
+            f"speculative-state mutation `{recv.text}{dot.text}"
+            f"{name}(...)` outside the audited mutators "
+            "(src/core machine / owning mem module); the AuditSink "
+            "seam must observe every SpecState/victim-cache write"))
+
+
+def check_t2(relpath, tokens, report):
+    if not in_scope(relpath, dirs=T2_SCOPE_DIRS):
+        return
+    if in_scope(relpath, files=T2_ALLOWED_FILES):
+        return
+    code = [t for t in tokens if t.kind != "comment"]
+    for i, tok in enumerate(code):
+        if tok.text == "pthread_create":
+            report(Diagnostic(
+                relpath, tok.line, "T2",
+                "direct pthread_create outside sim/executor; route "
+                "work through SimExecutor"))
+            continue
+        if (tok.text == "detach" and i >= 1 and
+                code[i - 1].text in (".", "->") and
+                i + 1 < len(code) and code[i + 1].text == "("):
+            report(Diagnostic(
+                relpath, tok.line, "T2",
+                "detached thread outside sim/executor; detached "
+                "threads escape the pool's shutdown and exception "
+                "discipline"))
+            continue
+        if (tok.text in ("thread", "jthread") and i >= 2 and
+                code[i - 1].text == "::" and code[i - 2].text == "std"):
+            nxt = code[i + 1].text if i + 1 < len(code) else ""
+            # Construction or declaration (std::thread t(...), member,
+            # vector<std::thread>); std::thread::hardware_concurrency
+            # and std::thread::id are reads, not creations.
+            if nxt == "::":
+                continue
+            report(Diagnostic(
+                relpath, tok.line, "T2",
+                f"direct std::{tok.text} use outside sim/executor; "
+                "fan work out through SimExecutor::parallelFor"))
+
+
+def check_t3(relpath, tokens, report):
+    if not in_scope(relpath, files=T3_SCOPE_FILES):
+        return
+    code = [t for t in tokens if t.kind != "comment"]
+    for i, tok in enumerate(code):
+        if tok.text != "static_cast":
+            continue
+        if i + 1 >= len(code) or code[i + 1].text != "<":
+            continue
+        # Collect the target-type spelling up to the matching '>'.
+        j = i + 2
+        depth = 1
+        parts = []
+        while j < len(code) and depth:
+            t = code[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if not depth:
+                    break
+            parts.append(t)
+            j += 1
+        spelling = " ".join(parts).replace(" :: ", "::")
+        spelling = spelling.replace("const ", "").strip()
+        if spelling in T3_NARROW_TYPES:
+            report(Diagnostic(
+                relpath, tok.line, "T3",
+                f"raw narrowing static_cast<{spelling}> in a trace "
+                "decode path; use checkedNarrow<>/truncateNarrow<> "
+                "from base/narrow.h so truncation of untrusted bytes "
+                "is checked or explicit"))
+
+
+def check_t4(relpath, tokens, report):
+    if not in_scope(relpath, dirs=T4_SCOPE_DIRS):
+        return
+    code = [t for t in tokens if t.kind != "comment"]
+    main_line = None
+    has_session = False
+    for i, tok in enumerate(code):
+        if tok.text == "BenchSession":
+            has_session = True
+        if (tok.text == "main" and i >= 1 and code[i - 1].text == "int"
+                and i + 1 < len(code) and code[i + 1].text == "("):
+            main_line = tok.line
+    if main_line is not None and not has_session:
+        report(Diagnostic(
+            relpath, main_line, "T4",
+            "bench main() without BenchSession; use the shared "
+            "prologue/epilogue from bench/benchutil.h (argument "
+            "parsing, executor sizing, tlsim-bench-v1 report)"))
+
+
+CHECKS = {
+    "T1": check_t1,
+    "T2": check_t2,
+    "T3": check_t3,
+    "T4": check_t4,
+}
+
+
+# ---------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------
+
+def scan_file(path, relpath, tokenizer, enabled, diags):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+    except OSError as e:
+        diags.append(Diagnostic(relpath, 0, "io", str(e)))
+        return 0
+    tokens = tokenizer(path, text)
+    lines = text.splitlines()
+    supp = Suppressions(relpath, tokens, lines)
+    diags.extend(supp.diags)
+
+    def report(d):
+        if not supp.suppresses(d.line, d.check):
+            diags.append(d)
+
+    for check in enabled:
+        CHECKS[check](relpath, tokens, report)
+    return supp.count
+
+
+def find_sources(root, paths):
+    if paths:
+        return [(os.path.abspath(p),
+                 os.path.relpath(os.path.abspath(p), root))
+                for p in paths]
+    out = []
+    for d in DEFAULT_SCAN_DIRS:
+        for dirpath, _, files in os.walk(os.path.join(root, d)):
+            for f in sorted(files):
+                if f.endswith(SOURCE_EXTS):
+                    full = os.path.join(dirpath, f)
+                    out.append((full, os.path.relpath(full, root)))
+    return out
+
+
+def write_json(path, engine, enabled, files_scanned, per_check,
+               suppressions, wall):
+    violations = sum(per_check.values())
+    doc = {
+        "schema": "tlsim-bench-v1",
+        "bench": "tlslint",
+        "quick": False,
+        "jobs": 1,
+        "wall_seconds": wall,
+        "simulated_cycles": 0,
+        "staticanalysis": {
+            "engine": engine,
+            "checks_run": len(enabled),
+            "files_scanned": files_scanned,
+            "violations": violations,
+            "suppressions": suppressions,
+        },
+        "results": [
+            {"name": c, "violations": per_check.get(c, 0)}
+            for c in sorted(set(enabled) | set(per_check))
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="project-specific static-analysis checks")
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of tools/)")
+    ap.add_argument("--engine", default="auto",
+                    choices=("auto", "libclang", "lex"))
+    ap.add_argument("--check", default=None,
+                    help="comma-separated subset of checks "
+                         "(default: all)")
+    ap.add_argument("--treat-as", default=None, metavar="RELPATH",
+                    help="scope rules as if the (single) input file "
+                         "lived at this repo-relative path (fixture "
+                         "tests)")
+    ap.add_argument("--json", default=None, metavar="FILE",
+                    help="write a tlsim-bench-v1 report with a "
+                         "'staticanalysis' block")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    ap.add_argument("paths", nargs="*")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for c in CHECK_IDS:
+            print(c)
+        return 0
+
+    if args.check:
+        enabled = [c.strip() for c in args.check.split(",") if c.strip()]
+        bad = [c for c in enabled if c not in CHECKS]
+        if bad:
+            print(f"tlslint: unknown check(s): {', '.join(bad)}",
+                  file=sys.stderr)
+            return 2
+    else:
+        enabled = list(CHECK_IDS)
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    root = os.path.abspath(root)
+
+    sources = find_sources(root, args.paths)
+    if not sources:
+        print("tlslint: no sources found", file=sys.stderr)
+        return 2
+    if args.treat_as:
+        if len(sources) != 1:
+            print("tlslint: --treat-as needs exactly one input file",
+                  file=sys.stderr)
+            return 2
+        sources = [(sources[0][0], args.treat_as)]
+
+    start = time.monotonic()
+    tokenizer, engine = make_tokenizer(args.engine)
+    diags = []
+    suppressions = 0
+    for full, rel in sources:
+        suppressions += scan_file(full, rel, tokenizer, enabled, diags)
+
+    diags.sort(key=lambda d: (d.path, d.line))
+    per_check = {}
+    for d in diags:
+        per_check[d.check] = per_check.get(d.check, 0) + 1
+        if not args.quiet:
+            print(d)
+
+    if args.json:
+        write_json(args.json, engine, enabled, len(sources), per_check,
+                   suppressions, time.monotonic() - start)
+
+    if not args.quiet:
+        verdict = (f"{len(diags)} violation(s)" if diags else "clean")
+        print(f"tlslint[{engine}]: {len(sources)} files, "
+              f"{len(enabled)} checks, {suppressions} reasoned "
+              f"suppression(s): {verdict}")
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+# ctest script for lint_tlslint_json: run tlslint over the tree with
+# --json, then validate the report (including its staticanalysis
+# block) with check_bench_json.py. Two steps, one test, so a schema
+# drift between the two tools fails CI immediately.
+#
+# Inputs: -DPYTHON=... -DSOURCE_DIR=... -DOUT=...
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/tlslint.py
+            --root ${SOURCE_DIR} --json ${OUT} -q
+    RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR "tlslint found violations (exit ${lint_rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/check_bench_json.py ${OUT}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_bench_json rejected the tlslint report (exit ${check_rc})")
+endif()
