@@ -24,6 +24,8 @@
 
 #include "base/config.h"
 #include "base/log.h"
+#include "base/simd.h"
+#include "base/stats.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/tracecache.h"
@@ -44,6 +46,9 @@ struct BenchArgs
     bool noTraceIndex = false;
     /** Protocol invariant auditor level (off|commit|full). */
     std::string audit = "off";
+    /** Pin the SIMD dispatch to the portable scalar kernels (results
+     *  must be identical; the golden label compares both legs). */
+    bool forceScalar = false;
 };
 
 [[noreturn]] inline void
@@ -53,7 +58,8 @@ usage(const char *prog, int code)
     std::fprintf(out,
                  "usage: %s [--quick] [--txns=N] [--jobs=N] "
                  "[--json=FILE] [--trace-cache=DIR] "
-                 "[--no-trace-index] [--audit=off|commit|full]\n"
+                 "[--no-trace-index] [--audit=off|commit|full] "
+                 "[--force-scalar]\n"
                  "  --quick            reduced TPC-C scale (CI)\n"
                  "  --txns=N           transactions per capture\n"
                  "  --jobs=N           parallel simulation points "
@@ -64,7 +70,9 @@ usage(const char *prog, int code)
                  "  --no-trace-index   disable the conflict-oracle "
                  "fast path (identical results, slower replay)\n"
                  "  --audit=LEVEL      protocol invariant auditor "
-                 "(off|commit|full; results must be identical)\n",
+                 "(off|commit|full; results must be identical)\n"
+                 "  --force-scalar     use the portable scalar kernels "
+                 "(identical results; golden-label comparison)\n",
                  prog);
     std::exit(code);
 }
@@ -115,6 +123,8 @@ parseArgs(int argc, char **argv)
             args.noTraceIndex = true;
         else if (a.rfind("--audit=", 0) == 0)
             args.audit = value("--audit=");
+        else if (a == "--force-scalar")
+            args.forceScalar = true;
         else if (a == "--help" || a == "-h")
             usage(argv[0], 0);
         else {
@@ -315,6 +325,17 @@ class BenchReport
                << ", \"dpor_reduction\": " << mcReduction_
                << ", \"violations\": " << mcViolations_ << "},\n";
         }
+        // Replay-path instrumentation: the active SIMD kernel set and
+        // the "replay.*" global counter group (epoch/record totals,
+        // arena effectiveness). Always present in new reports.
+        os << "  \"replay\": {\"simd\": \"" << escape(simd::activeName())
+           << "\"";
+        for (const auto &[name, val] :
+             stats::GlobalCounters::instance().snapshot()) {
+            if (name.rfind("replay.", 0) == 0)
+                os << ", \"" << escape(name.substr(7)) << "\": " << val;
+        }
+        os << "},\n";
         os << "  \"results\": [";
         for (std::size_t i = 0; i < results_.size(); ++i) {
             os << (i ? ",\n    {" : "\n    {");
@@ -389,6 +410,8 @@ struct BenchSession
     {
         setInformEnabled(false);
         report.setAuditLevel(args.audit);
+        if (args.forceScalar)
+            simd::setForceScalar(true);
     }
 
     /**
@@ -403,6 +426,8 @@ struct BenchSession
         : args(std::move(parsed)), ex(1), report(bench, args, 1)
     {
         report.setAuditLevel(args.audit);
+        if (args.forceScalar)
+            simd::setForceScalar(true);
     }
 
     int

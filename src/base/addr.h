@@ -60,10 +60,13 @@ class LineGeom
         if (last_byte >= lineBytes_)
             last_byte = lineBytes_ - 1;
         unsigned last = last_byte / 4;
-        std::uint32_t mask = 0;
-        for (unsigned w = first; w <= last; ++w)
-            mask |= (1u << w);
-        return mask;
+        unsigned count = last - first + 1;
+        // Contiguous run of `count` bits starting at `first`, computed
+        // without the old per-word loop (this runs once per store on the
+        // replay path). count can reach 32 for a full 128-byte line, so
+        // the all-ones case avoids the undefined 1u << 32.
+        std::uint32_t run = count >= 32 ? 0xFFFFFFFFu : (1u << count) - 1u;
+        return run << first;
     }
 
     /** Number of lines an access [a, a+size) spans. */

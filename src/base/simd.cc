@@ -1,0 +1,99 @@
+#include "base/simd.h"
+
+#if TLSIM_SIMD_X86
+#include <immintrin.h>
+#endif
+
+namespace tlsim {
+namespace simd {
+
+namespace {
+
+bool
+detect()
+{
+#if TLSIM_SIMD_X86
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+const bool gDetected = detect();
+
+} // namespace
+
+bool gActive = detect();
+
+bool
+available()
+{
+    return gDetected;
+}
+
+void
+setForceScalar(bool force)
+{
+    gActive = !force && gDetected;
+}
+
+const char *
+activeName()
+{
+    return gActive ? "avx2" : "scalar";
+}
+
+#if TLSIM_SIMD_X86
+
+[[gnu::target("avx2")]] std::uint64_t
+matchMask64Avx2(const std::uint64_t *keys, unsigned n, std::uint64_t key)
+{
+    const __m256i k = _mm256_set1_epi64x(static_cast<long long>(key));
+    std::uint64_t m = 0;
+    unsigned i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + i));
+        __m256i eq = _mm256_cmpeq_epi64(v, k);
+        auto mm = static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+        m |= static_cast<std::uint64_t>(mm) << i;
+    }
+    for (; i < n; ++i)
+        m |= static_cast<std::uint64_t>(keys[i] == key) << i;
+    return m;
+}
+
+[[gnu::target("avx2")]] std::uint32_t
+maskedUnion64Avx2(const std::uint32_t *vals, std::uint64_t owners)
+{
+    // Expand each 8-bit slice of `owners` into eight 32-bit lane
+    // masks, AND with the value lanes, and OR-accumulate. Groups with
+    // no owner bits are skipped entirely.
+    const __m256i lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64,
+                                                128);
+    __m256i acc = _mm256_setzero_si256();
+    for (unsigned g = 0; g < 8; ++g) {
+        unsigned ob = (owners >> (g * 8)) & 0xffu;
+        if (!ob)
+            continue;
+        __m256i ov = _mm256_set1_epi32(static_cast<int>(ob));
+        __m256i lane =
+            _mm256_cmpeq_epi32(_mm256_and_si256(ov, lane_bits),
+                               lane_bits);
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(vals + g * 8));
+        acc = _mm256_or_si256(acc, _mm256_and_si256(v, lane));
+    }
+    __m128i lo = _mm256_castsi256_si128(acc);
+    __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i o = _mm_or_si128(lo, hi);
+    o = _mm_or_si128(o, _mm_srli_si128(o, 8));
+    o = _mm_or_si128(o, _mm_srli_si128(o, 4));
+    return static_cast<std::uint32_t>(_mm_cvtsi128_si32(o));
+}
+
+#endif // TLSIM_SIMD_X86
+
+} // namespace simd
+} // namespace tlsim

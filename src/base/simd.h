@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Bit-parallel / SIMD kernels for the replay hot loop, with runtime
+ * CPU dispatch and portable scalar fallbacks.
+ *
+ * Build-time gate: the TLSIM_SIMD CMake option (default ON) defines
+ * TLSIM_SIMD_X86=1 on x86-64. With the option off — or on any other
+ * architecture, or when the CPU lacks AVX2 at runtime — every entry
+ * point runs the scalar implementation. The two implementations are
+ * bit-identical by contract; tests/base/simd_test.cc compares them
+ * exhaustively and the golden-equivalence suite compares whole
+ * simulations run both ways.
+ *
+ * Dispatch is one branch on a namespace-scope bool (no function
+ * pointers, no per-call cpuid): detection happens once at static
+ * initialization, and setForceScalar() lets tests and the sanitizer
+ * `simd-off` leg pin the scalar path in an AVX2 build.
+ */
+
+#ifndef BASE_SIMD_H
+#define BASE_SIMD_H
+
+#include <cstdint>
+
+#if defined(__x86_64__) && defined(TLSIM_SIMD) && TLSIM_SIMD
+#define TLSIM_SIMD_X86 1
+#else
+#define TLSIM_SIMD_X86 0
+#endif
+
+namespace tlsim {
+namespace simd {
+
+/** True when the AVX2 kernels are compiled in AND the CPU has AVX2
+ *  AND no one forced the scalar path. Read per call site; mutated
+ *  only by setForceScalar. */
+extern bool gActive;
+
+/** Was AVX2 detected at startup (regardless of forcing)? */
+bool available();
+
+/** Pin the scalar implementations (tests, `simd-off` sanitizer leg).
+ *  Passing false restores the detected capability. */
+void setForceScalar(bool force);
+
+/** Human-readable name of the active implementation ("avx2"/"scalar");
+ *  surfaced in the bench JSON replay block. */
+const char *activeName();
+
+// --- Kernels ---------------------------------------------------------
+//
+// Each kernel has a scalar reference implementation (inline below) and
+// an AVX2 variant (simd.cc, [[gnu::target("avx2")]]); the unprefixed
+// name dispatches. The scalar forms are the semantic spec.
+
+/**
+ * Bitmask of indices i in [0, n) with keys[i] == key. n <= 64; the
+ * caller typically ANDs the result with a validity mask. This is the
+ * victim-cache line scan and the flat-table group probe.
+ */
+inline std::uint64_t
+matchMask64Scalar(const std::uint64_t *keys, unsigned n,
+                  std::uint64_t key)
+{
+    std::uint64_t m = 0;
+    for (unsigned i = 0; i < n; ++i)
+        m |= static_cast<std::uint64_t>(keys[i] == key) << i;
+    return m;
+}
+
+/**
+ * OR of vals[c] over every set bit c of `owners`. For every set bit c,
+ * the full 8-aligned group of lanes containing c must be readable:
+ * vals needs ceil((highest set bit + 1) / 8) * 8 elements (the AVX2
+ * form loads whole 8-lane groups, but only groups with owner bits).
+ * This is the covered-load SM merge: the union of a thread's own
+ * speculative store masks.
+ */
+inline std::uint32_t
+maskedUnion64Scalar(const std::uint32_t *vals, std::uint64_t owners)
+{
+    std::uint32_t acc = 0;
+    while (owners) {
+        unsigned c = static_cast<unsigned>(__builtin_ctzll(owners));
+        owners &= owners - 1;
+        acc |= vals[c];
+    }
+    return acc;
+}
+
+#if TLSIM_SIMD_X86
+std::uint64_t matchMask64Avx2(const std::uint64_t *keys, unsigned n,
+                              std::uint64_t key);
+std::uint32_t maskedUnion64Avx2(const std::uint32_t *vals,
+                                std::uint64_t owners);
+#endif
+
+inline std::uint64_t
+matchMask64(const std::uint64_t *keys, unsigned n, std::uint64_t key)
+{
+#if TLSIM_SIMD_X86
+    if (gActive)
+        return matchMask64Avx2(keys, n, key);
+#endif
+    return matchMask64Scalar(keys, n, key);
+}
+
+inline std::uint32_t
+maskedUnion64(const std::uint32_t *vals, std::uint64_t owners)
+{
+#if TLSIM_SIMD_X86
+    // The vector form pays off once several owners contribute; the
+    // overwhelmingly common 0/1/2-owner merges are faster as two ORs.
+    if (gActive && __builtin_popcountll(owners) > 3)
+        return maskedUnion64Avx2(vals, owners);
+#endif
+    return maskedUnion64Scalar(vals, owners);
+}
+
+} // namespace simd
+} // namespace tlsim
+
+#endif // BASE_SIMD_H

@@ -34,6 +34,8 @@ TlsMachine::TlsMachine(const MachineConfig &cfg)
     for (unsigned i = 0; i < numCpus_; ++i)
         cores_.emplace_back(cfg_.cpu, i);
     mem_.setHooks(this);
+    cpuSeqs_.assign(numCpus_, kNoEpoch);
+    mem_.setEpochSeqArray(cpuSeqs_.data());
 }
 
 std::uint64_t
@@ -119,6 +121,7 @@ TlsMachine::run(const WorkloadTrace &workload, ExecMode mode,
         q.clear();
     for (auto &r : runs_)
         r.reset();
+    std::fill(cpuSeqs_.begin(), cpuSeqs_.end(), kNoEpoch);
     nextSeq_ = 0;
     nextCommitSeq_ = 0;
     lastCommitTime_ = 0;
@@ -168,6 +171,18 @@ TlsMachine::run(const WorkloadTrace &workload, ExecMode mode,
     RunResult out = stats_;
     out.makespan = end - measure_start;
     collect(out);
+
+    // Replay-path allocation accounting, one mutex crossing per run:
+    // pool hits vs fresh EpochRun allocations measure how well the
+    // run arena absorbs the per-epoch churn.
+    auto &gc = stats::GlobalCounters::instance();
+    gc.add("replay.runs");
+    gc.add("replay.epochs", out.epochs);
+    gc.add("replay.records", out.recordsReplayed);
+    gc.add("replay.runPoolHits", poolHits_);
+    gc.add("replay.runPoolAllocs", poolAllocs_);
+    poolHits_ = 0;
+    poolAllocs_ = 0;
     return out;
 }
 
@@ -287,8 +302,10 @@ TlsMachine::acquireRun()
         auto run = std::move(runPool_.back());
         runPool_.pop_back();
         run->recycle();
+        ++poolHits_;
         return run;
     }
+    ++poolAllocs_;
     return std::make_unique<EpochRun>();
 }
 
@@ -297,6 +314,7 @@ TlsMachine::releaseRun(CpuId cpu)
 {
     if (runs_[cpu])
         runPool_.push_back(std::move(runs_[cpu]));
+    cpuSeqs_[cpu] = kNoEpoch;
 }
 
 void
@@ -310,8 +328,12 @@ TlsMachine::runSerialEpoch(const EpochTrace &e)
     run->cpu = 0;
     run->cps.push_back({0, cores_[0].checkpoint(), 0, 0});
     runs_[0] = std::move(run);
+    cpuSeqs_[0] = kNoEpoch; // serial epochs are non-speculative
+    // A serial epoch has the machine to itself: no bound, no
+    // scheduling events (nothing to squash, no latch contention), so
+    // each batch runs until the epoch leaves Running.
     while (runs_[0]->st != RunState::Done)
-        stepCpu(0);
+        stepCpuBatch(0, kCycleMax, 0);
     cores_[0].drainLoads();
     stats_.totalInsts += e.instCount;
     releaseRun(0);
@@ -340,6 +362,7 @@ TlsMachine::startNextEpoch(CpuId cpu)
     mem_.epochBoundary(cpu);
     run->cps.push_back({0, cores_[cpu].checkpoint(), 0, 0});
     runs_[cpu] = std::move(run);
+    cpuSeqs_[cpu] = tlsActive_ ? runs_[cpu]->seq : kNoEpoch;
     if (audit_ && specTracking_) {
         refreshAuditView();
         audit_->onEpochStart(auditView_, cpu, runs_[cpu]->seq);
@@ -371,6 +394,11 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
         // executor of an externally chosen interleaving.
         int pick = -1;
         Cycle best = kCycleMax;
+        // Runner-up clock among the non-picked runnables, and the
+        // lowest CPU index achieving it: the batching loop below may
+        // keep stepping `pick` while it would still win the rescan.
+        Cycle bound = kCycleMax;
+        int bound_idx = static_cast<int>(numCpus_);
         if (schedOracle_)
             choices.clear();
         for (unsigned cpu = 0; cpu < numCpus_; ++cpu) {
@@ -385,9 +413,15 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
                 continue;
             if (schedOracle_)
                 choices.push_back({cpu, r->seq, commit_ready});
-            if (cores_[cpu].now() < best) {
-                best = cores_[cpu].now();
+            Cycle c = cores_[cpu].now();
+            if (c < best) {
+                bound = best; // the demoted best is the new runner-up
+                bound_idx = pick;
+                best = c;
                 pick = static_cast<int>(cpu);
+            } else if (c < bound) {
+                bound = c;
+                bound_idx = static_cast<int>(cpu);
             }
         }
         if (pick < 0)
@@ -409,8 +443,21 @@ TlsMachine::runParallelSection(const TraceSection &sec, ExecMode mode)
         if (r.st == RunState::Done) {
             commitEpoch(r);
             --remaining;
-        } else {
+        } else if (schedOracle_) {
+            // An oracle must observe every individual choice point.
             stepCpu(static_cast<CpuId>(pick));
+        } else {
+            // Batched stepping: `pick` is the lowest-indexed CPU with
+            // the minimum clock, so the scan above would keep choosing
+            // it until either its clock passes the best other runnable
+            // clock (`bound`; ties rebreak by index) or a step mutates
+            // another CPU's clock/state (schedEvent_). Other CPUs'
+            // clocks, states, and commit readiness are frozen while
+            // schedEvent_ stays false: squash scheduling and latch
+            // hand-off set it, and nextCommitSeq_ only moves in
+            // commitEpoch above. Replays the exact same step sequence
+            // as the unbatched loop, just without rescanning.
+            stepCpuBatch(static_cast<CpuId>(pick), bound, bound_idx);
         }
     }
 
@@ -593,6 +640,25 @@ TlsMachine::stepCpu(CpuId cpu)
     }
 }
 
+[[gnu::hot, gnu::flatten]] void
+TlsMachine::stepCpuBatch(CpuId cpu, Cycle bound, int bound_idx)
+{
+    // `run` is stable across the batch: nothing inside stepCpu
+    // reassigns runs_[cpu] (commitEpoch/startNextEpoch run only from
+    // the outer scheduler loop), so hoisting the deref out of the
+    // loop is safe. [[gnu::flatten]] additionally inlines the whole
+    // per-record path (stepCpu -> exec*) into this one loop body.
+    const Core &core = cores_[cpu];
+    EpochRun *run = runs_[cpu].get();
+    schedEvent_ = false;
+    do {
+        stepCpu(cpu);
+    } while (!schedEvent_ && run->st == RunState::Running &&
+             !run->pendingSquash &&
+             (core.now() < bound ||
+              (core.now() == bound && static_cast<int>(cpu) < bound_idx)));
+}
+
 void
 TlsMachine::finishEpochBody(EpochRun &run)
 {
@@ -635,7 +701,7 @@ TlsMachine::execLoad(EpochRun &run, const DecodedRec &d, bool spec)
     Cycle issue = core.prepareLoad(d.aux & kAuxDependent);
     MemAccess res = mem_.load(run.cpu, d.addr, issue, strack);
     if (res.overflow) {
-        handleOverflow(run, res);
+        handleOverflow(run);
         return; // record retried after the overflow resolves
     }
     core.finishLoad(res.readyAt);
@@ -674,7 +740,7 @@ TlsMachine::execStore(EpochRun &run, const DecodedRec &d, bool spec)
     bool strack = spec && specTracking_ && !isOldest(run);
     MemAccess res = mem_.store(run.cpu, d.addr, core.now(), strack);
     if (res.overflow) {
-        handleOverflow(run, res);
+        handleOverflow(run);
         return;
     }
     Addr line = mem_.geom().lineNum(d.addr);
@@ -708,7 +774,7 @@ TlsMachine::execLatchAcquire(EpochRun &run, Pc pc,
 {
     (void)pc;
     Core &core = cores_[run.cpu];
-    LatchState &latch = latches_[latch_id];
+    LatchState &latch = latches_.acquire(latch_id);
     if (latch.held && latch.owner == run.cpu) {
         // Granted while waking from the wait queue (or re-held across a
         // rewind replay).
@@ -737,13 +803,13 @@ TlsMachine::execLatchAcquire(EpochRun &run, Pc pc,
 void
 TlsMachine::releaseLatch(std::uint64_t latch_id, Cycle at)
 {
-    auto it = latches_.find(latch_id);
-    if (it == latches_.end())
+    LatchState *lp = latches_.find(latch_id);
+    if (!lp)
         return;
-    LatchState &latch = it->second;
+    LatchState &latch = *lp;
     if (!latch.waiters.empty()) {
         CpuId w = latch.waiters.front();
-        latch.waiters.pop_front();
+        latch.waiters.erase(latch.waiters.begin());
         latch.owner = w; // direct hand-off
         EpochRun *rw = runs_[w].get();
         if (!rw || rw->st != RunState::LatchWait)
@@ -751,6 +817,7 @@ TlsMachine::releaseLatch(std::uint64_t latch_id, Cycle at)
         cores_[w].advanceTo(at + 1, Cat::LatchStall);
         rw->st = RunState::Running;
         rw->waitLatch = 0;
+        schedEvent_ = true; // another CPU's clock and state changed
     } else {
         latch.held = false;
     }
@@ -817,8 +884,9 @@ TlsMachine::checkViolations(EpochRun &storer, Addr line, Pc store_pc)
         return;
 
     // Which younger threads performed exposed loads of this line, and
-    // at which sub-thread?
-    std::vector<unsigned> own_sub(numCpus_, k_);
+    // at which sub-thread? (member scratch: no per-call allocation)
+    std::vector<unsigned> &own_sub = ownSubScratch_;
+    own_sub.assign(numCpus_, k_);
     EpochRun *primary = nullptr;
     while (holders) {
         unsigned ctx = static_cast<unsigned>(__builtin_ctzll(holders));
@@ -866,6 +934,7 @@ void
 TlsMachine::scheduleSquash(EpochRun &victim, unsigned sub, Cycle at,
                            Pc store_pc, Addr line, bool secondary)
 {
+    schedEvent_ = true; // victim's run state / runnability may change
     if (sub > victim.curSub)
         sub = victim.curSub;
     if (victim.pendingSquash) {
@@ -888,9 +957,8 @@ TlsMachine::scheduleSquash(EpochRun &victim, unsigned sub, Cycle at,
     if (victim.st == RunState::LatchWait) {
         // Pull it out of the wait queue: it has not been granted the
         // latch, so blocking-state removal is safe.
-        auto it = latches_.find(victim.waitLatch);
-        if (it != latches_.end()) {
-            auto &w = it->second.waiters;
+        if (LatchState *l = latches_.find(victim.waitLatch)) {
+            auto &w = l->waiters;
             w.erase(std::remove(w.begin(), w.end(), victim.cpu), w.end());
         }
         victim.waitLatch = 0;
@@ -932,8 +1000,10 @@ TlsMachine::applySquash(EpochRun &run)
     for (unsigned s = run.curSub + 1; s-- > sub;) {
         std::uint64_t surviving =
             s == 0 ? 0 : threadMask(run.cpu, s - 1);
-        auto dead = spec_.clearContext(ctxId(run.cpu, s), surviving);
-        for (Addr l : dead)
+        deadLineScratch_.clear();
+        spec_.clearContext(ctxId(run.cpu, s), surviving,
+                           &deadLineScratch_);
+        for (Addr l : deadLineScratch_)
             mem_.dropThreadVersion(run.cpu, l);
     }
     if (!cfg_.tls.l1SubthreadAware)
@@ -965,7 +1035,7 @@ TlsMachine::applySquash(EpochRun &run)
 }
 
 void
-TlsMachine::handleOverflow(EpochRun &run, const MemAccess &res)
+TlsMachine::handleOverflow(EpochRun &run)
 {
     ++stats_.overflowEvents;
     Core &core = cores_[run.cpu];
@@ -974,7 +1044,7 @@ TlsMachine::handleOverflow(EpochRun &run, const MemAccess &res)
     // Find the youngest speculative thread holding state in the full
     // set; squashing it frees buffering space.
     EpochRun *victim = nullptr;
-    for (const auto &[line, ver] : res.overflowSet) {
+    for (const auto &[line, ver] : mem_.lastOverflowSet()) {
         std::uint64_t holders = 0;
         if (ver != kCommittedVersion) {
             holders = threadMask(ver, k_ - 1);

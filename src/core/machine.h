@@ -233,9 +233,106 @@ class TlsMachine : public TlsHooks
 
     struct LatchState
     {
+        std::uint64_t id = 0;
+        std::uint64_t gen = 0; ///< generation that wrote this slot
         bool held = false;
         CpuId owner = 0;
-        std::deque<CpuId> waiters;
+        std::vector<CpuId> waiters; ///< FIFO; stays tiny (< numCpus)
+    };
+
+    /**
+     * Open-addressed flat table of latch states keyed by latch id
+     * (linear probing, power-of-two capacity). Latch acquire/release
+     * is a hot per-record path in TPC-C traces, and a node-based map
+     * costs an allocation per latch per run. There is no within-run
+     * deletion, so probe chains never break; clear() is O(1) via a
+     * generation stamp, and per-slot waiter vectors keep their
+     * capacity across generations.
+     */
+    class LatchTable
+    {
+      public:
+        LatchTable() : slots_(kMinCap) {}
+
+        /** Find the latch's state, inserting a fresh one if absent. */
+        LatchState &
+        acquire(std::uint64_t id)
+        {
+            if ((live_ + 1) * 4 > slots_.size() * 3)
+                grow();
+            std::size_t mask = slots_.size() - 1;
+            std::size_t idx = hashId(id) & mask;
+            for (;;) {
+                LatchState &s = slots_[idx];
+                if (s.gen != gen_) { // dead slot terminates the probe
+                    s.id = id;
+                    s.gen = gen_;
+                    s.held = false;
+                    s.owner = 0;
+                    s.waiters.clear();
+                    ++live_;
+                    return s;
+                }
+                if (s.id == id)
+                    return s;
+                idx = (idx + 1) & mask;
+            }
+        }
+
+        /** Find the latch's state, or nullptr. */
+        LatchState *
+        find(std::uint64_t id)
+        {
+            std::size_t mask = slots_.size() - 1;
+            std::size_t idx = hashId(id) & mask;
+            for (;;) {
+                LatchState &s = slots_[idx];
+                if (s.gen != gen_)
+                    return nullptr;
+                if (s.id == id)
+                    return &s;
+                idx = (idx + 1) & mask;
+            }
+        }
+
+        void
+        clear()
+        {
+            ++gen_;
+            live_ = 0;
+        }
+
+      private:
+        static constexpr std::size_t kMinCap = 256;
+
+        static std::size_t
+        hashId(std::uint64_t id)
+        {
+            std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            return static_cast<std::size_t>(x ^ (x >> 31));
+        }
+
+        void
+        grow()
+        {
+            std::vector<LatchState> old(slots_.size() * 2);
+            old.swap(slots_);
+            std::size_t mask = slots_.size() - 1;
+            for (LatchState &s : old) {
+                if (s.gen != gen_)
+                    continue;
+                std::size_t idx = hashId(s.id) & mask;
+                while (slots_[idx].gen == gen_)
+                    idx = (idx + 1) & mask;
+                slots_[idx] = std::move(s);
+            }
+        }
+
+        std::vector<LatchState> slots_;
+        std::uint64_t gen_ = 1; ///< 0 marks never-written slots
+        std::size_t live_ = 0;  ///< slots written this generation
     };
 
     /** One trace record decoded from the packed view streams. */
@@ -276,6 +373,17 @@ class TlsMachine : public TlsHooks
     /** Process one record (or pending state) on `cpu`. */
     void stepCpu(CpuId cpu);
 
+    /**
+     * Step `cpu` repeatedly until a step mutates another CPU's
+     * clock/state (schedEvent_), the run leaves Running (or takes a
+     * pending squash), or the local clock passes `bound` (ties
+     * re-break by CPU index against `bound_idx`). Replays exactly the
+     * step sequence the unbatched scheduler loop would have chosen;
+     * the body is flattened so the per-record work inlines into one
+     * loop instead of a cross-function call per trace record.
+     */
+    void stepCpuBatch(CpuId cpu, Cycle bound, int bound_idx);
+
     void execLoad(EpochRun &run, const DecodedRec &d, bool spec);
     void execStore(EpochRun &run, const DecodedRec &d, bool spec);
     void execLatchAcquire(EpochRun &run, Pc pc, std::uint64_t latch_id);
@@ -288,7 +396,7 @@ class TlsMachine : public TlsHooks
     void scheduleSquash(EpochRun &victim, unsigned sub, Cycle at,
                         Pc store_pc, Addr line, bool secondary);
     void applySquash(EpochRun &run);
-    void handleOverflow(EpochRun &run, const MemAccess &res);
+    void handleOverflow(EpochRun &run);
     void commitEpoch(EpochRun &run);
     void finishEpochBody(EpochRun &run);
 
@@ -328,7 +436,34 @@ class TlsMachine : public TlsHooks
     std::uint64_t nextCommitSeq_ = 0;
     Cycle lastCommitTime_ = 0;
 
-    std::unordered_map<std::uint64_t, LatchState> latches_;
+    /**
+     * Cross-CPU scheduling event flag for the batched scheduler: set
+     * whenever a step mutates another CPU's clock or run state (squash
+     * scheduling, latch hand-off). While it stays false, stepping the
+     * picked CPU cannot change which CPU the min-clock scan would pick
+     * next, so the scan can be skipped.
+     */
+    bool schedEvent_ = false;
+
+    LatchTable latches_;
+
+    /** Scratch for checkViolations (avoids per-call allocation). */
+    std::vector<unsigned> ownSubScratch_;
+
+    /** Scratch for squash dead-version lines (reused across rewinds). */
+    std::vector<Addr> deadLineScratch_;
+
+    /** EpochRun arena tallies, flushed to the "replay.*" global
+     *  counter group once per run() (no per-epoch mutex traffic). */
+    std::uint64_t poolHits_ = 0;
+    std::uint64_t poolAllocs_ = 0;
+
+    /**
+     * Mirror of epochSeq(cpu) for every CPU, shared with MemSystem via
+     * setEpochSeqArray so propagateStore needs no virtual calls. Kept
+     * in sync wherever runs_[cpu] or tlsActive_ changes.
+     */
+    std::vector<std::uint64_t> cpuSeqs_;
 
     /** Load PCs that have caused violations (dependence predictor). */
     std::unordered_set<Pc> predictedLoads_;

@@ -3,13 +3,16 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "base/simd.h"
 
 namespace tlsim {
 
 SpecState::SpecState(unsigned num_contexts)
-    : numContexts_(num_contexts), slots_(kMinCapacity),
-      ctrl_(kMinCapacity, kEmpty), mask_(kMinCapacity - 1),
-      lastLine_(0), ctxLines_(num_contexts)
+    : numContexts_(num_contexts),
+      smStride_((num_contexts + 7u) & ~7u),
+      sm_(kMinCapacity * ((num_contexts + 7u) & ~7u), 0),
+      slots_(kMinCapacity), ctrl_(kMinCapacity, kEmpty),
+      mask_(kMinCapacity - 1), lastLine_(0), ctxLines_(num_contexts)
 {
     if (num_contexts > kMaxContexts)
         panic("SpecState supports at most %u contexts (asked for %u)",
@@ -67,7 +70,10 @@ SpecState::findOrInsert(Addr line)
     }
     ctrl_[insert_at] = kFull;
     slots_[insert_at].line = line;
-    slots_[insert_at].spec = LineSpec{};
+    // No spec clear needed: dead slots always hold a zero LineSpec.
+    // Tombstones are only created when the spec is empty (smOwners == 0
+    // implies every sm[] word is zero), virgin slots are zero-allocated,
+    // and reset() re-zeroes whatever was live.
     ++size_;
     lastLine_ = line;
     lastIdx_ = insert_at;
@@ -92,8 +98,10 @@ SpecState::grow()
         size_ * 4 > slots_.size() ? slots_.size() * 2 : slots_.size();
     std::vector<Slot> old_slots(new_cap);
     std::vector<std::uint8_t> old_ctrl(new_cap, kEmpty);
+    std::vector<std::uint32_t> old_sm(new_cap * smStride_, 0);
     old_slots.swap(slots_);
     old_ctrl.swap(ctrl_);
+    old_sm.swap(sm_);
     mask_ = new_cap - 1;
     occupied_ = size_;
     lastIdx_ = kNotFound;
@@ -105,6 +113,8 @@ SpecState::grow()
             idx = (idx + 1) & mask_;
         ctrl_[idx] = kFull;
         slots_[idx] = old_slots[i];
+        if (old_slots[i].spec.smOwners != 0)
+            std::copy_n(&old_sm[i * smStride_], smStride_, smRow(idx));
     }
 }
 
@@ -115,15 +125,12 @@ SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
     std::size_t idx = find(line);
     if (idx != kNotFound) {
         // Words already produced by this thread's own stores are not
-        // exposed (the load reads the thread's own data).
+        // exposed (the load reads the thread's own data). The merge is
+        // the covered-load union over the thread's live sub-thread
+        // contexts (vectorized when several contribute).
         const LineSpec &ls = slots_[idx].spec;
-        std::uint32_t own = 0;
-        std::uint64_t owners = ls.smOwners & thread_mask;
-        while (owners) {
-            unsigned c = static_cast<unsigned>(__builtin_ctzll(owners));
-            owners &= owners - 1;
-            own |= ls.sm[c];
-        }
+        std::uint32_t own =
+            simd::maskedUnion64(smRow(idx), ls.smOwners & thread_mask);
         if ((word_mask & ~own) == 0)
             return false; // fully covered: not exposed
     } else {
@@ -132,7 +139,10 @@ SpecState::recordLoad(ContextId ctx, std::uint64_t thread_mask, Addr line,
 
     LineSpec &ls = slots_[idx].spec;
     std::uint64_t bit = bitOf(ctx);
-    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+    // sm[ctx] != 0 exactly when the smOwners bit is set (recordStore
+    // maintains both together, the clears drop both), so the ctxLines_
+    // bookkeeping never has to touch the mask row.
+    if (!((ls.sl | ls.smOwners) & bit))
         ctxLines_[ctx].push_back(line);
     ls.sl |= bit;
     return true;
@@ -144,7 +154,7 @@ SpecState::recordLoadExposed(ContextId ctx, Addr line)
     std::size_t idx = findOrInsert(line);
     LineSpec &ls = slots_[idx].spec;
     std::uint64_t bit = bitOf(ctx);
-    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+    if (!((ls.sl | ls.smOwners) & bit))
         ctxLines_[ctx].push_back(line);
     ls.sl |= bit;
 }
@@ -162,6 +172,7 @@ SpecState::reserveLines(std::size_t lines)
         panic("SpecState::reserveLines on a non-empty table");
     slots_.assign(cap, Slot{});
     ctrl_.assign(cap, kEmpty);
+    sm_.assign(cap * smStride_, 0);
     occupied_ = 0;
     mask_ = cap - 1;
     lastIdx_ = kNotFound;
@@ -173,9 +184,9 @@ SpecState::recordStore(ContextId ctx, Addr line, std::uint32_t word_mask)
     std::size_t idx = findOrInsert(line);
     LineSpec &ls = slots_[idx].spec;
     std::uint64_t bit = bitOf(ctx);
-    if (!(ls.sl & bit) && ls.sm[ctx] == 0)
+    if (!((ls.sl | ls.smOwners) & bit))
         ctxLines_[ctx].push_back(line);
-    ls.sm[ctx] |= word_mask;
+    smRow(idx)[ctx] |= word_mask;
     ls.smOwners |= bit;
 }
 
@@ -209,7 +220,7 @@ SpecState::smMask(Addr line, ContextId ctx) const
         panic("SpecState::smMask: context %u out of range (%u)", ctx,
               numContexts_);
     std::size_t idx = find(line);
-    return idx == kNotFound ? 0 : slots_[idx].spec.sm[ctx];
+    return idx == kNotFound ? 0 : smRow(idx)[ctx];
 }
 
 bool
@@ -220,10 +231,10 @@ SpecState::threadModifiedLine(std::uint64_t thread_mask, Addr line) const
            (slots_[idx].spec.smOwners & thread_mask) != 0;
 }
 
-std::vector<Addr>
-SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
+void
+SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask,
+                        std::vector<Addr> *dead)
 {
-    std::vector<Addr> dead_versions;
     std::uint64_t bit = bitOf(ctx);
     for (Addr line : ctxLines_[ctx]) {
         std::size_t idx = find(line);
@@ -232,15 +243,15 @@ SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask)
         LineSpec &ls = slots_[idx].spec;
         bool had_sm = (ls.smOwners & bit) != 0;
         ls.sl &= ~bit;
-        ls.sm[ctx] = 0;
+        if (had_sm)
+            smRow(idx)[ctx] = 0;
         ls.smOwners &= ~bit;
         if (had_sm && (ls.smOwners & thread_mask) == 0)
-            dead_versions.push_back(line);
+            dead->push_back(line);
         if (ls.empty())
             eraseAt(idx);
     }
     ctxLines_[ctx].clear();
-    return dead_versions;
 }
 
 void
@@ -256,7 +267,8 @@ SpecState::clearThread(std::uint64_t thread_mask, ContextId first_ctx,
                 continue;
             LineSpec &ls = slots_[idx].spec;
             ls.sl &= ~bit;
-            ls.sm[ctx] = 0;
+            if (ls.smOwners & bit)
+                smRow(idx)[ctx] = 0;
             ls.smOwners &= ~bit;
             if (ls.empty())
                 eraseAt(idx);
@@ -271,6 +283,14 @@ SpecState::reset()
 {
     // Keep the table's capacity: SpecState is reset once per run and
     // re-populated to a similar size, so the buffer is an arena.
+    // Zero the live specs (and their mask rows) first to uphold
+    // findOrInsert's invariant that dead slots hold a zero LineSpec.
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+        if (ctrl_[i] == kFull) {
+            if (slots_[i].spec.smOwners != 0)
+                std::fill_n(smRow(i), smStride_, 0u);
+            slots_[i].spec = LineSpec{};
+        }
     std::fill(ctrl_.begin(), ctrl_.end(),
               static_cast<std::uint8_t>(kEmpty));
     size_ = 0;

@@ -22,7 +22,6 @@
 #ifndef CORE_SPECSTATE_H
 #define CORE_SPECSTATE_H
 
-#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -78,13 +77,24 @@ class SpecState
     bool threadModifiedLine(std::uint64_t thread_mask, Addr line) const;
 
     /**
-     * Clear one context's state. Returns the lines on which the
-     * context had SM bits and, after clearing, no context in
-     * `thread_mask` modifies any more — the thread's L2 line version
-     * is dead and must be dropped.
+     * Clear one context's state. Appends to `*dead` the lines on
+     * which the context had SM bits and, after clearing, no context
+     * in `thread_mask` modifies any more — the thread's L2 line
+     * version is dead and must be dropped. The out-parameter form
+     * lets the squash path reuse one scratch vector across rewinds
+     * instead of allocating a fresh list per cleared sub-thread.
      */
-    std::vector<Addr> clearContext(ContextId ctx,
-                                   std::uint64_t thread_mask);
+    void clearContext(ContextId ctx, std::uint64_t thread_mask,
+                      std::vector<Addr> *dead);
+
+    /** Convenience wrapper returning the dead-version lines. */
+    std::vector<Addr>
+    clearContext(ContextId ctx, std::uint64_t thread_mask)
+    {
+        std::vector<Addr> dead;
+        clearContext(ctx, thread_mask, &dead);
+        return dead;
+    }
 
     /** Fast path for commit: clear every context in the mask. */
     void clearThread(std::uint64_t thread_mask, ContextId first_ctx,
@@ -121,7 +131,6 @@ class SpecState
     {
         std::uint64_t sl = 0;       ///< SL bit per context
         std::uint64_t smOwners = 0; ///< contexts with nonzero SM mask
-        std::array<std::uint32_t, kMaxContexts> sm{};
 
         bool empty() const { return sl == 0 && smOwners == 0; }
     };
@@ -160,7 +169,22 @@ class SpecState
     void eraseAt(std::size_t idx);
     void grow();
 
+    /** Per-slot SM word masks, one row of smStride_ words per slot,
+     *  kept out of Slot so the hot probe path walks 24-byte slots
+     *  instead of dragging each slot's (rarely read) mask row through
+     *  the host cache. Invariant: a slot that is not kFull has an
+     *  all-zero row (clears zero what they set, virgin rows are
+     *  zero-allocated). */
+    std::uint32_t *smRow(std::size_t idx) { return &sm_[idx * smStride_]; }
+    const std::uint32_t *
+    smRow(std::size_t idx) const
+    {
+        return &sm_[idx * smStride_];
+    }
+
     unsigned numContexts_;
+    unsigned smStride_; ///< numContexts_ rounded up for row alignment
+    std::vector<std::uint32_t> sm_; ///< capacity * smStride_ words
     std::vector<Slot> slots_;
     std::vector<std::uint8_t> ctrl_;
     std::size_t size_ = 0;      ///< kFull slots

@@ -1,148 +1,25 @@
 #include "cpu/core.h"
 
-#include <algorithm>
-
-#include "base/log.h"
-
 namespace tlsim {
 
 Core::Core(const CpuConfig &cfg, CpuId id)
     : cfg_(cfg), id_(id), gshare_(cfg.gshareBytes, cfg.gshareHistoryBits)
 {
-}
-
-void
-Core::advanceTo(Cycle t, Cat cat)
-{
-    if (t <= now_)
-        return;
-    breakdown_[cat] += t - now_;
-    now_ = t;
-}
-
-void
-Core::dispatchSlots(std::uint64_t n)
-{
-    std::uint64_t total = slotFrac_ + n;
-    Cycle cycles = total / cfg_.issueWidth;
-    slotFrac_ = static_cast<unsigned>(total % cfg_.issueWidth);
-    advanceTo(now_ + cycles, Cat::Busy);
-    instSeq_ += n;
-}
-
-void
-Core::retireCompleted()
-{
-    while (!loads_.empty() && loads_.front().readyAt <= now_)
-        loads_.pop_front();
-}
-
-void
-Core::waitOldestLoad()
-{
-    advanceTo(loads_.front().readyAt, Cat::CacheMiss);
-    loads_.pop_front();
-    retireCompleted();
-}
-
-void
-Core::doCompute(std::uint64_t n, ComputeClass cls)
-{
-    unsigned serial_latency = 0;
-    switch (cls) {
-      case ComputeClass::IntDiv:
-        serial_latency = cfg_.intDivLatency;
-        break;
-      case ComputeClass::FpDiv:
-        serial_latency = cfg_.fpDivLatency;
-        break;
-      case ComputeClass::FpSqrt:
-        serial_latency = cfg_.fpSqrtLatency;
-        break;
-      default:
-        break;
+    if (cfg_.issueWidth > 0 &&
+        (cfg_.issueWidth & (cfg_.issueWidth - 1)) == 0) {
+        issueMask_ = cfg_.issueWidth - 1;
+        issueShift_ = 0;
+        for (unsigned w = cfg_.issueWidth; w > 1; w >>= 1)
+            ++issueShift_;
     }
-    if (serial_latency > 0) {
-        // Unpipelined long-latency units: each op serializes.
-        retireCompleted();
-        advanceTo(now_ + n * serial_latency, Cat::Busy);
-        instSeq_ += n;
-        return;
-    }
-
-    // Pipelined work dispatches at issue width, but cannot run more
-    // than a reorder buffer ahead of an incomplete load.
-    while (n > 0) {
-        retireCompleted();
-        std::uint64_t chunk = n;
-        if (!loads_.empty()) {
-            InstCount ahead = instSeq_ - loads_.front().seq;
-            if (ahead >= cfg_.robSize) {
-                waitOldestLoad();
-                continue;
-            }
-            chunk = std::min<std::uint64_t>(n, cfg_.robSize - ahead);
-        }
-        dispatchSlots(chunk);
-        n -= chunk;
-    }
-}
-
-void
-Core::doBranch(Pc pc, bool taken)
-{
-    retireCompleted();
-    if (!loads_.empty() && instSeq_ - loads_.front().seq >= cfg_.robSize)
-        waitOldestLoad();
-    dispatchSlots(1);
-    if (!gshare_.predictAndUpdate(pc, taken)) {
-        advanceTo(now_ + cfg_.branchPenalty, Cat::Busy);
-        slotFrac_ = 0; // fetch redirect loses the partial dispatch group
-    }
-}
-
-Cycle
-Core::prepareLoad(bool dependent)
-{
-    retireCompleted();
-    if (dependent && !loads_.empty()) {
-        // Pointer chase: the address depends on the most recent load.
-        advanceTo(loads_.back().readyAt, Cat::CacheMiss);
-        retireCompleted();
-    }
-    while (loads_.size() >= cfg_.maxOutstandingLoads)
-        waitOldestLoad();
-    while (!loads_.empty() && instSeq_ - loads_.front().seq >= cfg_.robSize)
-        waitOldestLoad();
-    dispatchSlots(1);
-    return now_;
-}
-
-void
-Core::finishLoad(Cycle ready_at)
-{
-    if (ready_at > now_)
-        loads_.push_back({instSeq_, ready_at});
-}
-
-void
-Core::doStore(Cycle ready_at)
-{
-    retireCompleted();
-    if (!loads_.empty() && instSeq_ - loads_.front().seq >= cfg_.robSize)
-        waitOldestLoad();
-    dispatchSlots(1);
-    // Buffered write-through: the store's own latency is hidden, but
-    // never lets the clock run backwards.
-    if (ready_at > now_)
-        advanceTo(ready_at, Cat::Busy);
-}
-
-void
-Core::drainLoads()
-{
-    while (!loads_.empty())
-        waitOldestLoad();
+    // Ring capacity: smallest power of two that can hold every
+    // outstanding load simultaneously (prepareLoad caps the count at
+    // maxOutstandingLoads before each push).
+    std::uint32_t cap = 2;
+    while (cap < cfg_.maxOutstandingLoads + 1)
+        cap <<= 1;
+    loads_.resize(cap);
+    ldMask_ = cap - 1;
 }
 
 CoreCheckpoint
@@ -156,7 +33,7 @@ Core::rewindTo(const CoreCheckpoint &cp, Cycle restart)
 {
     if (restart < now_)
         restart = now_;
-    loads_.clear();
+    ldHead_ = ldTail_ = 0;
     instSeq_ = cp.instSeq;
     slotFrac_ = cp.slotFrac;
     breakdown_.failSince(cp.breakdown);
@@ -170,7 +47,7 @@ Core::reset()
     breakdown_ = Breakdown{};
     instSeq_ = 0;
     slotFrac_ = 0;
-    loads_.clear();
+    ldHead_ = ldTail_ = 0;
     gshare_.reset();
 }
 

@@ -15,13 +15,18 @@
  * Every cycle the core's clock advances is attributed to exactly one
  * Cat bucket; sub-thread checkpoints snapshot the attribution so a
  * rewind can move the discarded span into Cat::Failed.
+ *
+ * The per-record methods are defined inline: the replay engine calls
+ * them once per trace record, and keeping them visible to machine.cc
+ * removes a cross-TU call from the hottest loop in the simulator.
  */
 
 #ifndef CPU_CORE_H
 #define CPU_CORE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "base/config.h"
 #include "base/types.h"
@@ -53,7 +58,14 @@ class Core
     void setNow(Cycle t) { now_ = t; }
 
     /** Advance the clock to `t`, attributing the span to `cat`. */
-    void advanceTo(Cycle t, Cat cat);
+    void
+    advanceTo(Cycle t, Cat cat)
+    {
+        if (t <= now_)
+            return;
+        breakdown_[cat] += t - now_;
+        now_ = t;
+    }
 
     /** Dynamic instructions dispatched so far (monotonic). */
     InstCount instSeq() const { return instSeq_; }
@@ -64,26 +76,117 @@ class Core
     // --- Record execution --------------------------------------------
 
     /** Execute n instructions of the given class. */
-    void doCompute(std::uint64_t n, ComputeClass cls);
+    void
+    doCompute(std::uint64_t n, ComputeClass cls)
+    {
+        unsigned serial_latency = 0;
+        switch (cls) {
+          case ComputeClass::IntDiv:
+            serial_latency = cfg_.intDivLatency;
+            break;
+          case ComputeClass::FpDiv:
+            serial_latency = cfg_.fpDivLatency;
+            break;
+          case ComputeClass::FpSqrt:
+            serial_latency = cfg_.fpSqrtLatency;
+            break;
+          default:
+            break;
+        }
+        if (serial_latency > 0) {
+            // Unpipelined long-latency units: each op serializes.
+            retireCompleted();
+            advanceTo(now_ + n * serial_latency, Cat::Busy);
+            instSeq_ += n;
+            return;
+        }
+
+        // Pipelined work dispatches at issue width, but cannot run more
+        // than a reorder buffer ahead of an incomplete load.
+        while (n > 0) {
+            retireCompleted();
+            std::uint64_t chunk = n;
+            if (!loadsEmpty()) {
+                InstCount ahead = instSeq_ - loadsFront().seq;
+                if (ahead >= cfg_.robSize) {
+                    waitOldestLoad();
+                    continue;
+                }
+                chunk = std::min<std::uint64_t>(n, cfg_.robSize - ahead);
+            }
+            dispatchSlots(chunk);
+            n -= chunk;
+        }
+    }
 
     /** Execute one branch; applies mispredict penalty. */
-    void doBranch(Pc pc, bool taken);
+    void
+    doBranch(Pc pc, bool taken)
+    {
+        retireCompleted();
+        if (!loadsEmpty() && instSeq_ - loadsFront().seq >= cfg_.robSize)
+            waitOldestLoad();
+        dispatchSlots(1);
+        if (!gshare_.predictAndUpdate(pc, taken)) {
+            advanceTo(now_ + cfg_.branchPenalty, Cat::Busy);
+            slotFrac_ = 0; // fetch redirect loses the partial dispatch group
+        }
+    }
 
     /**
      * Resolve structural/data hazards before a load issues. Returns
      * the issue cycle (the clock after any stalls, attributed to
      * Cat::CacheMiss since the stalls come from outstanding misses).
      */
-    Cycle prepareLoad(bool dependent);
+    Cycle
+    prepareLoad(bool dependent)
+    {
+        retireCompleted();
+        if (dependent && !loadsEmpty()) {
+            // Pointer chase: the address depends on the most recent load.
+            advanceTo(loads_[(ldTail_ - 1) & ldMask_].readyAt,
+                      Cat::CacheMiss);
+            retireCompleted();
+        }
+        while (loadsSize() >= cfg_.maxOutstandingLoads)
+            waitOldestLoad();
+        while (!loadsEmpty() && instSeq_ - loadsFront().seq >= cfg_.robSize)
+            waitOldestLoad();
+        dispatchSlots(1);
+        return now_;
+    }
 
     /** Register an issued load's completion time. */
-    void finishLoad(Cycle ready_at);
+    void
+    finishLoad(Cycle ready_at)
+    {
+        if (ready_at > now_) {
+            loads_[ldTail_ & ldMask_] = OutstandingLoad{instSeq_, ready_at};
+            ++ldTail_;
+        }
+    }
 
     /** Execute a store (buffered write-through; one dispatch slot). */
-    void doStore(Cycle ready_at);
+    void
+    doStore(Cycle ready_at)
+    {
+        retireCompleted();
+        if (!loadsEmpty() && instSeq_ - loadsFront().seq >= cfg_.robSize)
+            waitOldestLoad();
+        dispatchSlots(1);
+        // Buffered write-through: the store's own latency is hidden, but
+        // never lets the clock run backwards.
+        if (ready_at > now_)
+            advanceTo(ready_at, Cat::Busy);
+    }
 
     /** Wait until every outstanding load completes (epoch end). */
-    void drainLoads();
+    void
+    drainLoads()
+    {
+        while (!loadsEmpty())
+            waitOldestLoad();
+    }
 
     // --- Checkpoint / rewind ------------------------------------------
 
@@ -113,24 +216,65 @@ class Core
     };
 
     /** Consume n dispatch slots, advancing the clock (Busy). */
-    void dispatchSlots(std::uint64_t n);
+    void
+    dispatchSlots(std::uint64_t n)
+    {
+        std::uint64_t total = slotFrac_ + n;
+        Cycle cycles;
+        if (issueShift_ >= 0) {
+            // issueWidth is a power of two (the common configuration):
+            // shift/mask instead of a runtime divide per record.
+            cycles = total >> issueShift_;
+            slotFrac_ = static_cast<unsigned>(total & issueMask_);
+        } else {
+            cycles = total / cfg_.issueWidth;
+            slotFrac_ = static_cast<unsigned>(total % cfg_.issueWidth);
+        }
+        advanceTo(now_ + cycles, Cat::Busy);
+        instSeq_ += n;
+    }
+
+    // The outstanding-load queue is a fixed-capacity ring buffer (its
+    // size is bounded by maxOutstandingLoads, enforced in prepareLoad).
+    // Head/tail run free as uint32 counters; indices are masked on
+    // access, so size is always tail - head with wraparound arithmetic.
+    bool loadsEmpty() const { return ldHead_ == ldTail_; }
+    std::uint32_t loadsSize() const { return ldTail_ - ldHead_; }
+    OutstandingLoad &loadsFront() { return loads_[ldHead_ & ldMask_]; }
 
     /** Pop loads that completed by now_. */
-    void retireCompleted();
+    void
+    retireCompleted()
+    {
+        while (!loadsEmpty() && loadsFront().readyAt <= now_)
+            ++ldHead_;
+    }
 
     /** Stall (Cat::CacheMiss) until the oldest load completes. */
-    void waitOldestLoad();
+    void
+    waitOldestLoad()
+    {
+        advanceTo(loadsFront().readyAt, Cat::CacheMiss);
+        ++ldHead_;
+        retireCompleted();
+    }
 
     CpuConfig cfg_;
     CpuId id_;
     GShare gshare_;
+
+    int issueShift_ = -1;        ///< log2(issueWidth), or -1 if not pow2
+    unsigned issueMask_ = 0;     ///< issueWidth - 1 when issueShift_ >= 0
 
     Cycle now_ = 0;
     Breakdown breakdown_;
     InstCount instSeq_ = 0;
     unsigned slotFrac_ = 0; ///< dispatch slots used in the current cycle
 
-    std::deque<OutstandingLoad> loads_;
+    std::vector<OutstandingLoad> loads_; ///< ring storage, pow2 capacity
+    std::uint32_t ldMask_ = 0;           ///< capacity - 1
+    std::uint32_t ldHead_ = 0;           ///< free-running pop counter
+    std::uint32_t ldTail_ = 0;           ///< free-running push counter
 };
 
 } // namespace tlsim

@@ -10,100 +10,18 @@ L1Cache::L1Cache(unsigned bytes, unsigned assoc, unsigned line_bytes)
     if (!isPowerOf2(numSets_))
         panic("L1 set count %u not a power of two", numSets_);
     lines_.resize(static_cast<std::size_t>(numSets_) * assoc_);
-}
-
-L1Cache::Line *
-L1Cache::find(Addr line_num)
-{
-    std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &l = lines_[set + w];
-        if (l.valid && l.lineNum == line_num)
-            return &l;
-    }
-    return nullptr;
-}
-
-const L1Cache::Line *
-L1Cache::find(Addr line_num) const
-{
-    return const_cast<L1Cache *>(this)->find(line_num);
-}
-
-bool
-L1Cache::access(Addr line_num)
-{
-    Line *l = find(line_num);
-    if (l) {
-        l->lru = ++useClock_;
-        ++hits_;
-        return true;
-    }
-    ++misses_;
-    return false;
-}
-
-bool
-L1Cache::present(Addr line_num) const
-{
-    return find(line_num) != nullptr;
-}
-
-void
-L1Cache::insert(Addr line_num)
-{
-    if (find(line_num))
-        return;
-    std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
-    Line *victim = &lines_[set];
-    for (unsigned w = 0; w < assoc_; ++w) {
-        Line &l = lines_[set + w];
-        if (!l.valid) {
-            victim = &l;
-            break;
-        }
-        if (l.lru < victim->lru)
-            victim = &l;
-    }
-    // Write-through L1: evicted lines are always clean; silent drop.
-    *victim = Line{line_num, true, false, false, false, ++useClock_};
-}
-
-void
-L1Cache::invalidate(Addr line_num)
-{
-    if (Line *l = find(line_num))
-        l->valid = false;
-}
-
-void
-L1Cache::markSpecRead(Addr line_num)
-{
-    if (Line *l = find(line_num))
-        l->specRead = true;
-}
-
-void
-L1Cache::markSpecWritten(Addr line_num)
-{
-    if (Line *l = find(line_num))
-        l->specWritten = true;
-}
-
-void
-L1Cache::markStale(Addr line_num)
-{
-    if (Line *l = find(line_num))
-        l->stale = true;
+    flagged_.reserve(64);
 }
 
 unsigned
 L1Cache::squashSpecWrites()
 {
+    // Flags stay set until the epoch boundary, so the list is kept.
     unsigned n = 0;
-    for (Line &l : lines_) {
-        if (l.valid && l.specWritten) {
-            l.valid = false;
+    for (std::uint32_t idx : flagged_) {
+        Line &l = lines_[idx];
+        if ((l.state & kValid) && (l.state & kSpecWritten)) {
+            l.state &= static_cast<std::uint8_t>(~kValid);
             ++n;
         }
     }
@@ -113,16 +31,14 @@ L1Cache::squashSpecWrites()
 void
 L1Cache::epochBoundary()
 {
-    for (Line &l : lines_) {
-        if (!l.valid)
-            continue;
-        l.specRead = false;
-        l.specWritten = false;
-        if (l.stale) {
-            l.stale = false;
-            l.valid = false;
-        }
+    for (std::uint32_t idx : flagged_) {
+        Line &l = lines_[idx];
+        if (l.state & kStale)
+            l.state = 0; // deferred invalidation takes the line out
+        else
+            l.state &= kValid;
     }
+    flagged_.clear();
 }
 
 void
@@ -130,6 +46,7 @@ L1Cache::reset()
 {
     for (Line &l : lines_)
         l = Line{};
+    flagged_.clear();
     useClock_ = 0;
     hits_ = 0;
     misses_ = 0;

@@ -8,6 +8,18 @@
  * simply invalidates every line the current epoch speculatively
  * modified. Tag/state only — the simulation is timing-directed, data
  * values never move.
+ *
+ * Performance notes (this sits on the per-record replay path):
+ *  - lookups are defined inline so memsys.cc sees them;
+ *  - line flags live in one state byte so flag clears are single ANDs;
+ *  - every slot that gains a flag is appended to `flagged_`, making the
+ *    per-epoch sweeps (epochBoundary / squashSpecWrites) O(flagged)
+ *    instead of O(cache size). A slot may appear twice if its line is
+ *    evicted and the replacement is flagged again; both sweeps are
+ *    idempotent per slot, so duplicates are harmless. Flags left on an
+ *    invalidated slot are unobservable — find() requires the valid bit
+ *    and insert() rewrites the whole state byte — so the sweeps may
+ *    clear them eagerly.
  */
 
 #ifndef MEM_L1CACHE_H
@@ -28,27 +40,71 @@ class L1Cache
     L1Cache(unsigned bytes, unsigned assoc, unsigned line_bytes);
 
     /** Look up a line; updates LRU on hit. Line number, not address. */
-    bool access(Addr line_num);
+    bool
+    access(Addr line_num)
+    {
+        // One-slot lookup cache: consecutive accesses overwhelmingly
+        // repeat the previous line (instruction fetch especially). The
+        // cached slot is revalidated exactly like a probe, so eviction
+        // or invalidation simply falls through to the full lookup.
+        Line &cl = lines_[lastIdx_];
+        if ((cl.state & kValid) && cl.lineNum == line_num) {
+            cl.lru = ++useClock_;
+            ++hits_;
+            return true;
+        }
+        if (Line *l = find(line_num)) {
+            lastIdx_ = static_cast<std::uint32_t>(l - lines_.data());
+            l->lru = ++useClock_;
+            ++hits_;
+            return true;
+        }
+        ++misses_;
+        return false;
+    }
 
     /** Presence test without LRU side effects. */
-    bool present(Addr line_num) const;
+    bool present(Addr line_num) const { return find(line_num) != nullptr; }
 
     /** Fill a line (evicting the set's LRU victim silently). */
-    void insert(Addr line_num);
+    void
+    insert(Addr line_num)
+    {
+        if (find(line_num))
+            return;
+        std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
+        Line *victim = &lines_[set];
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &l = lines_[set + w];
+            if (!(l.state & kValid)) {
+                victim = &l;
+                break;
+            }
+            if (l.lru < victim->lru)
+                victim = &l;
+        }
+        // Write-through L1: evicted lines are always clean; silent drop.
+        *victim = Line{line_num, ++useClock_, kValid};
+    }
 
     /** Drop a line if present. */
-    void invalidate(Addr line_num);
+    void
+    invalidate(Addr line_num)
+    {
+        if (Line *l = find(line_num))
+            l->state &= static_cast<std::uint8_t>(~kValid);
+    }
 
     /** Flag a present line as speculatively read by the current epoch. */
-    void markSpecRead(Addr line_num);
+    void markSpecRead(Addr line_num) { mark(line_num, kSpecRead); }
     /** Flag a present line as speculatively written by the current epoch. */
-    void markSpecWritten(Addr line_num);
+    void markSpecWritten(Addr line_num) { mark(line_num, kSpecWritten); }
     /**
      * Flag a present line as stale for the *next* epoch: an older-epoch
      * CPU may keep using its copy, but the copy must be dropped when a
      * younger epoch starts on this CPU.
      */
-    void markStale(Addr line_num);
+    void markStale(Addr line_num) { mark(line_num, kStale); }
 
     /**
      * Dependence violation on this CPU: invalidate every line the
@@ -71,22 +127,58 @@ class L1Cache
     std::uint64_t misses() const { return misses_; }
 
   private:
+    static constexpr std::uint8_t kValid = 1u << 0;
+    static constexpr std::uint8_t kSpecRead = 1u << 1;
+    static constexpr std::uint8_t kSpecWritten = 1u << 2;
+    static constexpr std::uint8_t kStale = 1u << 3;
+    static constexpr std::uint8_t kFlagBits = kSpecRead | kSpecWritten |
+                                              kStale;
+
     struct Line
     {
         Addr lineNum = 0;
-        bool valid = false;
-        bool specRead = false;
-        bool specWritten = false;
-        bool stale = false;
         std::uint64_t lru = 0;
+        std::uint8_t state = 0;
     };
 
-    Line *find(Addr line_num);
-    const Line *find(Addr line_num) const;
+    Line *
+    find(Addr line_num)
+    {
+        std::size_t set = (line_num & (numSets_ - 1)) * assoc_;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            Line &l = lines_[set + w];
+            if ((l.state & kValid) && l.lineNum == line_num)
+                return &l;
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(Addr line_num) const
+    {
+        return const_cast<L1Cache *>(this)->find(line_num);
+    }
+
+    void
+    mark(Addr line_num, std::uint8_t flag)
+    {
+        // The marks follow an access() of the same line almost always,
+        // so the one-slot lookup cache resolves them without a set scan.
+        Line *l = &lines_[lastIdx_];
+        if (!((l->state & kValid) && l->lineNum == line_num) &&
+            !(l = find(line_num)))
+            return;
+        if (!(l->state & kFlagBits))
+            flagged_.push_back(
+                static_cast<std::uint32_t>(l - lines_.data()));
+        l->state |= flag;
+    }
 
     unsigned assoc_;
     unsigned numSets_;
     std::vector<Line> lines_; ///< numSets_ * assoc_, set-major
+    std::vector<std::uint32_t> flagged_; ///< slots that may carry flags
+    std::uint32_t lastIdx_ = 0; ///< slot of the last access() hit
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

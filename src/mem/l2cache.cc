@@ -21,7 +21,7 @@ L2Cache::find(Addr line_num, std::uint8_t version)
     std::size_t base = setBase(line_num);
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
-        if (e.valid && e.lineNum == line_num && e.version == version)
+        if (live(e) && e.lineNum == line_num && e.version == version)
             return &e;
     }
     return nullptr;
@@ -40,7 +40,7 @@ L2Cache::accessLine(Addr line_num)
     bool found = false;
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
-        if (e.valid && e.lineNum == line_num) {
+        if (live(e) && e.lineNum == line_num) {
             e.lru = ++useClock_;
             found = true;
         }
@@ -58,7 +58,7 @@ L2Cache::presentLine(Addr line_num) const
     std::size_t base = setBase(line_num);
     for (unsigned w = 0; w < assoc_; ++w) {
         const Entry &e = entries_[base + w];
-        if (e.valid && e.lineNum == line_num)
+        if (live(e) && e.lineNum == line_num)
             return true;
     }
     return false;
@@ -70,29 +70,29 @@ L2Cache::hasEntry(Addr line_num, std::uint8_t version) const
     return find(line_num, version) != nullptr;
 }
 
-L2Cache::InsertResult
+bool
 L2Cache::insert(Addr line_num, std::uint8_t version)
 {
     std::size_t base = setBase(line_num);
 
     // 1. One pass over the set: refresh an exact match, else note the
-    //    first invalid way.
+    //    first dead way (invalid, or stale generation).
     Entry *invalid = nullptr;
     for (unsigned w = 0; w < assoc_; ++w) {
         Entry &e = entries_[base + w];
-        if (!e.valid) {
+        if (!live(e)) {
             if (!invalid)
                 invalid = &e;
             continue;
         }
         if (e.lineNum == line_num && e.version == version) {
             e.lru = ++useClock_;
-            return {true, {}};
+            return true;
         }
     }
     if (invalid) {
-        *invalid = Entry{line_num, version, true, ++useClock_};
-        return {true, {}};
+        *invalid = Entry{line_num, ++useClock_, gen_, version, true};
+        return true;
     }
 
     // 2. Silently drop the LRU committed line with no speculative
@@ -101,7 +101,8 @@ L2Cache::insert(Addr line_num, std::uint8_t version)
     //    Candidates are probed in LRU order so the common case pays
     //    one speculative-state lookup, not one per committed way; LRU
     //    stamps are unique (a monotone clock), so `floor` advances
-    //    past exactly the ways already rejected.
+    //    past exactly the ways already rejected. All ways are live
+    //    here, else pass 1 would have claimed the dead one.
     std::uint64_t floor = 0;
     for (;;) {
         Entry *cand = nullptr;
@@ -115,8 +116,8 @@ L2Cache::insert(Addr line_num, std::uint8_t version)
         if (!cand)
             break;
         if (!hooks_ || !hooks_->lineHasSpecState(cand->lineNum)) {
-            *cand = Entry{line_num, version, true, ++useClock_};
-            return {true, {}};
+            *cand = Entry{line_num, ++useClock_, gen_, version, true};
+            return true;
         }
         floor = cand->lru + 1;
     }
@@ -136,20 +137,19 @@ L2Cache::insert(Addr line_num, std::uint8_t version)
         }
         victim_.insert(spill->lineNum, spill->version);
         ++specEvictions_;
-        *spill = Entry{line_num, version, true, ++useClock_};
-        return {true, {}};
+        *spill = Entry{line_num, ++useClock_, gen_, version, true};
+        return true;
     }
 
     // 4. Overflow: not even the victim cache has room. Report the
     //    set's contents so the TLS engine can resolve it.
     ++overflows_;
-    InsertResult res;
-    res.ok = false;
+    overflowSet_.clear();
     for (unsigned w = 0; w < assoc_; ++w) {
         const Entry &e = entries_[base + w];
-        res.setEntries.emplace_back(e.lineNum, e.version);
+        overflowSet_.emplace_back(e.lineNum, e.version);
     }
-    return res;
+    return false;
 }
 
 void
@@ -174,8 +174,10 @@ L2Cache::renameToCommitted(Addr line_num, std::uint8_t version)
 void
 L2Cache::reset()
 {
-    for (Entry &e : entries_)
-        e = Entry{};
+    // Generation bump invalidates every entry without touching them.
+    // Stale lru stamps never compete: dead ways are claimed before any
+    // LRU comparison happens (insert pass 1).
+    ++gen_;
     useClock_ = 0;
     hits_ = 0;
     misses_ = 0;

@@ -36,18 +36,6 @@ class L2Cache
     /** The TLS engine is constructed later; wire it in then. */
     void setHooks(const TlsHooks *hooks) { hooks_ = hooks; }
 
-    /** Result of trying to allocate a line version. */
-    struct InsertResult
-    {
-        bool ok = false;
-        /**
-         * On overflow: every (line, version) entry of the full set, so
-         * the TLS engine can choose a speculative thread to stall or
-         * squash to make progress.
-         */
-        std::vector<std::pair<Addr, std::uint8_t>> setEntries;
-    };
-
     /** True if any version of the line is present. Touches LRU. */
     bool accessLine(Addr line_num);
 
@@ -55,8 +43,26 @@ class L2Cache
     bool presentLine(Addr line_num) const;
     bool hasEntry(Addr line_num, std::uint8_t version) const;
 
-    /** Allocate (or touch) the (line, version) entry. */
-    InsertResult insert(Addr line_num, std::uint8_t version);
+    /**
+     * Allocate (or touch) the (line, version) entry. Returns false on
+     * overflow, leaving the full set's contents in overflowSet() —
+     * reported out-of-band because the hot path calls this once per
+     * store and a by-value result would drag a vector through every
+     * call for the sake of the rare overflow.
+     */
+    bool insert(Addr line_num, std::uint8_t version);
+
+    /**
+     * After insert() returned false: every (line, version) entry of
+     * the full set, so the TLS engine can choose a speculative thread
+     * to stall or squash to make progress. Overwritten by the next
+     * overflow.
+     */
+    const std::vector<std::pair<Addr, std::uint8_t>> &
+    overflowSet() const
+    {
+        return overflowSet_;
+    }
 
     /** Drop a specific version entry (squash path). */
     void remove(Addr line_num, std::uint8_t version);
@@ -81,10 +87,15 @@ class L2Cache
     forEachEntry(Fn &&fn) const
     {
         for (const Entry &e : entries_)
-            if (e.valid)
+            if (live(e))
                 fn(e.lineNum, e.version);
     }
 
+    /**
+     * Drop every entry between independent experiment runs. O(1): the
+     * generation stamp is bumped instead of clearing the (multi-MB)
+     * entry array; entries from older generations read as invalid.
+     */
     void reset();
 
     std::uint64_t hits() const { return hits_; }
@@ -96,10 +107,14 @@ class L2Cache
     struct Entry
     {
         Addr lineNum = 0;
+        std::uint64_t lru = 0;
+        std::uint32_t gen = 0; ///< generation that wrote this entry
         std::uint8_t version = kCommittedVersion;
         bool valid = false;
-        std::uint64_t lru = 0;
     };
+
+    /** An entry holds data iff it was written in the current generation. */
+    bool live(const Entry &e) const { return e.valid && e.gen == gen_; }
 
     std::size_t setBase(Addr line_num) const
     {
@@ -115,6 +130,8 @@ class L2Cache
     unsigned numSets_;
     unsigned numBanks_;
     std::vector<Entry> entries_;
+    std::uint32_t gen_ = 1; ///< current generation (0 = never written)
+    std::vector<std::pair<Addr, std::uint8_t>> overflowSet_;
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

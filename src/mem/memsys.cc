@@ -68,43 +68,25 @@ MemSystem::l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res)
     memFree_ = mstart + cfg_.memCyclesPerAccess;
     Cycle ready = mstart + cfg_.memLatency;
 
-    auto ins = l2_.insert(line_num, kCommittedVersion);
-    if (!ins.ok) {
+    if (!l2_.insert(line_num, kCommittedVersion))
         res.overflow = true;
-        res.overflowSet = std::move(ins.setEntries);
-    }
     return ready;
 }
 
-MemAccess
-MemSystem::load(CpuId cpu, Addr addr, Cycle now, bool speculative)
+void
+MemSystem::loadMiss(CpuId cpu, Addr line, Cycle s, bool speculative,
+                    MemAccess &res)
 {
-    MemAccess res;
-    Addr line = geom_.lineNum(addr);
-
-    std::size_t bank_idx =
-        static_cast<std::size_t>(cpu) * cfg_.l1Banks +
-        (static_cast<unsigned>(line) & (cfg_.l1Banks - 1));
-    Cycle s = std::max(now, l1BankFree_[bank_idx]);
-    l1BankFree_[bank_idx] = s + 1;
-
-    if (dcaches_[cpu].access(line)) {
-        res.l1Hit = true;
-        res.readyAt = s + cfg_.l1HitLatency;
-    } else {
-        res.readyAt = l2Path(cpu, line, s, res);
-        if (res.overflow && speculative) {
-            // The line could not be allocated, so its SL bit has
-            // nowhere to live: the access is not performed.
-            return res;
-        }
-        res.overflow = false;
-        res.overflowSet.clear();
-        dcaches_[cpu].insert(line);
+    res.readyAt = l2Path(cpu, line, s, res);
+    if (res.overflow && speculative) {
+        // The line could not be allocated, so its SL bit has
+        // nowhere to live: the access is not performed.
+        return;
     }
+    res.overflow = false;
+    dcaches_[cpu].insert(line);
     if (speculative)
         dcaches_[cpu].markSpecRead(line);
-    return res;
 }
 
 MemAccess
@@ -140,10 +122,8 @@ MemSystem::store(CpuId cpu, Addr addr, Cycle now, bool speculative)
         res.l2Hit = true;
     }
 
-    auto ins = l2_.insert(line, version);
-    if (!ins.ok) {
+    if (!l2_.insert(line, version)) {
         res.overflow = true;
-        res.overflowSet = std::move(ins.setEntries);
         return res; // store not performed; TLS engine must resolve
     }
 
@@ -164,11 +144,18 @@ MemSystem::store(CpuId cpu, Addr addr, Cycle now, bool speculative)
 void
 MemSystem::propagateStore(CpuId cpu, Addr line_num)
 {
-    std::uint64_t my_seq = hooks_ ? hooks_->epochSeq(cpu) : kNoEpoch;
+    std::uint64_t my_seq = epochSeqs_   ? epochSeqs_[cpu]
+                           : hooks_     ? hooks_->epochSeq(cpu)
+                                        : kNoEpoch;
+    // No presence pre-check: invalidate()/markStale() no-op on absent
+    // lines, and the epoch-order comparison is an array read — cheaper
+    // than a second set scan per peer L1.
     for (unsigned d = 0; d < numCpus_; ++d) {
-        if (d == cpu || !dcaches_[d].present(line_num))
+        if (d == cpu)
             continue;
-        std::uint64_t d_seq = hooks_ ? hooks_->epochSeq(d) : kNoEpoch;
+        std::uint64_t d_seq = epochSeqs_   ? epochSeqs_[d]
+                              : hooks_     ? hooks_->epochSeq(d)
+                                           : kNoEpoch;
         if (my_seq == kNoEpoch || d_seq == kNoEpoch || d_seq > my_seq) {
             // Plain coherence, or a younger epoch's copy: must see the
             // new value on its next access.
@@ -182,11 +169,8 @@ MemSystem::propagateStore(CpuId cpu, Addr line_num)
 }
 
 Cycle
-MemSystem::ifetch(CpuId cpu, Pc pc, Cycle now)
+MemSystem::ifetchMiss(CpuId cpu, Addr line, Cycle now)
 {
-    Addr line = geom_.lineNum(pc);
-    if (icaches_[cpu].access(line))
-        return now; // fetch pipelined with decode; no stall
     MemAccess res;
     Cycle ready = l2Path(cpu, line, now, res);
     icaches_[cpu].insert(line);

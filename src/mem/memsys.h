@@ -16,12 +16,12 @@
 #define MEM_MEMSYS_H
 
 #include <cstdint>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "base/addr.h"
 #include "base/config.h"
+#include "base/lineset.h"
 #include "base/types.h"
 #include "mem/l1cache.h"
 #include "mem/l2cache.h"
@@ -44,8 +44,6 @@ struct MemAccess
      * make progress; the access has NOT been performed.
      */
     bool overflow = false;
-    /** On overflow: the contents of the full L2 set. */
-    std::vector<std::pair<Addr, std::uint8_t>> overflowSet;
 };
 
 /** The full memory hierarchy of the simulated CMP. */
@@ -58,10 +56,40 @@ class MemSystem
     void setHooks(const TlsHooks *hooks);
 
     /**
+     * Optional fast path for the per-store epoch-order queries: a
+     * borrowed array of numCpus entries the TLS engine keeps equal to
+     * hooks->epochSeq(cpu). Avoids two virtual calls per store.
+     */
+    void setEpochSeqArray(const std::uint64_t *seqs) { epochSeqs_ = seqs; }
+
+    /**
      * Data load by `cpu` of the line containing `addr`, issued at
      * `now`. `speculative` marks epoch work (vs escaped or non-TLS).
+     * The L1-hit fast path is inline; misses take the out-of-line
+     * L2-and-beyond path.
      */
-    MemAccess load(CpuId cpu, Addr addr, Cycle now, bool speculative);
+    MemAccess
+    load(CpuId cpu, Addr addr, Cycle now, bool speculative)
+    {
+        MemAccess res;
+        Addr line = geom_.lineNum(addr);
+
+        std::size_t bank_idx =
+            static_cast<std::size_t>(cpu) * cfg_.l1Banks +
+            (static_cast<unsigned>(line) & (cfg_.l1Banks - 1));
+        Cycle s = std::max(now, l1BankFree_[bank_idx]);
+        l1BankFree_[bank_idx] = s + 1;
+
+        if (dcaches_[cpu].access(line)) {
+            res.l1Hit = true;
+            res.readyAt = s + cfg_.l1HitLatency;
+            if (speculative)
+                dcaches_[cpu].markSpecRead(line);
+            return res;
+        }
+        loadMiss(cpu, line, s, speculative, res);
+        return res;
+    }
 
     /**
      * Data store (write-through). The store is buffered: `readyAt` is
@@ -71,7 +99,14 @@ class MemSystem
     MemAccess store(CpuId cpu, Addr addr, Cycle now, bool speculative);
 
     /** Instruction fetch; returns the cycle the fetch completes. */
-    Cycle ifetch(CpuId cpu, Pc pc, Cycle now);
+    Cycle
+    ifetch(CpuId cpu, Pc pc, Cycle now)
+    {
+        Addr line = geom_.lineNum(pc);
+        if (icaches_[cpu].access(line))
+            return now; // fetch pipelined with decode; no stall
+        return ifetchMiss(cpu, line, now);
+    }
 
     // --- TLS lifecycle hooks (called by the TLS engine) --------------
 
@@ -91,10 +126,21 @@ class MemSystem
     void dropAllThreadVersions(CpuId cpu);
 
     /** Lines this thread holds speculative versions of. */
-    const std::unordered_set<Addr> &
+    const LineSet &
     threadVersionLines(CpuId cpu) const
     {
         return versionLines_[cpu];
+    }
+
+    /**
+     * After an access returned overflow: the contents of the full L2
+     * set, for the TLS engine's stall/squash decision. Valid until the
+     * next overflow.
+     */
+    const std::vector<std::pair<Addr, std::uint8_t>> &
+    lastOverflowSet() const
+    {
+        return l2_.overflowSet();
     }
 
     /** Drop all cache contents (between experiment runs). */
@@ -118,6 +164,11 @@ class MemSystem
     /** Shared L2-and-beyond path; returns data-ready cycle. */
     Cycle l2Path(CpuId cpu, Addr line_num, Cycle t, MemAccess &res);
 
+    /** Out-of-line L1-miss halves of load()/ifetch(). */
+    void loadMiss(CpuId cpu, Addr line, Cycle s, bool speculative,
+                  MemAccess &res);
+    Cycle ifetchMiss(CpuId cpu, Addr line, Cycle now);
+
     /** Invalidate/mark-stale other CPUs' L1 copies after a store. */
     void propagateStore(CpuId cpu, Addr line_num);
 
@@ -125,6 +176,7 @@ class MemSystem
     unsigned numCpus_;
     LineGeom geom_;
     const TlsHooks *hooks_ = nullptr;
+    const std::uint64_t *epochSeqs_ = nullptr; ///< see setEpochSeqArray
 
     std::vector<L1Cache> dcaches_;
     std::vector<L1Cache> icaches_;
@@ -140,7 +192,7 @@ class MemSystem
     Cycle memFree_ = 0;
 
     /** Lines each CPU slot's thread holds speculative versions of. */
-    std::vector<std::unordered_set<Addr>> versionLines_;
+    std::vector<LineSet> versionLines_;
 };
 
 } // namespace tlsim

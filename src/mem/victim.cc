@@ -1,61 +1,71 @@
 #include "mem/victim.h"
 
+#include <algorithm>
+
 #include "base/log.h"
 
 namespace tlsim {
 
-unsigned
-VictimCache::occupancy() const
+VictimCache::VictimCache(unsigned entries)
+    : capacity_(entries), scanLen_((entries + 3u) & ~3u),
+      valid_((entries + kGroupSize - 1) / kGroupSize, 0),
+      lines_(scanLen_, 0), versions_(entries, kCommittedVersion),
+      lrus_(entries, 0)
 {
-    unsigned n = 0;
-    for (const Entry &e : entries_)
-        if (e.valid)
-            ++n;
-    return n;
 }
 
 bool
 VictimCache::accessLine(Addr line_num)
 {
-    bool found = false;
-    for (Entry &e : entries_) {
-        if (e.valid && e.lineNum == line_num) {
-            e.lru = ++useClock_;
-            found = true;
+    bool hit = false;
+    // Every buffered version of the line is touched, in slot order —
+    // each gets its own (monotone) LRU stamp, like the struct walk did.
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t m = matchGroup(g, line_num);
+        while (m) {
+            unsigned i = g * kGroupSize +
+                         static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            lrus_[i] = ++useClock_;
+            hit = true;
         }
     }
-    if (found)
+    if (hit)
         ++hits_;
-    return found;
-}
-
-bool
-VictimCache::presentLine(Addr line_num) const
-{
-    for (const Entry &e : entries_)
-        if (e.valid && e.lineNum == line_num)
-            return true;
-    return false;
+    return hit;
 }
 
 bool
 VictimCache::present(Addr line_num, std::uint8_t version) const
 {
-    for (const Entry &e : entries_)
-        if (e.valid && e.lineNum == line_num && e.version == version)
-            return true;
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t m = matchGroup(g, line_num);
+        while (m) {
+            unsigned i = g * kGroupSize +
+                         static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            if (versions_[i] == version)
+                return true;
+        }
+    }
     return false;
 }
 
 void
 VictimCache::insert(Addr line_num, std::uint8_t version)
 {
-    for (Entry &e : entries_) {
-        if (!e.valid) {
-            e = Entry{line_num, version, true, ++useClock_};
-            ++inserts_;
-            return;
-        }
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t free = ~valid_[g] & groupCapMask(g);
+        if (!free)
+            continue;
+        unsigned b = static_cast<unsigned>(__builtin_ctzll(free));
+        unsigned i = g * kGroupSize + b;
+        lines_[i] = line_num;
+        versions_[i] = version;
+        lrus_[i] = ++useClock_;
+        valid_[g] |= std::uint64_t{1} << b;
+        ++inserts_;
+        return;
     }
     panic("VictimCache::insert with no free slot");
 }
@@ -63,10 +73,16 @@ VictimCache::insert(Addr line_num, std::uint8_t version)
 bool
 VictimCache::remove(Addr line_num, std::uint8_t version)
 {
-    for (Entry &e : entries_) {
-        if (e.valid && e.lineNum == line_num && e.version == version) {
-            e.valid = false;
-            return true;
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t m = matchGroup(g, line_num);
+        while (m) {
+            unsigned b = static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            unsigned i = g * kGroupSize + b;
+            if (versions_[i] == version) {
+                valid_[g] &= ~(std::uint64_t{1} << b);
+                return true;
+            }
         }
     }
     return false;
@@ -76,10 +92,16 @@ std::vector<Addr>
 VictimCache::takeAllOfVersion(std::uint8_t version)
 {
     std::vector<Addr> lines;
-    for (Entry &e : entries_) {
-        if (e.valid && e.version == version) {
-            lines.push_back(e.lineNum);
-            e.valid = false;
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t m = valid_[g];
+        while (m) {
+            unsigned b = static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            unsigned i = g * kGroupSize + b;
+            if (versions_[i] == version) {
+                lines.push_back(lines_[i]);
+                valid_[g] &= ~(std::uint64_t{1} << b);
+            }
         }
     }
     return lines;
@@ -88,10 +110,16 @@ VictimCache::takeAllOfVersion(std::uint8_t version)
 bool
 VictimCache::renameToCommitted(Addr line_num, std::uint8_t version)
 {
-    for (Entry &e : entries_) {
-        if (e.valid && e.lineNum == line_num && e.version == version) {
-            e.version = kCommittedVersion;
-            return true;
+    for (unsigned g = 0; g < groups(); ++g) {
+        std::uint64_t m = matchGroup(g, line_num);
+        while (m) {
+            unsigned i = g * kGroupSize +
+                         static_cast<unsigned>(__builtin_ctzll(m));
+            m &= m - 1;
+            if (versions_[i] == version) {
+                versions_[i] = kCommittedVersion;
+                return true;
+            }
         }
     }
     return false;
@@ -100,8 +128,10 @@ VictimCache::renameToCommitted(Addr line_num, std::uint8_t version)
 void
 VictimCache::reset()
 {
-    for (Entry &e : entries_)
-        e = Entry{};
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(lines_.begin(), lines_.end(), 0);
+    std::fill(versions_.begin(), versions_.end(), kCommittedVersion);
+    std::fill(lrus_.begin(), lrus_.end(), 0);
     useClock_ = 0;
     hits_ = 0;
     inserts_ = 0;

@@ -5,15 +5,26 @@
  * sets due to conflict pressure (Section 2.1 of the paper; 64 entries
  * by default). Speculation only has to stall or fail when even the
  * victim cache cannot hold a speculative line.
+ *
+ * Layout: structure-of-arrays with a 64-bit validity mask per group of
+ * 64 slots, so the fully-associative line scan — which runs on every
+ * L1 miss and every store — is one simd::matchMask64 per group over
+ * the key array instead of a branchy walk of structs. The default
+ * 64-entry configuration is a single group; larger ablation sizes
+ * (256 entries) chain groups in ascending slot order. All mutation
+ * orders (first-free insert, first-match remove, ascending-index
+ * sweeps, LRU tie-breaks) match the original entry-order semantics
+ * bit for bit.
  */
 
 #ifndef MEM_VICTIM_H
 #define MEM_VICTIM_H
 
+#include <algorithm>
 #include <cstdint>
-#include <optional>
 #include <vector>
 
+#include "base/simd.h"
 #include "base/types.h"
 
 namespace tlsim {
@@ -25,27 +36,38 @@ inline constexpr std::uint8_t kCommittedVersion = 0xFF;
 class VictimCache
 {
   public:
-    struct Entry
-    {
-        Addr lineNum = 0;
-        std::uint8_t version = kCommittedVersion;
-        bool valid = false;
-        std::uint64_t lru = 0;
-    };
+    /** Slots per validity-mask group (one matchMask64 scan). */
+    static constexpr unsigned kGroupSize = 64;
 
-    explicit VictimCache(unsigned entries) : entries_(entries) {}
+    explicit VictimCache(unsigned entries);
 
-    unsigned capacity() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned capacity() const { return capacity_; }
 
     /** Number of live entries. */
-    unsigned occupancy() const;
-    bool full() const { return occupancy() == capacity(); }
+    unsigned
+    occupancy() const
+    {
+        unsigned n = 0;
+        for (std::uint64_t v : valid_)
+            n += static_cast<unsigned>(__builtin_popcountll(v));
+        return n;
+    }
+
+    bool full() const { return occupancy() == capacity_; }
 
     /** True if any version of this line is buffered. Touches LRU. */
     bool accessLine(Addr line_num);
 
     /** Presence test without side effects. */
-    bool presentLine(Addr line_num) const;
+    bool
+    presentLine(Addr line_num) const
+    {
+        for (unsigned g = 0; g < groups(); ++g)
+            if (matchGroup(g, line_num))
+                return true;
+        return false;
+    }
+
     bool present(Addr line_num, std::uint8_t version) const;
 
     /**
@@ -67,18 +89,23 @@ class VictimCache
     bool
     dropOneCommitted(Pred &&has_spec_state)
     {
-        Entry *victim = nullptr;
-        for (Entry &e : entries_) {
-            if (!e.valid || e.version != kCommittedVersion ||
-                has_spec_state(e.lineNum)) {
-                continue;
+        unsigned victim = capacity_;
+        for (unsigned g = 0; g < groups(); ++g) {
+            std::uint64_t m = valid_[g];
+            while (m) {
+                unsigned i = g * kGroupSize +
+                             static_cast<unsigned>(__builtin_ctzll(m));
+                m &= m - 1;
+                if (versions_[i] != kCommittedVersion ||
+                    has_spec_state(lines_[i]))
+                    continue;
+                if (victim == capacity_ || lrus_[i] < lrus_[victim])
+                    victim = i;
             }
-            if (!victim || e.lru < victim->lru)
-                victim = &e;
         }
-        if (!victim)
+        if (victim == capacity_)
             return false;
-        victim->valid = false;
+        clearSlot(victim);
         return true;
     }
 
@@ -94,9 +121,15 @@ class VictimCache
     void
     forEachEntry(Fn &&fn) const
     {
-        for (const Entry &e : entries_)
-            if (e.valid)
-                fn(e.lineNum, e.version);
+        for (unsigned g = 0; g < groups(); ++g) {
+            std::uint64_t m = valid_[g];
+            while (m) {
+                unsigned i = g * kGroupSize +
+                             static_cast<unsigned>(__builtin_ctzll(m));
+                m &= m - 1;
+                fn(lines_[i], versions_[i]);
+            }
+        }
     }
 
     void reset();
@@ -105,7 +138,52 @@ class VictimCache
     std::uint64_t inserts() const { return inserts_; }
 
   private:
-    std::vector<Entry> entries_;
+    unsigned
+    groups() const
+    {
+        return static_cast<unsigned>(valid_.size());
+    }
+
+    /** Bitmask of valid slots in group g whose line number matches. */
+    std::uint64_t
+    matchGroup(unsigned g, Addr line_num) const
+    {
+        std::uint64_t v = valid_[g];
+        if (!v)
+            return 0;
+        unsigned base = g * kGroupSize;
+        return simd::matchMask64(lines_.data() + base,
+                                 std::min(scanLen_ - base, kGroupSize),
+                                 line_num) &
+               v;
+    }
+
+    /** Bits of group g that address slots below capacity_. */
+    std::uint64_t
+    groupCapMask(unsigned g) const
+    {
+        unsigned base = g * kGroupSize;
+        if (capacity_ - base >= kGroupSize)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << (capacity_ - base)) - 1;
+    }
+
+    void
+    clearSlot(unsigned i)
+    {
+        valid_[i / kGroupSize] &=
+            ~(std::uint64_t{1} << (i % kGroupSize));
+    }
+
+    unsigned capacity_;
+    unsigned scanLen_; ///< capacity_ rounded up for the vector scan
+    /** valid_[g] bit b: slot g*64+b holds a live entry. */
+    std::vector<std::uint64_t> valid_;
+    /** scanLen_ keys; dead slots may keep stale keys (valid_ masks
+     *  them out of every match), padding beyond capacity_ stays 0. */
+    std::vector<Addr> lines_;
+    std::vector<std::uint8_t> versions_;
+    std::vector<std::uint64_t> lrus_;
     std::uint64_t useClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t inserts_ = 0;

@@ -1,5 +1,8 @@
 #include "sim/traceio.h"
 
+#include <algorithm>
+#include <array>
+#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -8,6 +11,7 @@
 #include "base/log.h"
 #include "base/narrow.h"
 #include "core/site.h"
+#include "sim/varint.h"
 
 namespace tlsim {
 namespace sim {
@@ -32,6 +36,16 @@ get(std::istream &is)
     return v;
 }
 
+/** Bulk read (one stream call per column block); panics like get<>. */
+void
+getBytes(std::istream &is, void *dst, std::size_t bytes)
+{
+    is.read(static_cast<char *>(dst),
+            static_cast<std::streamsize>(bytes));
+    if (bytes != 0 && !is)
+        panic("trace file truncated");
+}
+
 // ----- v4 columnar epoch encoding ------------------------------------
 //
 // Per epoch the record fields are stored as separate streams (all ops,
@@ -39,26 +53,13 @@ get(std::istream &is)
 // as deltas from the previous record's addr. Heap addresses in a
 // transaction are near-sequential, so most deltas fit in 1-2 bytes;
 // the column shrinks from 8 bytes to ~1.3 per record.
-
-std::uint64_t
-zigzag(std::int64_t v)
-{
-    // All arithmetic in uint64: the left shift of a negative value
-    // and the arithmetic right shift it used to pair with are exactly
-    // the kind of silent-overflow idiom UBSan flags.
-    std::uint64_t u = static_cast<std::uint64_t>(v);
-    return (u << 1) ^ (v < 0 ? ~std::uint64_t{0} : std::uint64_t{0});
-}
-
-std::int64_t
-unzigzag(std::uint64_t z)
-{
-    // (z & 1) selects an all-ones or all-zeros XOR mask; computed as
-    // an explicit unsigned subtraction (wrap intended), not a signed
-    // negate of an unsigned expression.
-    std::uint64_t mask = std::uint64_t{0} - (z & 1);
-    return static_cast<std::int64_t>((z >> 1) ^ mask);
-}
+//
+// The decode side works in blocks of varint::kBlock records: each
+// fixed-width column is pulled with one stream read per block and
+// scattered from a small SoA scratch buffer, and the varint address
+// column goes through varint::decodeBlock over a read-ahead buffer
+// (the branchless batch decoder). The stream is repositioned after
+// the column so read-ahead never leaks into the next field.
 
 void
 putVarint(std::ostream &os, std::uint64_t v)
@@ -70,32 +71,105 @@ putVarint(std::ostream &os, std::uint64_t v)
     put<std::uint8_t>(os, checkedNarrow<std::uint8_t>(v));
 }
 
+/** Report a malformed varint (shared by both decode paths). */
+bool
+rejectVarint(varint::Status st)
+{
+    if (st == varint::Status::TooLong)
+        inform("trace file rejected: varint longer than 10 bytes");
+    else
+        inform("trace file rejected: varint payload exceeds 64 bits");
+    return false;
+}
+
 /**
  * Decode one varint into `*out`; false (after inform) if the encoding
  * is malformed. The last (10th) byte may only contribute the single
- * remaining bit 63 — the old decoder shifted its full 7-bit payload
- * and silently discarded the six bits past the top of the word.
+ * remaining bit 63 — a naive decoder would shift the full 7-bit
+ * payload and silently discard the six bits past the top of the word.
  */
 bool
 getVarint(std::istream &is, std::uint64_t *out)
 {
-    std::uint64_t v = 0;
-    for (unsigned shift = 0; shift < 64; shift += 7) {
-        auto b = get<std::uint8_t>(is);
-        std::uint64_t bits = std::uint64_t{b} & 0x7f;
-        if (shift == 63 && (bits >> 1) != 0) {
-            inform("trace file rejected: varint payload exceeds "
-                   "64 bits");
-            return false;
-        }
-        v |= bits << shift;
-        if (!(b & 0x80)) {
-            *out = v;
+    std::array<std::uint8_t, varint::kMaxBytes> buf;
+    std::size_t have = 0;
+    for (;;) {
+        std::size_t used = 0;
+        varint::Status st =
+            varint::decodeOne(buf.data(), have, out, &used);
+        if (st == varint::Status::Ok)
             return true;
-        }
+        if (st != varint::Status::NeedMore)
+            return rejectVarint(st);
+        buf[have++] = get<std::uint8_t>(is);
     }
-    inform("trace file rejected: varint longer than 10 bytes");
-    return false;
+}
+
+/**
+ * Decode the epoch's address column: `n` zigzag varint deltas,
+ * accumulated into `recs[i].addr`. Batch-decodes in blocks of
+ * varint::kBlock over a read-ahead buffer when the stream is seekable
+ * (unused read-ahead is seeked back); falls back to the one-record
+ * stream decoder otherwise. False (after inform) on malformed input;
+ * panics on truncation like every other trace read.
+ */
+bool
+getAddrColumn(std::istream &is, std::size_t n, TraceRecord *recs)
+{
+    Addr prev = 0;
+    if (n == 0)
+        return true;
+    if (is.tellg() == std::istream::pos_type(-1)) {
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint64_t z = 0;
+            if (!getVarint(is, &z))
+                return false;
+            prev += static_cast<std::uint64_t>(varint::unzigzag(z));
+            recs[i].addr = prev;
+        }
+        return true;
+    }
+
+    std::vector<std::uint8_t> buf(std::size_t{64} << 10);
+    std::size_t len = 0, pos = 0;
+    std::array<std::uint64_t, varint::kBlock> z;
+    std::size_t done = 0;
+    while (done < n) {
+        std::size_t want =
+            std::min<std::size_t>(varint::kBlock, n - done);
+        std::size_t decoded = 0, used = 0;
+        varint::Status st = varint::decodeBlock(
+            buf.data() + pos, len - pos, want, z.data(), &decoded,
+            &used);
+        pos += used;
+        for (std::size_t i = 0; i < decoded; ++i) {
+            prev += static_cast<std::uint64_t>(varint::unzigzag(z[i]));
+            recs[done + i].addr = prev;
+        }
+        done += decoded;
+        if (st == varint::Status::Ok)
+            continue;
+        if (st != varint::Status::NeedMore)
+            return rejectVarint(st);
+        // Refill: keep the partial varint's bytes at the front.
+        std::memmove(buf.data(), buf.data() + pos, len - pos);
+        len -= pos;
+        pos = 0;
+        is.read(reinterpret_cast<char *>(buf.data()) + len,
+                static_cast<std::streamsize>(buf.size() - len));
+        std::size_t got = static_cast<std::size_t>(is.gcount());
+        if (got == 0)
+            panic("trace file truncated");
+        len += got;
+    }
+    // Return the unconsumed read-ahead so the stream sits exactly at
+    // the end of the column (clear a possible eofbit first; seekg on
+    // a failed stream would be a no-op).
+    is.clear();
+    is.seekg(-static_cast<std::streamoff>(len - pos), std::ios::cur);
+    if (!is)
+        panic("trace file: cannot rewind read-ahead");
+    return true;
 }
 
 void
@@ -117,7 +191,7 @@ putEpoch(std::ostream &os, const EpochTrace &e)
         // The delta wraps modulo 2^64 by design: the decoder's
         // matching unsigned addition reconstructs the exact address.
         std::uint64_t delta = r.addr - prev;
-        putVarint(os, zigzag(static_cast<std::int64_t>(delta)));
+        putVarint(os, varint::zigzag(static_cast<std::int64_t>(delta)));
         prev = r.addr;
     }
     put<std::uint64_t>(os, e.instCount);
@@ -141,35 +215,51 @@ getEpoch(std::istream &is, EpochTrace *out)
         return false;
     }
     e.records.resize(n);
-    for (auto &r : e.records) {
-        auto op = get<std::uint8_t>(is);
-        if (op > checkedNarrow<std::uint8_t>(
-                     static_cast<unsigned>(TraceOp::EscapeEnd))) {
-            inform("trace file rejected: bad opcode %u", op);
-            return false;
+    TraceRecord *recs = e.records.data();
+    constexpr std::size_t B = varint::kBlock;
+    const std::uint8_t max_op = checkedNarrow<std::uint8_t>(
+        static_cast<unsigned>(TraceOp::EscapeEnd));
+    std::array<std::uint8_t, B> col8;
+    for (std::size_t base = 0; base < n; base += B) {
+        std::size_t blk = std::min<std::size_t>(B, n - base);
+        getBytes(is, col8.data(), blk);
+        for (std::size_t i = 0; i < blk; ++i) {
+            if (col8[i] > max_op) {
+                inform("trace file rejected: bad opcode %u", col8[i]);
+                return false;
+            }
+            recs[base + i].op = static_cast<TraceOp>(col8[i]);
         }
-        r.op = static_cast<TraceOp>(op);
     }
-    for (auto &r : e.records) {
-        r.size = get<std::uint8_t>(is);
-        if ((r.op == TraceOp::Load || r.op == TraceOp::Store) &&
-            (r.size == 0 || r.size > 128)) {
-            inform("trace file rejected: access size %u", r.size);
-            return false;
+    for (std::size_t base = 0; base < n; base += B) {
+        std::size_t blk = std::min<std::size_t>(B, n - base);
+        getBytes(is, col8.data(), blk);
+        for (std::size_t i = 0; i < blk; ++i) {
+            TraceRecord &r = recs[base + i];
+            r.size = col8[i];
+            if ((r.op == TraceOp::Load || r.op == TraceOp::Store) &&
+                (r.size == 0 || r.size > 128)) {
+                inform("trace file rejected: access size %u", r.size);
+                return false;
+            }
         }
     }
-    for (auto &r : e.records)
-        r.aux = get<std::uint16_t>(is);
-    for (auto &r : e.records)
-        r.pc = get<std::uint32_t>(is);
-    Addr prev = 0;
-    for (auto &r : e.records) {
-        std::uint64_t z = 0;
-        if (!getVarint(is, &z))
-            return false;
-        prev += static_cast<std::uint64_t>(unzigzag(z));
-        r.addr = prev;
+    std::array<std::uint16_t, B> col16;
+    for (std::size_t base = 0; base < n; base += B) {
+        std::size_t blk = std::min<std::size_t>(B, n - base);
+        getBytes(is, col16.data(), blk * 2);
+        for (std::size_t i = 0; i < blk; ++i)
+            recs[base + i].aux = col16[i];
     }
+    std::array<std::uint32_t, B> col32;
+    for (std::size_t base = 0; base < n; base += B) {
+        std::size_t blk = std::min<std::size_t>(B, n - base);
+        getBytes(is, col32.data(), blk * 4);
+        for (std::size_t i = 0; i < blk; ++i)
+            recs[base + i].pc = col32[i];
+    }
+    if (!getAddrColumn(is, n, recs))
+        return false;
     e.instCount = get<std::uint64_t>(is);
     e.specInstCount = get<std::uint64_t>(is);
     auto spans = get<std::uint64_t>(is);

@@ -47,7 +47,7 @@ struct L2Fixture : public ::testing::Test
 TEST_F(L2Fixture, MissThenHit)
 {
     EXPECT_FALSE(l2.accessLine(10));
-    EXPECT_TRUE(l2.insert(10, kCommittedVersion).ok);
+    EXPECT_TRUE(l2.insert(10, kCommittedVersion));
     EXPECT_TRUE(l2.accessLine(10));
     EXPECT_EQ(l2.hits(), 1u);
     EXPECT_EQ(l2.misses(), 1u);
@@ -55,9 +55,9 @@ TEST_F(L2Fixture, MissThenHit)
 
 TEST_F(L2Fixture, MultipleVersionsShareASet)
 {
-    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(10, 0).ok);
-    ASSERT_TRUE(l2.insert(10, 1).ok);
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(10, 0));
+    ASSERT_TRUE(l2.insert(10, 1));
     EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
     EXPECT_TRUE(l2.hasEntry(10, 0));
     EXPECT_TRUE(l2.hasEntry(10, 1));
@@ -66,26 +66,26 @@ TEST_F(L2Fixture, MultipleVersionsShareASet)
 
 TEST_F(L2Fixture, InsertTouchesExistingEntry)
 {
-    ASSERT_TRUE(l2.insert(10, 0).ok);
-    ASSERT_TRUE(l2.insert(10, 0).ok); // same entry; no duplicate ways
+    ASSERT_TRUE(l2.insert(10, 0));
+    ASSERT_TRUE(l2.insert(10, 0)); // same entry; no duplicate ways
     // Fill the rest of set 0 (lines 10, 12, 14 even => set 0).
-    ASSERT_TRUE(l2.insert(12, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(14, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(16, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(12, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(14, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(16, kCommittedVersion));
     EXPECT_TRUE(l2.hasEntry(10, 0));
 }
 
 TEST_F(L2Fixture, EvictionPrefersCommittedWithoutSpecState)
 {
     // Set 0 holds lines with even line numbers (2 sets).
-    ASSERT_TRUE(l2.insert(0, 0).ok);  // speculative version
-    ASSERT_TRUE(l2.insert(2, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(4, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(6, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(0, 0));  // speculative version
+    ASSERT_TRUE(l2.insert(2, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(4, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(6, kCommittedVersion));
     hooks.specLines.insert(2); // committed line pinned by SL bits
     l2.accessLine(4);          // line 6 is now LRU among {4, 6}
 
-    ASSERT_TRUE(l2.insert(8, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(8, kCommittedVersion));
     EXPECT_TRUE(l2.hasEntry(0, 0));                  // spec survives
     EXPECT_TRUE(l2.hasEntry(2, kCommittedVersion));  // pinned survives
     EXPECT_FALSE(l2.hasEntry(6, kCommittedVersion)); // LRU clean gone
@@ -95,10 +95,10 @@ TEST_F(L2Fixture, EvictionPrefersCommittedWithoutSpecState)
 TEST_F(L2Fixture, SpeculativeEvictionSpillsToVictim)
 {
     for (Addr l : {0, 2, 4, 6})
-        ASSERT_TRUE(l2.insert(l, 0).ok);
+        ASSERT_TRUE(l2.insert(l, 0));
     for (Addr l : {0, 2, 4, 6})
         hooks.specLines.insert(l);
-    ASSERT_TRUE(l2.insert(8, 1).ok); // set full of spec lines
+    ASSERT_TRUE(l2.insert(8, 1)); // set full of spec lines
     EXPECT_EQ(victim.occupancy(), 1u);
     EXPECT_TRUE(victim.present(0, 0)); // LRU way spilled
     EXPECT_EQ(l2.specEvictions(), 1u);
@@ -107,15 +107,14 @@ TEST_F(L2Fixture, SpeculativeEvictionSpillsToVictim)
 TEST_F(L2Fixture, OverflowWhenVictimFullToo)
 {
     for (Addr l : {0, 2, 4, 6})
-        ASSERT_TRUE(l2.insert(l, 0).ok);
+        ASSERT_TRUE(l2.insert(l, 0));
     for (Addr l : {0, 2, 4, 6, 8, 10})
         hooks.specLines.insert(l);
-    ASSERT_TRUE(l2.insert(8, 1).ok);  // spills 0
-    ASSERT_TRUE(l2.insert(10, 1).ok); // spills 2; victim now full
+    ASSERT_TRUE(l2.insert(8, 1));  // spills 0
+    ASSERT_TRUE(l2.insert(10, 1)); // spills 2; victim now full
 
-    auto res = l2.insert(12, 2);
-    EXPECT_FALSE(res.ok);
-    EXPECT_EQ(res.setEntries.size(), 4u);
+    EXPECT_FALSE(l2.insert(12, 2));
+    EXPECT_EQ(l2.overflowSet().size(), 4u);
     EXPECT_EQ(l2.overflows(), 1u);
 }
 
@@ -125,17 +124,17 @@ TEST_F(L2Fixture, OverflowReclaimsCommittedVictimEntriesFirst)
     victim.insert(100, kCommittedVersion);
     victim.insert(102, kCommittedVersion);
     for (Addr l : {0, 2, 4, 6})
-        ASSERT_TRUE(l2.insert(l, 0).ok);
+        ASSERT_TRUE(l2.insert(l, 0));
     for (Addr l : {0, 2, 4, 6})
         hooks.specLines.insert(l);
-    EXPECT_TRUE(l2.insert(8, 1).ok); // drops a victim entry, spills
+    EXPECT_TRUE(l2.insert(8, 1)); // drops a victim entry, spills
     EXPECT_TRUE(victim.presentLine(0));
 }
 
 TEST_F(L2Fixture, RemoveDropsOnlyThatVersion)
 {
-    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(10, 3).ok);
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(10, 3));
     l2.remove(10, 3);
     EXPECT_FALSE(l2.hasEntry(10, 3));
     EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
@@ -143,15 +142,15 @@ TEST_F(L2Fixture, RemoveDropsOnlyThatVersion)
 
 TEST_F(L2Fixture, RenameToCommittedMergesOverOldCopy)
 {
-    ASSERT_TRUE(l2.insert(10, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(10, 1).ok);
+    ASSERT_TRUE(l2.insert(10, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(10, 1));
     EXPECT_TRUE(l2.renameToCommitted(10, 1));
     EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
     EXPECT_FALSE(l2.hasEntry(10, 1));
     // Exactly one entry remains; the set has three free ways again.
-    ASSERT_TRUE(l2.insert(12, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(14, kCommittedVersion).ok);
-    ASSERT_TRUE(l2.insert(16, kCommittedVersion).ok);
+    ASSERT_TRUE(l2.insert(12, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(14, kCommittedVersion));
+    ASSERT_TRUE(l2.insert(16, kCommittedVersion));
     EXPECT_TRUE(l2.hasEntry(10, kCommittedVersion));
 }
 
@@ -169,7 +168,7 @@ TEST_F(L2Fixture, BankMapping)
 
 TEST_F(L2Fixture, ResetClearsEverything)
 {
-    ASSERT_TRUE(l2.insert(10, 0).ok);
+    ASSERT_TRUE(l2.insert(10, 0));
     l2.reset();
     EXPECT_FALSE(l2.presentLine(10));
     EXPECT_EQ(l2.hits(), 0u);

@@ -9,7 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/simd.h"
 #include "cpu/breakdown.h"
+#include "sim/executor.h"
 #include "sim/experiment.h"
 
 namespace tlsim {
@@ -117,6 +123,98 @@ TEST_F(GoldenEquivTest, AblationKnobsAreOracleInvariant)
                          runWithOracle(Bar::Baseline, t, cfg, false),
                          v.name);
     }
+}
+
+/**
+ * SIMD golden equivalence: every Figure 5 bar replayed with the
+ * dispatched kernels (AVX2 where the host has it) and with the scalar
+ * reference must produce bit-identical RunResults. The vector kernels
+ * may only change how bitmap scans are computed, never what they
+ * compute.
+ */
+class SimdGoldenTest : public GoldenEquivTest
+{
+  protected:
+    void TearDown() override { simd::setForceScalar(false); }
+
+    static RunResult
+    runScalar(Bar bar, const BenchmarkTraces &t,
+              const ExperimentConfig &cfg, bool scalar)
+    {
+        simd::setForceScalar(scalar);
+        RunResult r = runBar(bar, t, cfg);
+        simd::setForceScalar(false);
+        return r;
+    }
+};
+
+TEST_F(SimdGoldenTest, AllFigure5BarsAreSimdInvariant)
+{
+    for (tpcc::TxnType type :
+         {tpcc::TxnType::NewOrder, tpcc::TxnType::StockLevel}) {
+        const BenchmarkTraces &t = traces(type);
+        for (Bar bar : allBars()) {
+            ExperimentConfig cfg = ExperimentConfig::testPreset();
+            expectSameResult(
+                runScalar(bar, t, cfg, false),
+                runScalar(bar, t, cfg, true),
+                std::string("simd/") + tpcc::txnTypeName(type) + "/" +
+                    barName(bar));
+        }
+    }
+}
+
+TEST_F(SimdGoldenTest, VictimAndSubthreadStressIsSimdInvariant)
+{
+    // Small victim cache + tight checkpoints: maximises traffic through
+    // matchMask64 (victim probes) and maskedUnion64 (SM merges on
+    // squash), the two dispatched kernels.
+    const BenchmarkTraces &t = traces(tpcc::TxnType::NewOrder);
+    ExperimentConfig cfg = ExperimentConfig::testPreset();
+    cfg.machine.tls.subthreadsPerThread = 2;
+    cfg.machine.tls.subthreadSpacing = 500;
+    expectSameResult(runScalar(Bar::Baseline, t, cfg, false),
+                     runScalar(Bar::Baseline, t, cfg, true),
+                     "simd/k2-spacing500");
+}
+
+/**
+ * Pipeline golden equivalence: running the decode-ahead pipeline
+ * (produce overlapping consume on a second thread) must yield the
+ * same RunResults as the serial produce-then-consume loop that a
+ * one-job executor runs inline.
+ */
+TEST_F(GoldenEquivTest, PipelinedReplayMatchesSerial)
+{
+    const BenchmarkTraces &shared = traces(tpcc::TxnType::NewOrder);
+    ExperimentConfig cfg = ExperimentConfig::testPreset();
+    const std::vector<Bar> &bars = allBars();
+
+    auto sweep = [&](sim::SimExecutor &ex) {
+        // Mirrors the bench shape: produce materialises the traces
+        // (deep copy, the decode stand-in), consume replays them.
+        std::vector<std::unique_ptr<BenchmarkTraces>> t(bars.size());
+        std::vector<RunResult> out(bars.size());
+        ex.pipeline(
+            bars.size(),
+            [&](std::size_t i) {
+                t[i] = std::make_unique<BenchmarkTraces>(shared);
+            },
+            [&](std::size_t i) {
+                out[i] = runBar(bars[i], *t[i], cfg);
+                t[i].reset();
+            });
+        return out;
+    };
+
+    sim::SimExecutor serial_ex(1);
+    sim::SimExecutor pipe_ex(2);
+    std::vector<RunResult> serial = sweep(serial_ex);
+    std::vector<RunResult> piped = sweep(pipe_ex);
+    ASSERT_EQ(serial.size(), piped.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        expectSameResult(piped[i], serial[i],
+                         std::string("pipeline/") + barName(bars[i]));
 }
 
 TEST_F(GoldenEquivTest, SmallSubthreadBudgetIsOracleInvariant)

@@ -86,8 +86,8 @@ class SyntheticState
     consistentStore(CpuId cpu, unsigned sub, Addr line)
     {
         spec_.recordStore(cpu * k_ + sub, line, 0xF);
-        ASSERT_TRUE(mem_.l2().insert(line,
-                                     static_cast<std::uint8_t>(cpu)).ok);
+        ASSERT_TRUE(
+            mem_.l2().insert(line, static_cast<std::uint8_t>(cpu)));
     }
 
     AuditView

@@ -1,15 +1,27 @@
 #!/usr/bin/env python3
-"""Diff two tlsim-bench-v1 JSON reports.
+"""Diff tlsim-bench-v1 JSON reports.
 
-Usage: bench_compare.py [options] BASELINE CURRENT
+Usage: bench_compare.py [options] BASELINE [BASELINE...] CURRENT
 
-Result rows are matched by their 'name' field; for every metric
-present in both rows the absolute and relative delta is printed.
-Rows or metrics present on only one side are reported as such.
+The last path is the current report; every earlier path is a baseline
+it is compared against in turn (multi-baseline mode runs the same
+pairwise comparison once per baseline). Result rows are matched by
+their 'name' field; for every metric present in both rows the absolute
+and relative delta is printed. Rows or metrics present on only one
+side are reported as such.
 
 Options:
   --max-wall-regression=PCT   exit 2 if CURRENT's wall_seconds exceeds
-                              BASELINE's by more than PCT percent
+                              a baseline's by more than PCT percent
+  --min-items-ratio=RE:RATIO  perf gate: for every result row whose
+                              name matches the regex RE (search, not
+                              full match), CURRENT's items_per_second
+                              must be at least RATIO times the
+                              baseline's, else exit 2. May be given
+                              multiple times. A regex that matches no
+                              shared row is itself an error (exit 1):
+                              a silently-vacuous gate is worse than a
+                              failing one.
   --expect-identical          exit 1 unless every shared result metric,
                               simulated_cycles, and replay_records are
                               exactly equal (wall-clock fields and rate
@@ -20,11 +32,12 @@ Options:
   --quiet                     only print problems and the final verdict
 
 Exit status: 0 ok, 1 structural mismatch or --expect-identical
-violation, 2 wall-time regression beyond the threshold.
+violation, 2 wall-time regression or items-ratio gate failure.
 """
 
 import json
 import numbers
+import re
 import sys
 
 # Host-timing fields: never compared for identity, since two runs of
@@ -66,38 +79,16 @@ def fmt_delta(base, cur):
     return f"{base:g} -> {cur:g}  ({delta:+g})"
 
 
-def main(argv):
-    max_wall_pct = None
-    expect_identical = False
-    quiet = False
-    paths = []
-    for a in argv[1:]:
-        if a.startswith("--max-wall-regression="):
-            try:
-                max_wall_pct = float(a.split("=", 1)[1])
-            except ValueError:
-                sys.exit(f"bad value in {a!r}")
-        elif a == "--expect-identical":
-            expect_identical = True
-        elif a == "--quiet":
-            quiet = True
-        elif a in ("-h", "--help"):
-            print(__doc__.strip())
-            return 0
-        elif a.startswith("-"):
-            sys.exit(f"unknown option {a!r}")
-        else:
-            paths.append(a)
-    if len(paths) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 1
-
-    base_doc, cur_doc = load(paths[0]), load(paths[1])
-    base_rows = rows_by_name(base_doc, paths[0])
-    cur_rows = rows_by_name(cur_doc, paths[1])
+def compare_pair(base_path, cur_path, base_doc, cur_doc, *, max_wall_pct,
+                 ratio_gates, expect_identical, quiet):
+    """Compare one baseline against the current report; return status."""
+    base_rows = rows_by_name(base_doc, base_path)
+    cur_rows = rows_by_name(cur_doc, cur_path)
 
     problems = []
     identical_violations = []
+    gate_failures = []
+    gate_hits = [0] * len(ratio_gates)
 
     for name in sorted(base_rows.keys() | cur_rows.keys()):
         if name not in cur_rows:
@@ -123,6 +114,28 @@ def main(argv):
             if expect_identical and b != c:
                 identical_violations.append(
                     f"{name}: {metric} differs ({b!r} vs {c!r})")
+        for i, (rx, ratio) in enumerate(ratio_gates):
+            if not rx.search(name):
+                continue
+            gate_hits[i] += 1
+            b = base.get("items_per_second")
+            c = cur.get("items_per_second")
+            if not (is_num(b) and is_num(c)) or b <= 0:
+                problems.append(
+                    f"{name}: items-ratio gate needs a positive "
+                    f"items_per_second on both sides")
+                continue
+            if c / b < ratio:
+                gate_failures.append(
+                    f"{name}: items_per_second {c:g} is only "
+                    f"{c / b:.2f}x baseline {b:g} "
+                    f"(gate requires >= {ratio:g}x)")
+
+    for i, (rx, ratio) in enumerate(ratio_gates):
+        if gate_hits[i] == 0:
+            problems.append(
+                f"items-ratio gate {rx.pattern!r} matched no shared "
+                f"result row (vacuous gate)")
 
     for key in ("simulated_cycles", "replay_records"):
         b, c = base_doc.get(key), cur_doc.get(key)
@@ -144,6 +157,9 @@ def main(argv):
     for v in identical_violations:
         print(f"NOT IDENTICAL: {v}", file=sys.stderr)
         status = 1
+    for g in gate_failures:
+        print(f"PERF GATE: {g}", file=sys.stderr)
+        status = 2
 
     if max_wall_pct is not None and is_num(wall_b) and is_num(wall_c):
         if wall_b > 0 and 100 * (wall_c - wall_b) / wall_b > max_wall_pct:
@@ -151,11 +167,63 @@ def main(argv):
                 f"WALL REGRESSION: {wall_b:g}s -> {wall_c:g}s exceeds "
                 f"+{max_wall_pct:g}% budget",
                 file=sys.stderr)
-            return 2
+            status = 2
 
     if status == 0:
         verdict = "identical" if expect_identical else "compared"
-        print(f"bench_compare: {paths[0]} vs {paths[1]}: {verdict}")
+        print(f"bench_compare: {base_path} vs {cur_path}: {verdict}")
+    return status
+
+
+def main(argv):
+    max_wall_pct = None
+    ratio_gates = []
+    expect_identical = False
+    quiet = False
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--max-wall-regression="):
+            try:
+                max_wall_pct = float(a.split("=", 1)[1])
+            except ValueError:
+                sys.exit(f"bad value in {a!r}")
+        elif a.startswith("--min-items-ratio="):
+            spec = a.split("=", 1)[1]
+            pattern, sep, ratio_s = spec.rpartition(":")
+            if not sep:
+                sys.exit(f"bad gate {a!r}: expected REGEX:RATIO")
+            try:
+                rx = re.compile(pattern)
+                ratio = float(ratio_s)
+            except (re.error, ValueError) as e:
+                sys.exit(f"bad gate {a!r}: {e}")
+            ratio_gates.append((rx, ratio))
+        elif a == "--expect-identical":
+            expect_identical = True
+        elif a == "--quiet":
+            quiet = True
+        elif a in ("-h", "--help"):
+            print(__doc__.strip())
+            return 0
+        elif a.startswith("-"):
+            sys.exit(f"unknown option {a!r}")
+        else:
+            paths.append(a)
+    if len(paths) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+
+    cur_path = paths[-1]
+    cur_doc = load(cur_path)
+    status = 0
+    for base_path in paths[:-1]:
+        base_doc = load(base_path)
+        status = max(status,
+                     compare_pair(base_path, cur_path, base_doc, cur_doc,
+                                  max_wall_pct=max_wall_pct,
+                                  ratio_gates=ratio_gates,
+                                  expect_identical=expect_identical,
+                                  quiet=quiet))
     return status
 
 

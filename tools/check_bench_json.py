@@ -30,6 +30,11 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "violations": 0,              # the tree must be clean
         "suppressions": <int >= 0>    # reasoned allows, informational
       },
+      "replay": {                     # optional; absent only in
+        "simd": "avx2"|"scalar",      # pre-replay-block reports
+        "<counter>": <number >= 0>,   # the replay.* counter group
+        ...                           # (runs, epochs, records,
+      },                              # runPoolHits, runPoolAllocs, ...)
       "results": [
         {"name": "<point name>", "<metric>": <number>, ...},
         ...
@@ -143,6 +148,23 @@ def check_staticanalysis(path, sa):
     return ok
 
 
+def check_replay(path, rep):
+    if not isinstance(rep, dict):
+        return fail(path, "'replay' is not an object")
+    ok = True
+    simd = rep.get("simd")
+    if simd not in ("avx2", "scalar"):
+        ok = fail(path, "replay 'simd' must be 'avx2' or 'scalar', "
+                        f"got {simd!r}")
+    for k, v in rep.items():
+        if k == "simd":
+            continue
+        if not is_num(v) or v < 0:
+            ok = fail(path, f"replay counter {k!r} must be a number "
+                            f">= 0, got {v!r}")
+    return ok
+
+
 def check_file(path):
     try:
         with open(path, encoding="utf-8") as f:
@@ -174,6 +196,8 @@ def check_file(path):
         ok = check_modelcheck(path, doc["modelcheck"]) and ok
     if "staticanalysis" in doc:
         ok = check_staticanalysis(path, doc["staticanalysis"]) and ok
+    if "replay" in doc:
+        ok = check_replay(path, doc["replay"]) and ok
     results = doc.get("results")
     if not isinstance(results, list) or not results:
         ok = fail(path, "'results' must be a non-empty list")

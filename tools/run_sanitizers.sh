@@ -5,9 +5,16 @@
 #   build-asan  AddressSanitizer + UndefinedBehaviorSanitizer,
 #               full unit-test suite;
 #   build-tsan  ThreadSanitizer, the threaded components only (the
-#               parallel simulation executor and the benches' fan-out)
-#               - the rest of the simulator is single-threaded and
-#               TSan makes it ~10x slower for no additional coverage.
+#               parallel simulation executor, the capture/replay
+#               pipeline, and the benches' fan-out) - the rest of the
+#               simulator is single-threaded and TSan makes it ~10x
+#               slower for no additional coverage.
+#
+# One uninstrumented variant build:
+#   build-simd-off  -DTLSIM_SIMD=OFF: the portable scalar kernels are
+#               the only ones compiled in (no AVX2 translation units
+#               at all), proving the scalar fallback builds and passes
+#               the SIMD-sensitive suites on its own.
 #
 # The static mode needs no execution at all:
 #   build-tsa   Clang thread-safety analysis (-Wthread-safety as
@@ -17,8 +24,8 @@
 #               installed; tlslint (pure python) runs either way, with
 #               its --json report validated by check_bench_json.py.
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|static|all]  (default: all)
-# (--static is accepted as a synonym for static.)
+# Usage: tools/run_sanitizers.sh [asan|tsan|static|simd-off|all]
+# (default: all; --static is accepted as a synonym for static.)
 #
 # Any sanitizer report is fatal: the builds use
 # -fno-sanitize-recover=all, so the first finding aborts the test.
@@ -53,6 +60,19 @@ run_tsan() {
         -j "$jobs" -R 'Executor|Parallel|Shared'
 }
 
+run_simd_off() {
+    echo "=== simd-off: configure (TLSIM_SIMD=OFF) ==="
+    cmake -S "$root" -B "$root/build-simd-off" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTLSIM_SIMD=OFF
+    echo "=== simd-off: build ==="
+    cmake --build "$root/build-simd-off" -j "$jobs" \
+        --target test_base test_mem test_sim
+    echo "=== simd-off: SIMD-sensitive suites on the scalar build ==="
+    ctest --test-dir "$root/build-simd-off" --output-on-failure \
+        -j "$jobs" -R 'Simd|Victim|GoldenEquiv|Executor|Varint'
+}
+
 run_static() {
     if command -v clang++ >/dev/null 2>&1; then
         echo "=== static: thread-safety analysis (clang) ==="
@@ -78,8 +98,9 @@ case "$mode" in
   asan)          run_asan ;;
   tsan)          run_tsan ;;
   static|--static) run_static ;;
-  all)           run_asan; run_tsan; run_static ;;
-  *) echo "usage: $0 [asan|tsan|static|all]" >&2; exit 2 ;;
+  simd-off)      run_simd_off ;;
+  all)           run_asan; run_tsan; run_simd_off; run_static ;;
+  *) echo "usage: $0 [asan|tsan|static|simd-off|all]" >&2; exit 2 ;;
 esac
 
 echo "sanitizers: all clean"
