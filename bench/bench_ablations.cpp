@@ -102,11 +102,13 @@ main(int argc, char **argv)
         const WorkloadTrace *w;
         MachineConfig mc;
         ExecMode mode;
+        const TraceIndex *idx = nullptr;
     };
     std::vector<Job> jobs;
     auto add = [&](const WorkloadTrace &w, MachineConfig mc,
-                   ExecMode mode = ExecMode::Tls) {
-        jobs.push_back({&w, mc, mode});
+                   ExecMode mode = ExecMode::Tls,
+                   const TraceIndex *idx = nullptr) {
+        jobs.push_back({&w, mc, mode, idx});
         return jobs.size() - 1;
     };
     auto tls = [&](MachineConfig mc) {
@@ -158,6 +160,44 @@ main(int argc, char **argv)
     std::size_t j_nopred = tls(cfg.machine);
     std::size_t j_pred = tls(pred_mc);
 
+    // Sub-thread start-point placement: fixed spacing vs predicted
+    // exposed-load risk records (core/critpath/placement.h; the same
+    // selection the --placement=risk sweeps use). Run per benchmark:
+    // whether risk records cluster (DELIVERY's btree walks) or spread
+    // evenly (NEW ORDER) decides which policy wins, so a single
+    // transaction type would over- or under-sell the mechanism.
+    const tpcc::TxnType place_txns[] = {
+        tpcc::TxnType::NewOrder, tpcc::TxnType::NewOrder150,
+        tpcc::TxnType::Delivery, tpcc::TxnType::DeliveryOuter,
+        tpcc::TxnType::StockLevel,
+    };
+    constexpr std::size_t kPlaceBench =
+        sizeof(place_txns) / sizeof(place_txns[0]);
+    sim::SharedTraces place_traces[kPlaceBench];
+    std::size_t j_place_fixed[kPlaceBench], j_place_risk[kPlaceBench];
+    std::size_t j_place_seq[kPlaceBench];
+    for (std::size_t i = 0; i < kPlaceBench; ++i) {
+        place_traces[i] =
+            i == 0 ? traces
+                   : bench::capture(place_txns[i],
+                                    bench::configFor(place_txns[i], args),
+                                    args);
+        MachineConfig fixed_mc = cfg.machine;
+        fixed_mc.tls.riskPlacement = false;
+        MachineConfig risk_mc = cfg.machine;
+        risk_mc.tls.riskPlacement = true;
+        const TraceIndex *idx = place_traces[i]->tlsIndex.get();
+        j_place_fixed[i] = add(place_traces[i]->tls, fixed_mc,
+                               ExecMode::Tls, idx);
+        j_place_risk[i] = add(place_traces[i]->tls, risk_mc,
+                              ExecMode::Tls, idx);
+        j_place_seq[i] =
+            i == 0 ? j_seq
+                   : add(place_traces[i]->original, cfg.machine,
+                         ExecMode::Serial,
+                         place_traces[i]->originalIndex.get());
+    }
+
     // Software tuning x sub-thread support (2x2 matrix).
     std::size_t j_matrix[2][2];
     for (int tuned = 0; tuned < 2; ++tuned) {
@@ -173,10 +213,10 @@ main(int argc, char **argv)
     std::vector<RunResult> res(jobs.size());
     ex.parallelFor(jobs.size(), [&](std::size_t i) {
         TlsMachine m(jobs[i].mc);
-        const TraceIndex *idx = nullptr;
-        if (jobs[i].w == &traces->original)
+        const TraceIndex *idx = jobs[i].idx;
+        if (!idx && jobs[i].w == &traces->original)
             idx = traces->originalIndex.get();
-        else if (jobs[i].w == &traces->tls)
+        else if (!idx && jobs[i].w == &traces->tls)
             idx = traces->tlsIndex.get();
         res[i] = m.run(*jobs[i].w, jobs[i].mode, cfg.warmupTxns, idx);
     });
@@ -216,6 +256,17 @@ main(int argc, char **argv)
                 "dependent, so it over-synchronizes)\n",
                 static_cast<unsigned long long>(
                     res[j_pred].predictorStalls));
+
+    std::printf("\n=== Ablation: sub-thread start-point placement "
+                "===\n");
+    for (std::size_t i = 0; i < kPlaceBench; ++i) {
+        const char *nm = tpcc::txnTypeName(place_txns[i]);
+        Cycle bench_seq = res[j_place_seq[i]].makespan;
+        line(strfmt("%s, fixed spacing", nm), res[j_place_fixed[i]],
+             bench_seq);
+        line(strfmt("%s, predicted-risk", nm), res[j_place_risk[i]],
+             bench_seq);
+    }
 
     // The paper's Section 1 narrative as a 2x2 matrix: the untuned
     // database sees "no speedup on a conventional all-or-nothing TLS

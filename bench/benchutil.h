@@ -49,6 +49,13 @@ struct BenchArgs
     /** Pin the SIMD dispatch to the portable scalar kernels (results
      *  must be identical; the golden label compares both legs). */
     bool forceScalar = false;
+    /** Sweep pruning: "oracle" scores every grid point with the
+     *  critical-path analyzer and simulates only the predicted
+     *  frontier (bench_figure6_sweep). */
+    std::string prune = "none";
+    /** Sub-thread start-point policy: "fixed" spacing or predicted
+     *  exposed-load "risk" records (TlsConfig::riskPlacement). */
+    std::string placement = "fixed";
 };
 
 [[noreturn]] inline void
@@ -59,7 +66,8 @@ usage(const char *prog, int code)
                  "usage: %s [--quick] [--txns=N] [--jobs=N] "
                  "[--json=FILE] [--trace-cache=DIR] "
                  "[--no-trace-index] [--audit=off|commit|full] "
-                 "[--force-scalar]\n"
+                 "[--force-scalar] [--prune=none|oracle] "
+                 "[--placement=fixed|risk]\n"
                  "  --quick            reduced TPC-C scale (CI)\n"
                  "  --txns=N           transactions per capture\n"
                  "  --jobs=N           parallel simulation points "
@@ -72,7 +80,12 @@ usage(const char *prog, int code)
                  "  --audit=LEVEL      protocol invariant auditor "
                  "(off|commit|full; results must be identical)\n"
                  "  --force-scalar     use the portable scalar kernels "
-                 "(identical results; golden-label comparison)\n",
+                 "(identical results; golden-label comparison)\n"
+                 "  --prune=MODE       sweep pruning: 'oracle' scores "
+                 "grid points with the critical-path analyzer and "
+                 "simulates only the predicted frontier\n"
+                 "  --placement=POLICY sub-thread start points: 'fixed' "
+                 "spacing or predicted-'risk' records\n",
                  prog);
     std::exit(code);
 }
@@ -125,6 +138,10 @@ parseArgs(int argc, char **argv)
             args.audit = value("--audit=");
         else if (a == "--force-scalar")
             args.forceScalar = true;
+        else if (a.rfind("--prune=", 0) == 0)
+            args.prune = value("--prune=");
+        else if (a.rfind("--placement=", 0) == 0)
+            args.placement = value("--placement=");
         else if (a == "--help" || a == "-h")
             usage(argv[0], 0);
         else {
@@ -132,6 +149,16 @@ parseArgs(int argc, char **argv)
                          a.c_str());
             usage(argv[0], 2);
         }
+    }
+    if (args.prune != "none" && args.prune != "oracle") {
+        std::fprintf(stderr, "%s: bad value for --prune: '%s'\n",
+                     argv[0], args.prune.c_str());
+        std::exit(2);
+    }
+    if (args.placement != "fixed" && args.placement != "risk") {
+        std::fprintf(stderr, "%s: bad value for --placement: '%s'\n",
+                     argv[0], args.placement.c_str());
+        std::exit(2);
     }
     return args;
 }
@@ -193,6 +220,7 @@ configFor(tpcc::TxnType type, const BenchArgs &args)
     }
     cfg.machine.tls.useConflictOracle = !args.noTraceIndex;
     cfg.machine.tls.auditLevel = parseAuditLevel(args.audit);
+    cfg.machine.tls.riskPlacement = args.placement == "risk";
     return cfg;
 }
 
@@ -283,6 +311,26 @@ class BenchReport
         hasModelcheck_ = true;
     }
 
+    /**
+     * Record the critical-path oracle totals; write() then emits the
+     * "critpath" block (validated by tools/check_bench_json.py).
+     * `predicted` is the calibrated predicted makespan summed over
+     * every scored grid point, `band_error` the largest relative
+     * error observed on points that were both predicted and
+     * simulated, and the point counts carry the pruning claim:
+     * at most half the scored points may have been simulated.
+     */
+    void
+    setCritpath(double predicted, double band_error, double total,
+                double simulated)
+    {
+        cpPredicted_ = predicted;
+        cpBandError_ = band_error;
+        cpTotal_ = total;
+        cpSimulated_ = simulated;
+        hasCritpath_ = true;
+    }
+
     double
     wallSeconds() const
     {
@@ -324,6 +372,13 @@ class BenchReport
                << mcStates_ << ", \"schedules\": " << mcSchedules_
                << ", \"dpor_reduction\": " << mcReduction_
                << ", \"violations\": " << mcViolations_ << "},\n";
+        }
+        if (hasCritpath_) {
+            os << "  \"critpath\": {\"predicted_makespan\": "
+               << cpPredicted_ << ", \"band_error\": " << cpBandError_
+               << ", \"points_total\": " << cpTotal_
+               << ", \"points_simulated\": " << cpSimulated_
+               << "},\n";
         }
         // Replay-path instrumentation: the active SIMD kernel set and
         // the "replay.*" global counter group (epoch/record totals,
@@ -388,6 +443,11 @@ class BenchReport
     double mcSchedules_ = 0;
     double mcReduction_ = 0;
     double mcViolations_ = 0;
+    bool hasCritpath_ = false;
+    double cpPredicted_ = 0;
+    double cpBandError_ = 0;
+    double cpTotal_ = 0;
+    double cpSimulated_ = 0;
     std::vector<std::pair<std::string, Fields>> results_;
 };
 

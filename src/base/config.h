@@ -91,6 +91,17 @@ struct TlsConfig
      */
     bool adaptiveSpacing = false;
     bool useStartTable = true;   ///< selective secondary violations (Fig 4b)
+    /**
+     * Predicted-risk sub-thread placement (--placement=risk): spawn
+     * thresholds come from the trace pre-analysis' exposed-conflict-
+     * load offsets (EpochView::riskOffsets) selected by
+     * critpath::selectRiskSpawnPoints, instead of the fixed
+     * spacing/2*spacing/... grid. A checkpoint sits right before each
+     * predicted-risky load, so its violation rewinds almost no work.
+     * (The offsets live in the trace index, which the replay engine
+     * always builds; no oracle flag is required.)
+     */
+    bool riskPlacement = false;
     bool useVictimCache = true;
     /**
      * Write-through L1s propagate store values (and violation checks)

@@ -1,0 +1,465 @@
+#include "core/critpath/analyzer.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+#include "base/narrow.h"
+#include "core/critpath/placement.h"
+
+namespace tlsim {
+namespace critpath {
+
+namespace {
+
+/**
+ * Safety valve on the per-epoch rewind fixed point. Each store fires
+ * at most once (the consumed set below), so the loop terminates on its
+ * own; the cap only bounds pathological inputs. The machine's own
+ * violation counts on the TPC-C workloads are far below this.
+ */
+constexpr unsigned kMaxRewindsPerEpoch = 256;
+
+std::uint64_t
+consumedKey(std::uint32_t epoch, std::uint32_t rec)
+{
+    return (std::uint64_t{epoch} << 32) | rec;
+}
+
+} // namespace
+
+const char *
+placementName(Placement p)
+{
+    switch (p) {
+      case Placement::Fixed: return "fixed";
+      case Placement::Risk: return "risk";
+    }
+    return "?";
+}
+
+Analyzer::Analyzer(const DepGraph &graph) : graph_(graph) {}
+
+Cycle
+Analyzer::timeOf(const EpochState &st, const EpochNode &node,
+                 std::uint32_t rec)
+{
+    // Rewinds are rare, so the timeline has very few segments; scan
+    // from the back (the newest segment covers the re-executed tail).
+    for (std::size_t s = st.segs.size(); s-- > 0;) {
+        const EpochState::Seg &seg = st.segs[s];
+        if (seg.fromRec > rec)
+            continue;
+        // Already-executed records replay with escape spans skipped;
+        // records past the squash point pay full first-execution cost.
+        const std::uint32_t rp = std::max(seg.replayUpTo, seg.fromRec);
+        Cycle t = seg.base + node.prefixReplay[std::min(rec, rp)] -
+                  node.prefixReplay[seg.fromRec];
+        if (rec > rp)
+            t += node.prefixCycles[rec] - node.prefixCycles[rp];
+        return t;
+    }
+    panic("critpath: record %u precedes every timeline segment", rec);
+}
+
+std::uint32_t
+Analyzer::recAt(const EpochState &st, const EpochNode &node, Cycle t)
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi =
+        checkedNarrow<std::uint32_t>(node.view->size());
+    if (timeOf(st, node, lo) > t)
+        return 0;
+    while (lo < hi) {
+        const std::uint32_t mid = lo + (hi - lo + 1) / 2;
+        if (timeOf(st, node, mid) <= t)
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return lo;
+}
+
+void
+Analyzer::placeCheckpoints(const EpochNode &node,
+                           const AnalyzerConfig &cfg, EpochState &st)
+{
+    st.cpRecs.clear();
+    st.cpRecs.push_back(0); // the epoch start is always a checkpoint
+
+    const unsigned k = cfg.subthreads;
+    if (k < 2)
+        return;
+
+    // Mirror TlsMachine::startNextEpoch: the adaptive policy divides
+    // the epoch body evenly over the contexts, floored at 200.
+    const std::uint64_t spacing =
+        cfg.adaptiveSpacing
+            ? std::max<std::uint64_t>(200,
+                                      node.specInstCount / k + 1)
+            : cfg.spacing;
+
+    spawnScratch_.clear();
+    if (cfg.placement == Placement::Risk) {
+        selectRiskSpawnPoints(node.view->riskOffsets,
+                              node.specInstCount, k, spacing,
+                              spawnScratch_);
+    } else {
+        for (unsigned j = 1; j < k; ++j) {
+            std::uint64_t s = spacing * j;
+            if (s >= node.specInstCount)
+                break; // specInsts never reaches this threshold
+            spawnScratch_.push_back(s);
+        }
+    }
+
+    // Thresholds are in speculative-instruction space; the machine
+    // spawns right before the first record at or past each one.
+    const std::vector<std::uint32_t> &ps = node.prefixSpec;
+    for (std::uint64_t s : spawnScratch_) {
+        auto it = std::lower_bound(ps.begin(), ps.end(), s);
+        if (it == ps.end())
+            continue;
+        std::uint32_t rec =
+            checkedNarrow<std::uint32_t>(it - ps.begin());
+        if (rec > st.cpRecs.back())
+            st.cpRecs.push_back(rec);
+    }
+}
+
+void
+Analyzer::runParallelSection(const SectionNode &sec,
+                             const AnalyzerConfig &cfg, Prediction &p)
+{
+    const std::vector<EpochNode> &epochs = graph_.epochs();
+    const unsigned num_cpus = graph_.config().tls.numCpus;
+    const Cycle delivery =
+        graph_.config().tls.violationDeliveryLatency;
+
+    if (states_.size() < sec.epochCount)
+        states_.resize(sec.epochCount);
+    laneFree_.assign(num_cpus, 0);
+    consumed_.clear();
+    waves_.clear();
+
+    Cycle last_commit = 0;
+    std::uint32_t total_first_touch = 0;
+
+    for (std::uint32_t i = 0; i < sec.epochCount; ++i) {
+        const EpochNode &node = epochs[sec.firstEpoch + i];
+        EpochState &st = states_[i];
+        const unsigned lane = i % num_cpus;
+
+        st.start = laneFree_[lane];
+        st.segs.clear();
+        st.segs.push_back({0, st.start, 0});
+        st.end = st.start + node.baseCycles;
+        st.rawAdded = 0;
+        st.reached = 0;
+        st.rewound = false;
+        // Once every older epoch has committed this epoch is the
+        // oldest and runs non-speculatively (the machine's isOldest
+        // path): loads at or past this time set no SL bit and can
+        // never be violated. The machine's lanes also carry a
+        // persistent stagger (startup contention jitter frozen by the
+        // lane recurrence start[i+n] = commit[i]) that this
+        // contention-free timeline lacks — co-started lanes phase-lock
+        // and their commits tie, which would leave near-end loads
+        // speculative forever. Compensate with a second, widened
+        // threshold for loads still on their ORIGINAL timeline: one
+        // throughput-limited inter-commit gap (trailing average over
+        // the last num_cpus commits) earlier, since in the machine's
+        // staggered steady state a load that close to its epoch's end
+        // runs after the predecessor's commit. Re-executed loads
+        // (after a rewind) get only the literal rule: a squash restart
+        // genuinely re-compresses the pipeline, and suppressing those
+        // would hide the self-sustaining violation storms the machine
+        // exhibits at checkpoint-starved corners. The gap estimate is
+        // zero through the section-start transient, so startup
+        // pipeline-compression violations still fire.
+        const Cycle oldest_at = i == 0 ? 0 : last_commit;
+        Cycle oldest_steady = oldest_at;
+        if (i > num_cpus) {
+            const Cycle gap = (states_[i - 1].commit -
+                               states_[i - 1 - num_cpus].commit) /
+                              num_cpus;
+            oldest_steady -= std::min(oldest_steady, gap);
+        }
+        total_first_touch += node.firstTouchLines;
+        placeCheckpoints(node, cfg, st);
+
+        // Secondary squash waves from older epochs' primary
+        // violations: the machine squashes every younger in-flight
+        // epoch at the instant the primary fires (checkViolations'
+        // secondary loop), so this epoch takes a rewind at each wave
+        // that fired after it started. waves_ holds only events from
+        // epochs already finalized (< i); events this epoch generates
+        // go to waves_ for the epochs after it.
+        waveScratch_.clear();
+        for (const auto &[wt, wsrc] : waves_)
+            if (wt > st.start)
+                waveScratch_.push_back(wt);
+        std::sort(waveScratch_.begin(), waveScratch_.end());
+        std::size_t wave_idx = 0;
+
+        // Violation fixed point: repeatedly apply the earliest pending
+        // event — a store of an older epoch that lands on one of this
+        // epoch's exposed loads after the load executed (primary), or
+        // an older epoch's squash wave (secondary) — rewind to the
+        // covering checkpoint, and re-price the tail from the restart
+        // time. A consumed store never fires again — the machine
+        // checks violations exactly once, when the store executes —
+        // and any load a rewind re-executes moves past the store's
+        // time, so the loop converges.
+        // An escaped store executes exactly once — the machine's
+        // escapedDone skip jumps every replay over it — so once its
+        // epoch has reached past it, its violation check stays pinned
+        // to the original timeline no matter how that epoch rewinds.
+        // This is what quenches the fine-spacing chains: the hot
+        // B-tree page stores are escaped (page writes under latch),
+        // and after the first link the victim's re-executed loads land
+        // past the frozen store time instead of chasing a
+        // replay-shifted one.
+        const auto store_time = [](const EpochState &ost,
+                                   const EpochNode &older,
+                                   const EpochNode::MemEvent &s) {
+            if (s.escaped && s.rec < ost.reached)
+                return ost.start + Cycle{older.prefixCycles[s.rec]};
+            return timeOf(ost, older, s.rec);
+        };
+
+        for (unsigned iter = 0; iter < kMaxRewindsPerEpoch; ++iter) {
+            Cycle best_ts = 0;
+            std::uint32_t best_store = 0;
+            std::uint32_t best_src = 0;
+            bool found = false;
+
+            for (std::uint32_t j = 0; j < i; ++j) {
+                const EpochNode &older = epochs[sec.firstEpoch + j];
+                if (older.stores.empty())
+                    continue;
+                const EpochState &ost = states_[j];
+                for (const EpochNode::MemEvent &ld :
+                     node.exposedLoads) {
+                    // A squash flushes the victim L1 wholesale
+                    // (l1SubthreadAware off clears every SL bit), and
+                    // only records at or past the rewound-to
+                    // checkpoint re-execute and re-set theirs: a load
+                    // below the latest restart point is dead — it can
+                    // never be violated again. This is what quenches
+                    // fine-spacing chains (the checkpoint sits above
+                    // the hot B-tree loads) while rec-0-only
+                    // configurations re-expose everything and storm.
+                    const bool rewound = st.rewound;
+                    if (rewound && ld.rec < st.segs.back().fromRec)
+                        continue; // SL bit flushed, never re-executed
+                    const Cycle tl = timeOf(st, node, ld.rec);
+                    if (tl >= (rewound ? oldest_at : oldest_steady))
+                        continue; // ran non-speculative: no SL bit
+                    auto [lo, hi] = older.storesOnLine(ld.line);
+                    // Frozen escaped-store times interleave with
+                    // replay-shifted ones, so times are not monotone
+                    // in record index: scan the (short) line run.
+                    for (const EpochNode::MemEvent *s = lo; s != hi;
+                         ++s) {
+                        const Cycle ts = store_time(ost, older, *s);
+                        if (ts <= tl)
+                            continue;
+                        if (consumed_.end() !=
+                            std::find(consumed_.begin(),
+                                      consumed_.end(),
+                                      consumedKey(j, s->rec)))
+                            continue;
+                        if (!found || ts < best_ts) {
+                            found = true;
+                            best_ts = ts;
+                            best_store = s->rec;
+                            best_src = j;
+                        }
+                    }
+                }
+            }
+            const Cycle wave_t = wave_idx < waveScratch_.size()
+                                     ? waveScratch_[wave_idx]
+                                     : kCycleMax;
+            if (!found && wave_t == kCycleMax)
+                break;
+
+            if (wave_t < (found ? best_ts : kCycleMax)) {
+                // Secondary squash: rewind to the newest checkpoint
+                // this epoch had reached when the wave fired, replay
+                // the tail after squash delivery. Not counted as a
+                // (primary) violation, and no further wave — the
+                // machine's secondaries do not themselves squash.
+                ++wave_idx;
+                std::uint32_t cp_rec = 0;
+                for (std::size_t c = st.cpRecs.size(); c-- > 0;) {
+                    if (timeOf(st, node, st.cpRecs[c]) <= wave_t) {
+                        cp_rec = st.cpRecs[c];
+                        break;
+                    }
+                }
+                const Cycle old_cp_time = timeOf(st, node, cp_rec);
+                const Cycle base =
+                    std::max(wave_t + delivery, old_cp_time);
+                st.reached =
+                    std::max(st.reached, recAt(st, node, wave_t));
+                st.rewound = true;
+                while (!st.segs.empty() &&
+                       st.segs.back().fromRec >= cp_rec)
+                    st.segs.pop_back();
+                st.segs.push_back({cp_rec, base, st.reached});
+                const Cycle new_end = timeOf(
+                    st, node,
+                    checkedNarrow<std::uint32_t>(node.view->size()));
+                if (new_end > st.end) {
+                    st.rawAdded += new_end - st.end;
+                    st.end = new_end;
+                }
+                continue;
+            }
+
+            // The machine rewinds to the sub-thread holding the
+            // *earliest* still-exposed load of that line; loads before
+            // the consumed store's time with matching line share the
+            // rewind. Find the earliest such load.
+            const EpochNode &older = epochs[sec.firstEpoch + best_src];
+            const Addr line = [&] {
+                for (const EpochNode::MemEvent &s : older.stores)
+                    if (s.rec == best_store)
+                        return s.line;
+                return Addr{0};
+            }();
+            std::uint32_t victim_rec = 0;
+            bool have_victim = false;
+            for (const EpochNode::MemEvent &ld : node.exposedLoads) {
+                if (ld.line != line)
+                    continue;
+                if (st.rewound && ld.rec < st.segs.back().fromRec)
+                    continue; // SL bit flushed, never re-executed
+                const Cycle tl = timeOf(st, node, ld.rec);
+                if (tl < best_ts &&
+                    tl < (st.rewound ? oldest_at : oldest_steady)) {
+                    victim_rec = ld.rec;
+                    have_victim = true;
+                    break; // exposedLoads is in record order
+                }
+            }
+            consumed_.push_back(consumedKey(best_src, best_store));
+            if (!have_victim)
+                continue; // raced past: the load re-executed later
+
+            // Latest checkpoint at or before the victim load.
+            auto cp_it = std::upper_bound(st.cpRecs.begin(),
+                                          st.cpRecs.end(), victim_rec);
+            const std::uint32_t cp_rec = *(cp_it - 1);
+
+            // Restart: squash delivery after the violating store; the
+            // machine also never restarts before the rewound-to
+            // checkpoint was first reached.
+            const Cycle old_cp_time = timeOf(st, node, cp_rec);
+            const Cycle base = std::max(best_ts + delivery, old_cp_time);
+
+            st.reached = std::max(st.reached, recAt(st, node, best_ts));
+            st.rewound = true;
+            while (!st.segs.empty() &&
+                   st.segs.back().fromRec >= cp_rec)
+                st.segs.pop_back();
+            st.segs.push_back({cp_rec, base, st.reached});
+
+            const Cycle new_end = timeOf(
+                st, node,
+                checkedNarrow<std::uint32_t>(node.view->size()));
+            if (new_end > st.end) {
+                st.rawAdded += new_end - st.end;
+                st.end = new_end;
+            }
+            ++p.violations;
+            // The primary's squash also hits every younger in-flight
+            // epoch (secondary); they consume this wave when their
+            // turn comes.
+            waves_.push_back({best_ts, i});
+        }
+
+        // In-order commit: wait for the predecessor's homefree token.
+        st.commit = std::max(st.end, last_commit);
+        st.commitWait = st.commit - st.end;
+        last_commit = st.commit;
+        laneFree_[lane] = st.commit;
+    }
+
+    Cycle span = last_commit;
+
+    // Occupancy bound: every first-touch line crosses the crossbar and
+    // holds an L2 bank for one transfer; the banks bound throughput.
+    const Cycle occ_bound = Cycle{total_first_touch} *
+                            graph_.lineTransferCycles() /
+                            graph_.config().mem.l2Banks;
+    Cycle occ_extra = 0;
+    if (occ_bound > span) {
+        occ_extra = occ_bound - span;
+        span = occ_bound;
+    }
+
+    p.makespan += span;
+
+    // Attribution: walk the committing chain backward from the last
+    // epoch, stitching lane chains through commit waits, so the four
+    // classes sum exactly to the section span.
+    auto &cls = p.edgeCycles;
+    cls[static_cast<unsigned>(EdgeClass::Occupancy)] += occ_extra;
+    if (sec.epochCount > 0) {
+        std::uint32_t cur = sec.epochCount - 1;
+        for (;;) {
+            const EpochState &st = states_[cur];
+            const EpochNode &node = epochs[sec.firstEpoch + cur];
+            cls[static_cast<unsigned>(EdgeClass::Commit)] +=
+                st.commitWait;
+            const Cycle body = st.end - st.start;
+            const Cycle raw = std::min(st.rawAdded, body);
+            const Cycle rest = body - raw;
+            const Cycle prog =
+                node.baseCycles
+                    ? rest * node.busyCycles / node.baseCycles
+                    : 0;
+            cls[static_cast<unsigned>(EdgeClass::Raw)] += raw;
+            cls[static_cast<unsigned>(EdgeClass::Program)] += prog;
+            cls[static_cast<unsigned>(EdgeClass::Occupancy)] +=
+                rest - prog;
+            if (st.start == 0)
+                break;
+            // start == laneFree[lane] == commit of the previous epoch
+            // on this lane.
+            cur -= num_cpus;
+        }
+    }
+}
+
+Prediction
+Analyzer::predict(const AnalyzerConfig &cfg)
+{
+    Prediction p;
+    const std::vector<EpochNode> &epochs = graph_.epochs();
+
+    for (const SectionNode &sec : graph_.sections()) {
+        if (sec.txn < cfg.warmupTxns)
+            continue; // outside the measured region
+        if (!sec.parallel) {
+            // Serial section on one CPU: pure program-order chain.
+            for (std::uint32_t i = 0; i < sec.epochCount; ++i) {
+                const EpochNode &node = epochs[sec.firstEpoch + i];
+                p.makespan += node.baseCycles;
+                p.edgeCycles[static_cast<unsigned>(
+                    EdgeClass::Program)] += node.busyCycles;
+                p.edgeCycles[static_cast<unsigned>(
+                    EdgeClass::Occupancy)] +=
+                    node.baseCycles - node.busyCycles;
+            }
+            continue;
+        }
+        runParallelSection(sec, cfg, p);
+    }
+    return p;
+}
+
+} // namespace critpath
+} // namespace tlsim

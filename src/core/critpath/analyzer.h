@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Longest-path analyzer over the critical-path dependence graph
+ * (core/critpath/graph.h): predicts the makespan of a TLS replay for
+ * one sub-thread configuration WITHOUT running the timing simulator,
+ * and attributes the predicted cycles to edge classes.
+ *
+ * Per parallel section the analyzer walks the epochs in commit order,
+ * assigning them round-robin to CPU lanes exactly as the machine's
+ * per-CPU queues do. An epoch's body cost comes from the graph's
+ * prefix-cycle arrays; the configuration-dependent part is
+ * materialized on the fly:
+ *
+ *  - rewind/restart edges: an exposed load of epoch B at predicted
+ *    time t_l is violated by the earliest store of an older epoch A to
+ *    the same line at t_s > t_l. B rewinds to the sub-thread
+ *    checkpoint containing the load (checkpoints placed from the
+ *    configuration: fixed grid, adaptive, or predicted-risk points via
+ *    core/critpath/placement.h) and re-executes from there starting at
+ *    t_s + violationDeliveryLatency. Re-executed record times shift as
+ *    a piecewise timeline (one segment per applied rewind), and a
+ *    store fires at most once — mirroring the machine, where a store
+ *    checks violations exactly when it executes;
+ *
+ *  - secondary squash waves: a primary violation on epoch B squashes
+ *    every younger epoch already in flight at the same instant (the
+ *    machine's Figure 4(b) selective restart). The joint restart
+ *    re-synchronizes the pipeline — victims' re-executed loads land
+ *    after the primary's re-executed stores — so one violation does
+ *    not cascade a rewind into every later epoch of the section;
+ *
+ *  - commit edges: epochs commit in order; a finished body waits for
+ *    its predecessor's commit (the homefree token);
+ *
+ *  - occupancy edges: a parallel section cannot finish faster than its
+ *    total first-touch line traffic can cross the L2 banks.
+ *
+ * The per-edge-class attribution walks the committing chain backward
+ * (lane chains stitched by commit waits), so Program + Occupancy +
+ * Raw + Commit equals the predicted makespan exactly.
+ *
+ * The prediction is an abstraction, not a bisimulation: secondary
+ * violations, latch serialization, L1 flushes on squash, and
+ * contention transients are abstracted away. The `critpath` ctest gate
+ * (tests/critpath) asserts the residual error stays inside the stated
+ * band after single-point calibration; bench_figure6_sweep's
+ * --prune=oracle spends the prediction to skip simulations.
+ */
+
+#ifndef CORE_CRITPATH_ANALYZER_H
+#define CORE_CRITPATH_ANALYZER_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+#include "core/critpath/graph.h"
+
+namespace tlsim {
+namespace critpath {
+
+/** Sub-thread start-point placement policies the analyzer can price. */
+enum class Placement {
+    Fixed, ///< every `spacing` speculative instructions
+    Risk,  ///< at predicted exposed-load risk records (placement.h)
+};
+
+const char *placementName(Placement p);
+
+/** One point of the configuration space to predict. */
+struct AnalyzerConfig
+{
+    unsigned subthreads = 8;
+    std::uint64_t spacing = 5000;
+    bool adaptiveSpacing = false;
+    Placement placement = Placement::Fixed;
+    /** Transactions excluded from the measured region (must match the
+     *  simulation being predicted). */
+    unsigned warmupTxns = 0;
+};
+
+/** The analyzer's output for one configuration. */
+struct Prediction
+{
+    Cycle makespan = 0;
+    /** Predicted primary violations (rewind edges taken). */
+    std::uint64_t violations = 0;
+    /** Cycle attribution; sums exactly to makespan. */
+    std::array<Cycle, kNumEdgeClasses> edgeCycles{};
+
+    Cycle edge(EdgeClass c) const
+    {
+        return edgeCycles[static_cast<unsigned>(c)];
+    }
+};
+
+/**
+ * Evaluates configurations against one DepGraph. Holds reusable
+ * scratch, so sweeping many grid points allocates only on the first
+ * call. Not thread-safe; use one Analyzer per thread (the graph
+ * itself is shared read-only).
+ */
+class Analyzer
+{
+  public:
+    explicit Analyzer(const DepGraph &graph);
+
+    /** Predict the makespan of a Tls-mode replay at `cfg`. */
+    Prediction predict(const AnalyzerConfig &cfg);
+
+  private:
+    /** Per-epoch runtime state within the current parallel section. */
+    struct EpochState
+    {
+        /** Piecewise execution timeline: records >= fromRec (up to
+         *  the next segment) run at base plus the span cost from
+         *  fromRec. One extra segment per applied rewind. Records up
+         *  to replayUpTo were already executed before the rewind and
+         *  re-price with the graph's escape-skipping replay prefix
+         *  (the machine's escapedDone skip); later records pay full
+         *  first-execution cost. replayUpTo == 0 on the original
+         *  segment. */
+        struct Seg
+        {
+            std::uint32_t fromRec = 0;
+            Cycle base = 0;
+            std::uint32_t replayUpTo = 0;
+        };
+
+        std::vector<Seg> segs;
+        std::vector<std::uint32_t> cpRecs; ///< checkpoint record idxs
+        Cycle start = 0;
+        Cycle end = 0;    ///< body completion (after rewinds)
+        /** Furthest record index this epoch had executed past before
+         *  any squash so far (monotone across rewinds). */
+        std::uint32_t reached = 0;
+        /** Whether any rewind (primary or secondary) has been applied;
+         *  segs.size() cannot tell, since a rewind to record 0
+         *  replaces the original segment instead of appending. */
+        bool rewound = false;
+        Cycle commit = 0;
+        Cycle rawAdded = 0;    ///< cycles added by rewind edges
+        Cycle commitWait = 0;
+    };
+
+    void runParallelSection(const SectionNode &sec,
+                            const AnalyzerConfig &cfg, Prediction &p);
+
+    /** Absolute predicted time record `rec` of `node` completes. */
+    static Cycle timeOf(const EpochState &st, const EpochNode &node,
+                        std::uint32_t rec);
+
+    /** Largest record index whose predicted time is <= t (the record
+     *  the epoch had reached at t); timeOf is monotone in rec. */
+    static std::uint32_t recAt(const EpochState &st,
+                               const EpochNode &node, Cycle t);
+
+    /** Fill st.cpRecs from the configuration's placement policy. */
+    void placeCheckpoints(const EpochNode &node,
+                          const AnalyzerConfig &cfg, EpochState &st);
+
+    const DepGraph &graph_;
+    std::vector<EpochState> states_;     ///< scratch, per section
+    std::vector<Cycle> laneFree_;        ///< scratch, per CPU lane
+    std::vector<std::uint64_t> spawnScratch_;
+    std::vector<std::uint64_t> consumed_; ///< fired (epoch,store) keys
+    /** Primary-violation squash waves of the current section:
+     *  (store time, primary epoch index). Younger epochs in flight at
+     *  that time take a secondary rewind. */
+    std::vector<std::pair<Cycle, std::uint32_t>> waves_;
+    std::vector<Cycle> waveScratch_; ///< sorted wave times, per epoch
+};
+
+} // namespace critpath
+} // namespace tlsim
+
+#endif // CORE_CRITPATH_ANALYZER_H

@@ -1,0 +1,58 @@
+#include "core/critpath/placement.h"
+
+namespace tlsim {
+namespace critpath {
+
+void
+selectRiskSpawnPoints(const std::vector<std::uint32_t> &risk_offsets,
+                      std::uint64_t spec_inst_count,
+                      unsigned subthreads, std::uint64_t spacing,
+                      std::vector<std::uint64_t> &out)
+{
+    out.clear();
+    if (subthreads < 2)
+        return;
+    const unsigned slots = subthreads - 1;
+
+    // Thin the (ascending, pre-deduped) candidates to the minimum gap,
+    // keeping the earliest offset of each cluster.
+    std::uint64_t last = 0; // checkpoint 0 always exists
+    for (std::uint32_t off : risk_offsets) {
+        if (off >= spec_inst_count)
+            break; // a spawn past the epoch body never triggers
+        if (off == 0 || off - last < kMinRiskGap)
+            continue;
+        out.push_back(off);
+        last = off;
+    }
+
+    if (out.empty()) {
+        // No predicted dependences: fixed grid.
+        for (unsigned j = 1; j <= slots; ++j) {
+            std::uint64_t s = spacing * j;
+            if (s >= spec_inst_count)
+                break;
+            out.push_back(s);
+        }
+        return;
+    }
+
+    if (out.size() <= slots)
+        return;
+
+    // More risk points than contexts: keep an evenly-strided subset so
+    // coverage spans the epoch instead of clustering at its start.
+    std::vector<std::uint64_t> picked;
+    picked.reserve(slots);
+    const std::size_t n = out.size();
+    for (unsigned j = 0; j < slots; ++j) {
+        std::size_t idx = (static_cast<std::size_t>(j) * n) / slots;
+        if (!picked.empty() && out[idx] <= picked.back())
+            continue;
+        picked.push_back(out[idx]);
+    }
+    out = std::move(picked);
+}
+
+} // namespace critpath
+} // namespace tlsim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Predicted-risk sub-thread start-point placement (Section 5.1 of the
+ * paper suggests placing sub-thread start points at likely dependence
+ * points instead of a fixed spacing; the critical-path oracle makes
+ * that prediction available offline).
+ *
+ * The candidates are an epoch's *risk offsets*: the speculative
+ * instruction counts at which the trace pre-analysis found an exposed
+ * load of a conflict-candidate line (EpochView::riskOffsets). A
+ * checkpoint taken exactly at such an offset means a violation of that
+ * load rewinds zero speculative work.
+ *
+ * The same selection runs in two places and must agree: the TLS
+ * machine (TlsConfig::riskPlacement) places real checkpoints with it,
+ * and the critical-path analyzer prices the resulting rewind edges.
+ */
+
+#ifndef CORE_CRITPATH_PLACEMENT_H
+#define CORE_CRITPATH_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace tlsim {
+namespace critpath {
+
+/**
+ * Minimum speculative instructions between two selected start points:
+ * checkpoints closer than this protect almost no extra work but still
+ * consume one of the k contexts. The same floor the machine applies
+ * to adaptive spacing.
+ */
+inline constexpr std::uint64_t kMinRiskGap = 200;
+
+/**
+ * Select up to `subthreads - 1` sub-thread spawn thresholds (ascending
+ * speculative-instruction counts, exclusive of 0) for one epoch.
+ *
+ * Policy: risk offsets are thinned to a minimum gap of kMinRiskGap
+ * (keeping the earliest of each cluster — the earliest exposed load of
+ * a cluster is the one a violation rewinds to), then, if more remain
+ * than contexts, an evenly-strided subset is kept so the checkpoints
+ * still cover the whole epoch. With no risk candidates at all the
+ * epoch falls back to the fixed grid `spacing, 2*spacing, ...` — no
+ * predicted dependences means spacing exists only to bound overflow
+ * rewinds, which fixed placement already does.
+ *
+ * `out` is overwritten (capacity reused across epochs).
+ */
+void selectRiskSpawnPoints(const std::vector<std::uint32_t> &risk_offsets,
+                           std::uint64_t spec_inst_count,
+                           unsigned subthreads, std::uint64_t spacing,
+                           std::vector<std::uint64_t> &out);
+
+} // namespace critpath
+} // namespace tlsim
+
+#endif // CORE_CRITPATH_PLACEMENT_H

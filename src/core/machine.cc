@@ -5,8 +5,16 @@
 
 #include "base/log.h"
 #include "base/stats.h"
+#include "core/critpath/placement.h"
 
 namespace tlsim {
+
+namespace {
+
+/** nextSpawn sentinel: no further sub-thread spawns this epoch. */
+constexpr std::uint64_t kNoSpawn = ~std::uint64_t{0};
+
+} // namespace
 
 const char *
 execModeName(ExecMode m)
@@ -357,6 +365,20 @@ TlsMachine::startNextEpoch(CpuId cpu)
             200, trace->specInstCount / k_ + 1);
     }
     run->nextSpawn = run->spacing;
+    if (cfg_.tls.riskPlacement && k_ > 1) {
+        // Predicted-risk placement: spawn right before the exposed
+        // conflict loads the trace pre-analysis flagged, instead of on
+        // the fixed grid. Same selection the critical-path analyzer
+        // prices (core/critpath/placement.h).
+        critpath::selectRiskSpawnPoints(run->view->riskOffsets,
+                                        trace->specInstCount, k_,
+                                        run->spacing,
+                                        run->spawnPoints);
+        run->spawnIdx = 0;
+        run->nextSpawn = run->spawnPoints.empty()
+                             ? kNoSpawn
+                             : run->spawnPoints.front();
+    }
     run->startTable.assign(static_cast<std::size_t>(numCpus_) * k_,
                            {kNoEpoch, 0});
     mem_.epochBoundary(cpu);
@@ -857,7 +879,14 @@ TlsMachine::maybeSpawnSubthread(EpochRun &run)
     run.cps.push_back(
         {run.cursor, core.checkpoint(), run.specInsts,
          static_cast<std::uint32_t>(run.deferredChecks.size())});
-    run.nextSpawn += run.spacing;
+    if (!run.spawnPoints.empty()) {
+        ++run.spawnIdx;
+        run.nextSpawn = run.spawnIdx < run.spawnPoints.size()
+                            ? run.spawnPoints[run.spawnIdx]
+                            : kNoSpawn;
+    } else {
+        run.nextSpawn += run.spacing;
+    }
     ++stats_.subthreadsStarted;
 
     // subthreadStart message: logically-later threads record which of
@@ -1020,7 +1049,18 @@ TlsMachine::applySquash(EpochRun &run)
     run.cursor = cp.recIdx;
     run.curSub = sub;
     run.specInsts = cp.specInsts;
-    run.nextSpawn = cp.specInsts + run.spacing;
+    if (!run.spawnPoints.empty()) {
+        // Re-arm at the first threshold past the restored checkpoint.
+        run.spawnIdx = static_cast<std::size_t>(
+            std::upper_bound(run.spawnPoints.begin(),
+                             run.spawnPoints.end(), cp.specInsts) -
+            run.spawnPoints.begin());
+        run.nextSpawn = run.spawnIdx < run.spawnPoints.size()
+                            ? run.spawnPoints[run.spawnIdx]
+                            : kNoSpawn;
+    } else {
+        run.nextSpawn = cp.specInsts + run.spacing;
+    }
     if (run.deferredChecks.size() > cp.deferredCount)
         run.deferredChecks.resize(cp.deferredCount);
     run.inEscape = false; // checkpoints never sit inside escapes

@@ -180,6 +180,15 @@ class TlsMachine : public TlsHooks
         std::uint64_t nextSpawn = 0;
         std::uint64_t spacing = 0; ///< per-epoch sub-thread spacing
 
+        /**
+         * Predicted-risk placement (TlsConfig::riskPlacement): the
+         * epoch's explicit spawn thresholds, ascending; spawnIdx is
+         * the next one to fire (== nextSpawn while any remain). Empty
+         * under fixed placement, where nextSpawn advances by spacing.
+         */
+        std::vector<std::uint64_t> spawnPoints;
+        std::size_t spawnIdx = 0;
+
         bool inEscape = false;
         unsigned escapedDone = 0; ///< completed escape regions (high water)
         unsigned latchesHeld = 0;
@@ -215,6 +224,8 @@ class TlsMachine : public TlsHooks
             specInsts = 0;
             nextSpawn = 0;
             spacing = 0;
+            spawnPoints.clear();
+            spawnIdx = 0;
             inEscape = false;
             escapedDone = 0;
             latchesHeld = 0;

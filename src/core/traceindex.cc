@@ -226,9 +226,17 @@ TraceIndex::pack(const EpochFlags &flags)
         v.addr32.resize(n);
         std::vector<Addr> fp;
         bool esc = false;
+        std::uint64_t spec = 0; // machine's specInsts before record i
 
         for (std::size_t i = 0; i < n; ++i) {
             const TraceRecord &r = e.records[i];
+            if (!esc && r.op == TraceOp::Load && (f[i] & 1) &&
+                !(f[i] & 2) && spec > 0 &&
+                (v.riskOffsets.empty() ||
+                 v.riskOffsets.back() !=
+                     checkedNarrow<std::uint32_t>(spec)))
+                v.riskOffsets.push_back(
+                    checkedNarrow<std::uint32_t>(spec));
             if (r.size > EpochView::kSizeMask)
                 panic("TraceIndex: record size %u exceeds the packed "
                       "head's 7-bit field",
@@ -258,12 +266,15 @@ TraceIndex::pack(const EpochFlags &flags)
             v.head[i] = head;
             v.pc[i] = r.pc;
 
-            if (r.op == TraceOp::EscapeBegin)
+            if (r.op == TraceOp::EscapeBegin) {
                 esc = true;
-            else if (r.op == TraceOp::EscapeEnd)
-                esc = false;
-            else if (isMemOp(r.op) && !esc)
-                fp.push_back(geom.lineNum(r.addr));
+            } else if (r.op == TraceOp::EscapeEnd) {
+                esc = false; // brackets charge no speculative insts
+            } else if (!esc) {
+                if (isMemOp(r.op))
+                    fp.push_back(geom.lineNum(r.addr));
+                spec += recordInsts(r);
+            }
         }
 
         std::sort(fp.begin(), fp.end());

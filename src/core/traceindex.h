@@ -86,6 +86,17 @@ struct EpochView
     /** Speculatively-accessible lines this epoch touches, sorted. */
     std::vector<Addr> footprint;
 
+    /**
+     * Risk offsets: the speculative-instruction counts at which this
+     * epoch issues an exposed load of a conflict-candidate line —
+     * i.e. the machine's specInsts value right before the record, the
+     * coordinate a sub-thread spawn threshold is compared against.
+     * Ascending, deduplicated, 0 excluded (the epoch start is already
+     * a checkpoint). Input to predicted-risk sub-thread placement
+     * (core/critpath/placement.h).
+     */
+    std::vector<std::uint32_t> riskOffsets;
+
     std::size_t size() const { return head.size(); }
 
     static TraceOp op(std::uint32_t h)

@@ -36,6 +36,8 @@ EXPECTATIONS = {
                   [("T2", 10), ("T2", 12)], 1, 0),
     "t3_bad.cc": ("src/sim/traceio.cc",
                   [("T3", 10), ("T3", 12)], 1, 0),
+    "t3_critpath_bad.cc": ("src/core/critpath/graph.cc",
+                           [("T3", 12), ("T3", 15)], 1, 0),
     "t4_bad.cc": ("bench/bench_rogue.cc",
                   [("T4", 8)], 1, 0),
     "suppressed_ok.cc": ("src/sim/traceio.cc",

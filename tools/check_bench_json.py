@@ -23,6 +23,12 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "dpor_reduction": <number >= 5>,
         "violations": 0               # sweeps must be clean
       },
+      "critpath": {                   # optional; --prune=oracle sweeps
+        "predicted_makespan": <number > 0>,   # calibrated, all points
+        "band_error": <number in [0, 1)>,     # worst observed residual
+        "points_total": <number > 0>,
+        "points_simulated": <number >= 1>     # must prune >= 2x
+      },
       "staticanalysis": {             # optional; tlslint --json only
         "engine": "libclang"|"lex",
         "checks_run": <int >= 4>,     # all of T1..T4 must have run
@@ -117,6 +123,39 @@ def check_modelcheck(path, mc):
     return ok
 
 
+def check_critpath(path, cp):
+    if not isinstance(cp, dict):
+        return fail(path, "'critpath' is not an object")
+    ok = True
+    predicted = cp.get("predicted_makespan")
+    if not is_num(predicted) or predicted <= 0:
+        ok = fail(path, "critpath 'predicted_makespan' must be a "
+                        f"number > 0, got {predicted!r}")
+    band = cp.get("band_error")
+    if not is_num(band) or band < 0 or band >= 1:
+        # The oracle is only useful while calibrated predictions and
+        # simulations agree to well under the makespan itself; the
+        # tight accuracy gate is the `critpath` ctest label at its
+        # stated configuration (EXPERIMENTS.md), this bound catches a
+        # predictor that has come off the rails entirely.
+        ok = fail(path, "critpath 'band_error' must be a number in "
+                        f"[0, 1), got {band!r}")
+    total = cp.get("points_total")
+    simulated = cp.get("points_simulated")
+    if not is_num(total) or total <= 0:
+        ok = fail(path, "critpath 'points_total' must be a number "
+                        f"> 0, got {total!r}")
+    if not is_num(simulated) or simulated < 1:
+        ok = fail(path, "critpath 'points_simulated' must be a number "
+                        f">= 1, got {simulated!r}")
+    if is_num(total) and is_num(simulated) and 2 * simulated > total:
+        # The pruned sweep's reason to exist: at most half the grid
+        # may have been simulated.
+        ok = fail(path, "critpath pruning must simulate at most half "
+                        f"the grid: {simulated!r} of {total!r}")
+    return ok
+
+
 def check_staticanalysis(path, sa):
     if not isinstance(sa, dict):
         return fail(path, "'staticanalysis' is not an object")
@@ -194,6 +233,8 @@ def check_file(path):
         ok = check_audit(path, doc["audit"]) and ok
     if "modelcheck" in doc:
         ok = check_modelcheck(path, doc["modelcheck"]) and ok
+    if "critpath" in doc:
+        ok = check_critpath(path, doc["critpath"]) and ok
     if "staticanalysis" in doc:
         ok = check_staticanalysis(path, doc["staticanalysis"]) and ok
     if "replay" in doc:

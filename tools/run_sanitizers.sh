@@ -46,6 +46,13 @@ run_asan() {
     echo "=== ASan+UBSan: full unit-test suite ==="
     ctest --test-dir "$root/build-asan" --output-on-failure \
         -j "$jobs" -L '^sanitize$'
+    # The critical-path oracle walks attacker-shaped trace bytes
+    # (record offsets, checkpoint tables) with hand-rolled index
+    # arithmetic; run its unit tests by name so they stay in this leg
+    # even if the sanitize label plumbing changes.
+    echo "=== ASan+UBSan: critical-path oracle unit tests ==="
+    ctest --test-dir "$root/build-asan" --output-on-failure \
+        -j "$jobs" -R '^Critpath(Graph|Analyzer|Placement)\.'
 }
 
 run_tsan() {

@@ -97,6 +97,13 @@ T2_SCOPE_DIRS = ("src/", "bench/", "tools/")
 T3_SCOPE_FILES = {
     "src/sim/traceio.h", "src/sim/traceio.cc",
     "src/core/traceindex.h", "src/core/traceindex.cc",
+    # The critical-path oracle re-decodes the same untrusted v4 trace
+    # bytes (record ids, line addresses, checkpoint offsets) on its
+    # analysis side; narrowing there must go through checkedNarrow<>
+    # just like the primary decode path.
+    "src/core/critpath/graph.h", "src/core/critpath/graph.cc",
+    "src/core/critpath/analyzer.h", "src/core/critpath/analyzer.cc",
+    "src/core/critpath/placement.h", "src/core/critpath/placement.cc",
 }
 T3_NARROW_TYPES = {
     "std::uint8_t", "std::uint16_t", "std::uint32_t",
