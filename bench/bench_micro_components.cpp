@@ -87,8 +87,10 @@ BM_SpecStateLoadStore(benchmark::State &state)
     for (auto _ : state) {
         Addr line = static_cast<Addr>(rng.uniform(0, 4095));
         if (i++ & 1)
+            // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
             s.recordStore(3, line, 0xF);
         else
+            // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
             benchmark::DoNotOptimize(s.recordLoad(2, mask, line, 0x3));
         if ((i & 0xFFF) == 0)
             s.reset();
@@ -167,8 +169,10 @@ BM_SpecStateBaselineMap(benchmark::State &state)
     for (auto _ : state) {
         Addr line = static_cast<Addr>(rng.uniform(0, 4095));
         if (i++ & 1)
+            // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
             s.recordStore(3, line, 0xF);
         else
+            // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
             benchmark::DoNotOptimize(s.recordLoad(2, mask, line, 0x3));
         if ((i & 0xFFF) == 0)
             s.reset();
@@ -184,8 +188,10 @@ BM_SpecStateSameLineProbe(benchmark::State &state)
     SpecState s(32);
     Addr line = 1234;
     for (auto _ : state) {
+        // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
         s.recordStore(3, line, 0xF);
         benchmark::DoNotOptimize(s.slHolders(line));
+        // tlsa:allow(A2): standalone SpecState microbenchmark; no protocol state, the machine's audited seam is not involved
         benchmark::DoNotOptimize(s.recordLoad(2, 0xFF, line, 0x3));
     }
     state.SetItemsProcessed(state.iterations() * 3);

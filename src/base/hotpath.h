@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The TLSIM_HOT function attribute: marks the replay hot loop and the
+ * kernels it leans on (varint block decode, SIMD mask scans, the
+ * critical-path analyzer's inner loops).
+ *
+ * Two consumers:
+ *
+ *  - the compiler: [[gnu::hot]] biases inlining/layout toward these
+ *    functions on GCC/Clang (a no-op elsewhere);
+ *
+ *  - tlsa (tools/tlsa.py, pass A3): every function transitively
+ *    reachable from a TLSIM_HOT root through resolved calls must be
+ *    free of `new`/malloc, push_back on never-reserved receivers,
+ *    and node-based-container mutations. tlsa keys on the literal
+ *    spelling `TLSIM_HOT`, so do not alias or wrap this macro.
+ *
+ * Annotate the ROOT of a hot region (the batch loop, the kernel
+ * entry); callees inherit the discipline through the call graph and
+ * do not need their own annotation. A genuinely cold call out of a
+ * hot function (error paths, one-time growth) is pruned with a
+ * reasoned allow(A3) suppression comment on the call line.
+ */
+
+#ifndef BASE_HOTPATH_H
+#define BASE_HOTPATH_H
+
+#if defined(__GNUC__) || defined(__clang__)
+#define TLSIM_HOT [[gnu::hot]]
+#else
+#define TLSIM_HOT
+#endif
+
+#endif // BASE_HOTPATH_H

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "base/hotpath.h"
+
 #if defined(__x86_64__) && defined(TLSIM_SIMD) && TLSIM_SIMD
 #define TLSIM_SIMD_X86 1
 #else
@@ -95,7 +97,7 @@ std::uint32_t maskedUnion64Avx2(const std::uint32_t *vals,
                                 std::uint64_t owners);
 #endif
 
-inline std::uint64_t
+TLSIM_HOT inline std::uint64_t
 matchMask64(const std::uint64_t *keys, unsigned n, std::uint64_t key)
 {
 #if TLSIM_SIMD_X86
@@ -105,7 +107,7 @@ matchMask64(const std::uint64_t *keys, unsigned n, std::uint64_t key)
     return matchMask64Scalar(keys, n, key);
 }
 
-inline std::uint32_t
+TLSIM_HOT inline std::uint32_t
 maskedUnion64(const std::uint32_t *vals, std::uint64_t owners)
 {
 #if TLSIM_SIMD_X86

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/hotpath.h"
 #include "base/log.h"
 #include "base/narrow.h"
 #include "core/critpath/placement.h"
@@ -39,7 +40,7 @@ placementName(Placement p)
 
 Analyzer::Analyzer(const DepGraph &graph) : graph_(graph) {}
 
-Cycle
+TLSIM_HOT Cycle
 Analyzer::timeOf(const EpochState &st, const EpochNode &node,
                  std::uint32_t rec)
 {
@@ -61,7 +62,7 @@ Analyzer::timeOf(const EpochState &st, const EpochNode &node,
     panic("critpath: record %u precedes every timeline segment", rec);
 }
 
-std::uint32_t
+TLSIM_HOT std::uint32_t
 Analyzer::recAt(const EpochState &st, const EpochNode &node, Cycle t)
 {
     std::uint32_t lo = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "base/hotpath.h"
 #include "base/log.h"
 #include "base/stats.h"
 #include "core/critpath/placement.h"
@@ -314,7 +315,12 @@ TlsMachine::acquireRun()
         return run;
     }
     ++poolAllocs_;
-    return std::make_unique<EpochRun>();
+    auto run = std::make_unique<EpochRun>();
+    // One-time sizing: recycle() keeps capacity, so reserving here
+    // makes the steady-state run loop allocation-free.
+    run->cps.reserve(cfg_.tls.subthreadsPerThread + 1);
+    run->heldLatches.reserve(16);
+    return run;
 }
 
 void
@@ -662,7 +668,7 @@ TlsMachine::stepCpu(CpuId cpu)
     }
 }
 
-[[gnu::hot, gnu::flatten]] void
+TLSIM_HOT [[gnu::flatten]] void
 TlsMachine::stepCpuBatch(CpuId cpu, Cycle bound, int bound_idx)
 {
     // `run` is stable across the batch: nothing inside stepCpu

@@ -32,10 +32,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "base/config.h"
+#include "base/lineset.h"
 #include "base/types.h"
 #include "core/audithooks.h"
 #include "core/profiler.h"
@@ -281,6 +281,8 @@ class TlsMachine : public TlsHooks
                     s.held = false;
                     s.owner = 0;
                     s.waiters.clear();
+                    if (s.waiters.capacity() == 0)
+                        s.waiters.reserve(8); // FIFO stays < numCpus
                     ++live_;
                     return s;
                 }
@@ -477,7 +479,7 @@ class TlsMachine : public TlsHooks
     std::vector<std::uint64_t> cpuSeqs_;
 
     /** Load PCs that have caused violations (dependence predictor). */
-    std::unordered_set<Pc> predictedLoads_;
+    LineSet predictedLoads_;
 
     AuditSink *audit_ = nullptr; ///< borrowed invariant auditor
     bool auditFull_ = false;     ///< per-access hook armed (Full level)

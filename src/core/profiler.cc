@@ -14,33 +14,38 @@ DependenceProfiler::recordViolation(Pc load_pc, Pc store_pc,
     totalFailed_ += failed_cycles;
     ++totalViolations_;
 
-    auto key = std::make_pair(load_pc, store_pc);
-    auto it = pairs_.find(key);
-    if (it == pairs_.end()) {
+    PairCost *hit = nullptr;
+    for (PairCost &p : pairs_) {
+        if (p.loadPc == load_pc && p.storePc == store_pc) {
+            hit = &p;
+            break;
+        }
+    }
+    if (!hit) {
         if (pairs_.size() >= maxEntries_) {
             // Reclaim the entry with the least total cycles (paper:
             // "when the list overflows, we want to reclaim the entry
             // with the least total cycles").
-            auto least = pairs_.begin();
-            for (auto i = pairs_.begin(); i != pairs_.end(); ++i) {
-                if (i->second.failedCycles < least->second.failedCycles)
-                    least = i;
+            PairCost *least = &pairs_.front();
+            for (PairCost &p : pairs_) {
+                if (p.failedCycles < least->failedCycles)
+                    least = &p;
             }
-            pairs_.erase(least);
+            *least = PairCost{load_pc, store_pc, 0, 0};
+            hit = least;
+        } else {
+            pairs_.push_back(PairCost{load_pc, store_pc, 0, 0});
+            hit = &pairs_.back();
         }
-        it = pairs_.emplace(key, PairCost{load_pc, store_pc, 0, 0}).first;
     }
-    it->second.failedCycles += failed_cycles;
-    ++it->second.violations;
+    hit->failedCycles += failed_cycles;
+    ++hit->violations;
 }
 
 std::vector<DependenceProfiler::PairCost>
 DependenceProfiler::report() const
 {
-    std::vector<PairCost> out;
-    out.reserve(pairs_.size());
-    for (const auto &[key, cost] : pairs_)
-        out.push_back(cost);
+    std::vector<PairCost> out(pairs_.begin(), pairs_.end());
     std::sort(out.begin(), out.end(),
               [](const PairCost &a, const PairCost &b) {
                   return a.failedCycles > b.failedCycles;

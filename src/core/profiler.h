@@ -11,9 +11,7 @@
 #define CORE_PROFILER_H
 
 #include <cstdint>
-#include <map>
 #include <string>
-#include <utility>
 #include <vector>
 
 #include "base/types.h"
@@ -78,6 +76,7 @@ class DependenceProfiler
     explicit DependenceProfiler(unsigned max_entries = 1024)
         : maxEntries_(max_entries)
     {
+        pairs_.reserve(maxEntries_);
     }
 
     /** Record one violation and the speculation cycles it wasted. */
@@ -97,7 +96,10 @@ class DependenceProfiler
 
   private:
     unsigned maxEntries_;
-    std::map<std::pair<Pc, Pc>, PairCost> pairs_;
+    /** Flat bounded table (<= maxEntries_, reserved up front): the
+     *  lookup is a linear scan, but violations are squash-rate rare
+     *  and the hardware analogue is a small CAM, not a tree. */
+    std::vector<PairCost> pairs_;
     std::uint64_t totalFailed_ = 0;
     std::uint64_t totalViolations_ = 0;
 };

@@ -13,6 +13,7 @@ L2Cache::L2Cache(const MemConfig &cfg, VictimCache &victim)
     if (!isPowerOf2(numSets_))
         panic("L2 set count %u not a power of two", numSets_);
     entries_.resize(static_cast<std::size_t>(numSets_) * assoc_);
+    overflowSet_.reserve(assoc_); // insert() refills it, one set at a time
 }
 
 L2Cache::Entry *

@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "base/hotpath.h"
+
 namespace tlsim {
 namespace sim {
 namespace varint {
@@ -114,7 +116,7 @@ decodeOne(const std::uint8_t *p, std::size_t avail, std::uint64_t *out,
  * caller can scatter partial results, refill the buffer at the
  * consumed offset, and continue. Never reads past p + avail.
  */
-inline Status
+TLSIM_HOT inline Status
 decodeBlock(const std::uint8_t *p, std::size_t avail, std::size_t count,
             std::uint64_t *out, std::size_t *decoded,
             std::size_t *consumed)

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -138,6 +139,55 @@ TEST(GlobalCounters, ConcurrentAddsAllLand)
         t.join();
     EXPECT_EQ(gc.value("gc_test.concurrent"),
               static_cast<std::uint64_t>(kThreads * kPerThread));
+    gc.reset();
+}
+
+// TSan-focused stress (run_sanitizers.sh tsan selects *Shared*
+// suites): increments racing value/snapshot reads and
+// snapshot-then-reset flushes on the singleton. A flush that resets
+// between its snapshot and another thread's add drops that add by
+// design — each operation is atomic under mtx_, the flush pair is
+// not — so the flushed total is bounded, not exact. What must hold
+// under TSan is that no operation races on counters_ itself.
+TEST(GlobalCountersSharedStress, IncrementsRacingFlushes)
+{
+    auto &gc = GlobalCounters::instance();
+    gc.reset();
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 2000;
+    std::atomic<bool> stop{false};
+
+    std::uint64_t flushed = 0;
+    std::thread flusher([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            for (const auto &kv : gc.snapshot())
+                flushed += kv.second;
+            gc.reset();
+            std::this_thread::yield();
+        }
+    });
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            (void)gc.value("gc_stress.racy");
+            std::this_thread::yield();
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t)
+        writers.emplace_back([&] {
+            for (int i = 0; i < kPerWriter; ++i)
+                gc.add("gc_stress.racy");
+        });
+    for (auto &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    flusher.join();
+    reader.join();
+
+    flushed += gc.value("gc_stress.racy");
+    EXPECT_GT(flushed, 0u);
+    EXPECT_LE(flushed,
+              static_cast<std::uint64_t>(kWriters * kPerWriter));
     gc.reset();
 }
 

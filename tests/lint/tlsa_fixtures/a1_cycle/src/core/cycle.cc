@@ -1,0 +1,18 @@
+// A1 fixture: first() nests A -> B, second() nests B -> A. Neither
+// order alone is wrong, but together they form a wait-for cycle.
+
+void
+Engine::first()
+{
+    MutexLock a(amtx_);
+    MutexLock b(bmtx_);
+    ++steps_;
+}
+
+void
+Engine::second()
+{
+    MutexLock b(bmtx_);
+    MutexLock a(amtx_);
+    ++steps_;
+}

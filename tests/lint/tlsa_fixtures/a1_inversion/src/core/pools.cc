@@ -1,0 +1,17 @@
+// A1 fixture: the declared order says Pool::mtx_ may be held while
+// acquiring Registry::mtx_; refresh() nests them the other way round
+// (through a call made under the lock), which is an inversion.
+
+void
+Registry::refresh()
+{
+    MutexLock reg(mtx_);
+    pool_.grab(); // inversion witnessed here
+}
+
+void
+Pool::grab()
+{
+    MutexLock guard(mtx_);
+    ++grabs_;
+}

@@ -1,0 +1,14 @@
+// A2 fixture: a file outside the audited modules calls a
+// speculative-state mutator directly; no AuditSink hook can see it.
+
+void
+Rogue::poke()
+{
+    spec_.recordStore(kLine);
+}
+
+void
+Rogue::harmless()
+{
+    log_.append(kLine); // not a mutator: no diagnostic
+}

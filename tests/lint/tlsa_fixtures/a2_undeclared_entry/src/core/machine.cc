@@ -1,0 +1,7 @@
+// Audited module: step() legitimately mutates speculative state.
+
+void
+TlsMachine::step()
+{
+    spec_.recordStore(line_);
+}

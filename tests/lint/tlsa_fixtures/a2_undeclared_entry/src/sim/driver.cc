@@ -1,0 +1,7 @@
+// External caller: reaches the mutators through an undeclared entry.
+
+void
+Driver::go()
+{
+    machine_.step();
+}

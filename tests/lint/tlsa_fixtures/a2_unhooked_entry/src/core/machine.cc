@@ -1,0 +1,7 @@
+// Audited module: the declared entry forgets to fire any hook.
+
+void
+TlsMachine::step()
+{
+    spec_.recordStore(line_);
+}

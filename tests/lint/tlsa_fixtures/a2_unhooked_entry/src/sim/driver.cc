@@ -1,0 +1,5 @@
+void
+Driver::go()
+{
+    machine_.step();
+}

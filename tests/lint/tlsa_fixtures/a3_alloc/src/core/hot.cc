@@ -1,0 +1,21 @@
+// A3 fixture: the hot root grows a never-reserved vector, and its
+// callee allocates with `new`.
+
+TLSIM_HOT void
+Engine::step()
+{
+    buf_.push_back(nextRecord());
+    refill();
+}
+
+void
+Engine::refill()
+{
+    scratch_ = new Record[kBatch];
+}
+
+void
+Engine::coldSetup()
+{
+    setup_.push_back(0); // not reachable from a hot root: no diagnostic
+}

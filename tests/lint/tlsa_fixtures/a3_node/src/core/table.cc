@@ -1,0 +1,10 @@
+// A3 fixture: a per-element-allocating container local inside a
+// TLSIM_HOT function, plus a mutation of it.
+
+TLSIM_HOT void
+Table::record(int key)
+{
+    std::map<int, int> hist;
+    hist.insert({key, 1});
+    ++records_;
+}

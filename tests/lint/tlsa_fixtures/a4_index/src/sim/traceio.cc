@@ -1,0 +1,21 @@
+// A4 fixture: the decoded output of decodeOne() indexes a table with
+// no checkedNarrow/bounds check in between.
+
+void
+Reader::load(const std::uint8_t *p, std::size_t avail)
+{
+    std::uint64_t v = 0;
+    std::size_t used = 0;
+    decodeOne(p, avail, &v, &used);
+    table_[v] = 1;
+}
+
+void
+Reader::loadChecked(const std::uint8_t *p, std::size_t avail)
+{
+    std::uint64_t v = 0;
+    std::size_t used = 0;
+    decodeOne(p, avail, &v, &used);
+    auto idx = checkedNarrow<std::uint16_t>(v);
+    table_[idx] = 1; // sanitized: no diagnostic
+}

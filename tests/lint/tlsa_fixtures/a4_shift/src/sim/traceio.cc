@@ -1,0 +1,22 @@
+// A4 fixture: the decoded output of decodeOne() becomes a shift
+// amount; >= width shifts are undefined behavior on untrusted input.
+
+void
+Reader::mask(const std::uint8_t *p, std::size_t avail)
+{
+    std::uint64_t v = 0;
+    std::size_t used = 0;
+    decodeOne(p, avail, &v, &used);
+    maskBits_ = kOne << v;
+}
+
+void
+Reader::maskBounded(const std::uint8_t *p, std::size_t avail)
+{
+    std::uint64_t v = 0;
+    std::size_t used = 0;
+    decodeOne(p, avail, &v, &used);
+    if (v >= 64)
+        return;
+    maskBits_ = kOne << v; // bounds-checked above: no diagnostic
+}

@@ -1,0 +1,8 @@
+// Suppression fixture: an allow with no reason must hard-error and
+// must NOT silence the underlying diagnostic.
+
+TLSIM_HOT void
+Engine::step()
+{
+    buf_.push_back(nextRecord()); // tlsa:allow(A3)
+}

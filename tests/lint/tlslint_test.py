@@ -44,6 +44,13 @@ EXPECTATIONS = {
                          [], 0, 1),
     "suppressed_noreason.cc": ("src/sim/traceio.cc",
                                [("T3", 12), ("allow-syntax", 12)], 1, 0),
+    # Lexer regressions (PR 8): encoding-prefixed raw strings and
+    # digit separators must tokenize as single literals — the quoted
+    # mutators stay invisible, the real ones keep their line numbers.
+    "lexer_rawstr.cc": ("src/sim/rogue.cc",
+                        [("T1", 14)], 1, 0),
+    "lexer_digitsep.cc": ("src/sim/rogue.cc",
+                          [("T1", 7)], 1, 0),
 }
 
 
@@ -109,6 +116,11 @@ def main():
             check(sa.get("suppressions") == want_supp,
                   f"{name}: json suppressions "
                   f"{sa.get('suppressions')} == {want_supp}")
+            census = sa.get("suppressions_by_check")
+            check(isinstance(census, dict) and
+                  sum(census.values()) == sa.get("suppressions"),
+                  f"{name}: json suppression census {census} sums to "
+                  "the suppression count")
             check(sa.get("files_scanned") == 1 and
                   sa.get("checks_run") == 4,
                   f"{name}: json files/checks counts")

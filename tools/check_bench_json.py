@@ -29,13 +29,17 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "points_total": <number > 0>,
         "points_simulated": <number >= 1>     # must prune >= 2x
       },
-      "staticanalysis": {             # optional; tlslint --json only
+      "staticanalysis": {             # optional; tlslint/tlsa --json
         "engine": "libclang"|"lex",
-        "checks_run": <int >= 4>,     # all of T1..T4 must have run
+        "checks_run": <int >= 4>,     # the tool's full check set ran
         "files_scanned": <int > 0>,
         "violations": 0,              # the tree must be clean
-        "suppressions": <int >= 0>    # reasoned allows, informational
-      },
+        "suppressions": <int >= 0>,   # reasoned allows, informational
+        "suppressions_by_check": {    # census; must sum to the count
+          "<check>": <int >= 0>, ...
+        }
+      },                              # per-pass results[] entries must
+                                      # each report violations == 0
       "replay": {                     # optional; absent only in
         "simd": "avx2"|"scalar",      # pre-replay-block reports
         "<counter>": <number >= 0>,   # the replay.* counter group
@@ -184,6 +188,41 @@ def check_staticanalysis(path, sa):
     if not isinstance(supp, int) or isinstance(supp, bool) or supp < 0:
         ok = fail(path, "staticanalysis 'suppressions' must be an "
                         f"integer >= 0, got {supp!r}")
+    census = sa.get("suppressions_by_check")
+    if not isinstance(census, dict):
+        ok = fail(path, "staticanalysis 'suppressions_by_check' must "
+                        f"be an object, got {census!r}")
+    else:
+        good = True
+        for k, v in census.items():
+            if not isinstance(k, str) or not k or \
+                    not isinstance(v, int) or isinstance(v, bool) or \
+                    v < 0:
+                good = ok = fail(
+                    path, "staticanalysis suppression census entry "
+                          f"{k!r}: {v!r} must map a check id to an "
+                          "integer >= 0")
+        if good and isinstance(supp, int) and \
+                sum(census.values()) != supp:
+            ok = fail(path, "staticanalysis suppression census sums "
+                            f"to {sum(census.values())}, but "
+                            f"'suppressions' says {supp!r}")
+    return ok
+
+
+def check_staticanalysis_results(path, results):
+    # With a staticanalysis block present, results[] carries one
+    # entry per pass; a clean report means every pass is clean, not
+    # just the total.
+    ok = True
+    for i, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            continue  # shape errors reported by check_result
+        v = entry.get("violations")
+        if v != 0 or isinstance(v, bool):
+            ok = fail(path, f"results[{i}] "
+                            f"({entry.get('name')!r}): per-pass "
+                            f"'violations' must be 0, got {v!r}")
     return ok
 
 
@@ -245,6 +284,8 @@ def check_file(path):
     else:
         for i, entry in enumerate(results):
             ok = check_result(path, i, entry) and ok
+        if "staticanalysis" in doc:
+            ok = check_staticanalysis_results(path, results) and ok
     return ok
 
 

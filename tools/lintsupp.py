@@ -1,0 +1,110 @@
+"""Shared infrastructure for the repo's static-analysis tools.
+
+tlslint (token-level repo invariants, PR 5) and tlsa (whole-program
+semantic passes) share one suppression grammar, one diagnostic shape,
+and one token shape, all defined here so the two tools cannot drift:
+
+    // <tool>:allow(<check>): <reason>
+
+where <tool> is `tlslint` or `tlsa` and <check> is a check id (T1..T4
+for tlslint, A1..A4 for tlsa). The reason is mandatory in BOTH tools:
+a bare allow — from either tool's grammar — is a hard `allow-syntax`
+error wherever it is seen, so the tree never accumulates unexplained
+exemptions even for the tool that is not currently running.
+
+Each tool only *honours* suppressions written in its own grammar (a
+tlsa:allow cannot silence a tlslint check and vice versa; the check-id
+namespaces are disjoint anyway), but both tools *count* every reasoned
+allow they see, per check id, into the combined suppression census
+that `--json` reports as `staticanalysis.suppressions_by_check`.
+"""
+
+import re
+
+#: Both tools' allow grammar. `tool` scopes which linter the allow is
+#: addressed to; `check` is deliberately loose (any word) so that a
+#: typoed check id still parses — and then suppresses nothing, which
+#: surfaces as the original diagnostic still firing.
+ALLOW_RE = re.compile(
+    r"(?P<tool>tlslint|tlsa):\s*allow\(\s*(?P<check>[A-Za-z][\w-]*)"
+    r"\s*\)\s*(?::\s*(?P<reason>\S.*))?")
+
+
+class Diagnostic:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+class Token:
+    """One lexed token: spelling, 1-based line, and a coarse kind."""
+
+    __slots__ = ("text", "line", "kind")
+
+    def __init__(self, text, line, kind):
+        self.text = text
+        self.line = line
+        self.kind = kind  # 'id', 'punct', 'lit', 'comment'
+
+
+class Suppressions:
+    """Per-file map of `// <tool>:allow(<check>): reason` comments.
+
+    A well-formed allow on line L addressed to `own_tool` suppresses
+    `check` on line L and — when the comment stands alone — on the
+    next line as well. An allow without a reason is itself a
+    diagnostic (and suppresses nothing), regardless of which tool it
+    addresses: every exemption in the tree must say why it is sound.
+
+    `by_check` is the combined census: reasoned allows seen for ANY
+    tool, keyed by check id (the T*/A* namespaces are disjoint).
+    """
+
+    def __init__(self, path, tokens, lines, own_tool):
+        self.allowed = {}  # line -> set of check ids (own tool only)
+        self.used = set()  # (line, check) pairs that fired
+        self.diags = []
+        self.count = 0  # reasoned allows addressed to own_tool
+        self.by_check = {}  # combined census: check -> reasoned count
+        for tok in tokens:
+            if tok.kind != "comment":
+                continue
+            for m in ALLOW_RE.finditer(tok.text):
+                tool = m.group("tool")
+                check = m.group("check")
+                reason = m.group("reason")
+                if not reason or not reason.strip():
+                    self.diags.append(Diagnostic(
+                        path, tok.line, "allow-syntax",
+                        f"{tool}:allow({check}) without a reason "
+                        f"string; write `// {tool}:allow({check}): "
+                        "<why this is sound>`"))
+                    continue
+                self.by_check[check] = self.by_check.get(check, 0) + 1
+                if tool != own_tool:
+                    continue
+                self.count += 1
+                span = [tok.line]
+                before = lines[tok.line - 1] if tok.line <= len(lines) \
+                    else ""
+                if before.lstrip().startswith(("//", "/*")):
+                    span.append(tok.line + 1)  # standalone comment
+                for ln in span:
+                    self.allowed.setdefault(ln, set()).add(check)
+
+    def suppresses(self, line, check):
+        if check in self.allowed.get(line, set()):
+            self.used.add((line, check))
+            return True
+        return False
+
+
+def merge_census(total, per_file):
+    """Accumulate one file's `by_check` census into `total`."""
+    for check, n in per_file.items():
+        total[check] = total.get(check, 0) + n

@@ -61,7 +61,8 @@ run_tsan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DTLSIM_SANITIZE=thread
     echo "=== TSan: build ==="
-    cmake --build "$root/build-tsan" -j "$jobs" --target test_sim
+    cmake --build "$root/build-tsan" -j "$jobs" \
+        --target test_base test_sim
     echo "=== TSan: threaded components ==="
     ctest --test-dir "$root/build-tsan" --output-on-failure \
         -j "$jobs" -R 'Executor|Parallel|Shared'
@@ -99,6 +100,11 @@ run_static() {
         --json "$root/build-tlslint-report.json"
     python3 "$root/tools/check_bench_json.py" \
         "$root/build-tlslint-report.json"
+    echo "=== static: tlsa ==="
+    python3 "$root/tools/tlsa.py" --root "$root" --require-manifests \
+        --json "$root/build-tlsa-report.json"
+    python3 "$root/tools/check_bench_json.py" \
+        "$root/build-tlsa-report.json"
 }
 
 case "$mode" in

@@ -61,6 +61,10 @@ import re
 import sys
 import time
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lintsupp  # noqa: E402  (same-directory shared module)
+from lintsupp import Diagnostic, Token  # noqa: E402
+
 # ---------------------------------------------------------------------
 # Check definitions
 # ---------------------------------------------------------------------
@@ -119,44 +123,27 @@ T4_SCOPE_DIRS = ("bench/",)
 DEFAULT_SCAN_DIRS = ("src", "bench", "tools")
 SOURCE_EXTS = (".h", ".cc", ".cpp")
 
-ALLOW_RE = re.compile(
-    r"tlslint:\s*allow\(\s*(T\d+)\s*\)\s*(?::\s*(\S.*))?")
-
-
-class Diagnostic:
-    def __init__(self, path, line, check, message):
-        self.path = path
-        self.line = line
-        self.check = check
-        self.message = message
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
-
-
-class Token:
-    """One lexed token: spelling, 1-based line, and a coarse kind."""
-
-    __slots__ = ("text", "line", "kind")
-
-    def __init__(self, text, line, kind):
-        self.text = text
-        self.line = line
-        self.kind = kind  # 'id', 'punct', 'lit', 'comment'
-
-
 # ---------------------------------------------------------------------
 # Tokenizers
 # ---------------------------------------------------------------------
 
+# Raw strings and ordinary string/char literals accept the standard
+# encoding prefixes (u8, u, U, L): `LR"(...)"` is one literal, not an
+# identifier `LR` followed by garbage — mis-lexing it would feed the
+# literal's *contents* to the rule matchers as if it were code.
+# Digit separators (`1'000'000`) are consumed only when the apostrophe
+# is followed by another digit/hex-digit, so a separator can never
+# swallow an adjacent char literal and an unmatched quote can never
+# swallow the code after it.
 _LEX_RE = re.compile(
     r"""
       (?P<comment>//[^\n]*|/\*.*?\*/)
-    | (?P<rawstr>R"(?P<delim>[^\s()\\]{0,16})\(.*?\)(?P=delim)")
-    | (?P<str>"(?:\\.|[^"\\\n])*")
-    | (?P<char>'(?:\\.|[^'\\\n])*')
+    | (?P<rawstr>(?:u8|u|U|L)?R"
+        (?P<delim>[^\s()\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>(?:u8|u|U|L)?"(?:\\.|[^"\\\n])*")
+    | (?P<char>(?:u8|u|U|L)?'(?:\\.|[^'\\\n])*')
     | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
-    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<num>\.?\d(?:[\w.]|'[0-9a-fA-F]|[eEpP][+-])*)
     | (?P<punct>::|->|\+\+|--|<<|>>|[{}()\[\];,<>=!&|^~?:.*/%+-]|\#)
     """,
     re.VERBOSE | re.DOTALL,
@@ -226,53 +213,6 @@ def make_tokenizer(engine):
                       file=sys.stderr)
                 sys.exit(2)
     return (lambda path, text: lex_tokens(text), "lex")
-
-
-# ---------------------------------------------------------------------
-# Suppressions
-# ---------------------------------------------------------------------
-
-class Suppressions:
-    """Per-file map of `// tlslint:allow(Tn): reason` comments.
-
-    A well-formed allow on line L suppresses check Tn on line L and —
-    when the comment stands alone — on the next line as well. An allow
-    without a reason is itself a diagnostic (and suppresses nothing):
-    every exemption in the tree must say why it is sound.
-    """
-
-    def __init__(self, path, tokens, lines):
-        self.allowed = {}  # line -> set of check ids
-        self.used = set()  # (line, check) pairs that fired
-        self.diags = []
-        self.count = 0
-        for tok in tokens:
-            if tok.kind != "comment":
-                continue
-            for m in ALLOW_RE.finditer(tok.text):
-                check, reason = m.group(1), m.group(2)
-                if not reason or not reason.strip():
-                    self.diags.append(Diagnostic(
-                        path, tok.line, "allow-syntax",
-                        f"tlslint:allow({check}) without a reason "
-                        "string; write "
-                        f"`// tlslint:allow({check}): <why this is "
-                        "sound>`"))
-                    continue
-                self.count += 1
-                span = [tok.line]
-                before = lines[tok.line - 1] if tok.line <= len(lines) \
-                    else ""
-                if before.lstrip().startswith(("//", "/*")):
-                    span.append(tok.line + 1)  # standalone comment
-                for ln in span:
-                    self.allowed.setdefault(ln, set()).add(check)
-
-    def suppresses(self, line, check):
-        if check in self.allowed.get(line, set()):
-            self.used.add((line, check))
-            return True
-        return False
 
 
 # ---------------------------------------------------------------------
@@ -416,7 +356,7 @@ CHECKS = {
 # Driver
 # ---------------------------------------------------------------------
 
-def scan_file(path, relpath, tokenizer, enabled, diags):
+def scan_file(path, relpath, tokenizer, enabled, diags, census):
     try:
         with open(path, encoding="utf-8", errors="replace") as f:
             text = f.read()
@@ -425,8 +365,9 @@ def scan_file(path, relpath, tokenizer, enabled, diags):
         return 0
     tokens = tokenizer(path, text)
     lines = text.splitlines()
-    supp = Suppressions(relpath, tokens, lines)
+    supp = lintsupp.Suppressions(relpath, tokens, lines, "tlslint")
     diags.extend(supp.diags)
+    lintsupp.merge_census(census, supp.by_check)
 
     def report(d):
         if not supp.suppresses(d.line, d.check):
@@ -453,7 +394,7 @@ def find_sources(root, paths):
 
 
 def write_json(path, engine, enabled, files_scanned, per_check,
-               suppressions, wall):
+               census, wall):
     violations = sum(per_check.values())
     doc = {
         "schema": "tlsim-bench-v1",
@@ -467,7 +408,11 @@ def write_json(path, engine, enabled, files_scanned, per_check,
             "checks_run": len(enabled),
             "files_scanned": files_scanned,
             "violations": violations,
-            "suppressions": suppressions,
+            # Combined census: reasoned allows for BOTH tools' grammars
+            # seen in the scanned files, keyed by check id (the
+            # tlslint T* and tlsa A* namespaces are disjoint).
+            "suppressions": sum(census.values()),
+            "suppressions_by_check": dict(sorted(census.items())),
         },
         "results": [
             {"name": c, "violations": per_check.get(c, 0)}
@@ -535,8 +480,10 @@ def main():
     tokenizer, engine = make_tokenizer(args.engine)
     diags = []
     suppressions = 0
+    census = {}
     for full, rel in sources:
-        suppressions += scan_file(full, rel, tokenizer, enabled, diags)
+        suppressions += scan_file(full, rel, tokenizer, enabled, diags,
+                                  census)
 
     diags.sort(key=lambda d: (d.path, d.line))
     per_check = {}
@@ -547,7 +494,7 @@ def main():
 
     if args.json:
         write_json(args.json, engine, enabled, len(sources), per_check,
-                   suppressions, time.monotonic() - start)
+                   census, time.monotonic() - start)
 
     if not args.quiet:
         verdict = (f"{len(diags)} violation(s)" if diags else "clean")
