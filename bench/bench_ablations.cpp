@@ -26,6 +26,7 @@
 
 #include "base/log.h"
 #include "bench/benchutil.h"
+#include "core/resulthash.h"
 #include "sim/experiment.h"
 
 using namespace tlsim;
@@ -209,6 +210,24 @@ main(int argc, char **argv)
         }
     }
 
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> caps;
+        {
+            det::Hash h;
+            h.u64(det::hashWorkloadTrace(traces->original));
+            h.u64(det::hashWorkloadTrace(traces->tls));
+            caps.push_back(h.value());
+        }
+        caps.push_back(det::hashWorkloadTrace(untuned));
+        for (std::size_t i = 1; i < kPlaceBench; ++i) {
+            det::Hash h;
+            h.u64(det::hashWorkloadTrace(place_traces[i]->original));
+            h.u64(det::hashWorkloadTrace(place_traces[i]->tls));
+            caps.push_back(h.value());
+        }
+        report.probe().stageItems("capture", caps);
+    }
+
     // ----- parallel execution ----------------------------------------
     std::vector<RunResult> res(jobs.size());
     ex.parallelFor(jobs.size(), [&](std::size_t i) {
@@ -220,6 +239,13 @@ main(int argc, char **argv)
             idx = traces->tlsIndex.get();
         res[i] = m.run(*jobs[i].w, jobs[i].mode, cfg.warmupTxns, idx);
     });
+
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> digests;
+        for (const RunResult &r : res)
+            digests.push_back(det::hashRunResult(r));
+        report.probe().stageItems("replay", digests);
+    }
 
     Cycle seq = res[j_seq].makespan;
 

@@ -30,6 +30,7 @@
 
 #include "base/log.h"
 #include "bench/benchutil.h"
+#include "core/resulthash.h"
 #include "sim/report.h"
 
 using namespace tlsim;
@@ -60,6 +61,16 @@ main(int argc, char **argv)
         cfgs.push_back(bench::configFor(type, args));
         traces.push_back(bench::capture(type, cfgs.back(), args));
     }
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> caps;
+        for (const sim::SharedTraces &t : traces) {
+            det::Hash h;
+            h.u64(det::hashWorkloadTrace(t->original));
+            h.u64(det::hashWorkloadTrace(t->tls));
+            caps.push_back(h.value());
+        }
+        report.probe().stageItems("capture", caps);
+    }
 
     // Parallel simulation phase: one task per (benchmark, bar).
     std::vector<RunResult> runs(benches.size() * bars.size());
@@ -68,6 +79,12 @@ main(int argc, char **argv)
         runs[i] = sim::runBar(bars[i % bars.size()], *traces[b],
                               cfgs[b]);
     });
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> digests;
+        for (const RunResult &r : runs)
+            digests.push_back(det::hashRunResult(r));
+        report.probe().stageItems("replay", digests);
+    }
 
     std::vector<sim::Figure5Row> rows;
     for (std::size_t b = 0; b < benches.size(); ++b) {
@@ -89,6 +106,20 @@ main(int argc, char **argv)
                  {"speedup", row.speedup(bar)}});
         }
         rows.push_back(std::move(row));
+    }
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> agg;
+        for (const sim::Figure5Row &row : rows) {
+            det::Hash h;
+            h.str(tpcc::txnTypeName(row.type));
+            for (const auto &[bar, r] : row.bars) {
+                h.str(sim::barName(bar));
+                h.u64(r.makespan);
+                h.f64(row.speedup(bar));
+            }
+            agg.push_back(h.value());
+        }
+        report.probe().stageItems("aggregate", agg);
     }
 
     sim::printSpeedupSummary(std::cout, rows);

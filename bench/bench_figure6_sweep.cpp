@@ -41,6 +41,7 @@
 #include "base/log.h"
 #include "bench/benchutil.h"
 #include "core/critpath/analyzer.h"
+#include "core/resulthash.h"
 #include "core/critpath/graph.h"
 #include "sim/report.h"
 
@@ -79,6 +80,16 @@ main(int argc, char **argv)
                      tpcc::txnTypeName(type));
         cfgs.push_back(bench::configFor(type, args));
         traces.push_back(bench::capture(type, cfgs.back(), args));
+    }
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> caps;
+        for (const sim::SharedTraces &t : traces) {
+            det::Hash h;
+            h.u64(det::hashWorkloadTrace(t->original));
+            h.u64(det::hashWorkloadTrace(t->tls));
+            caps.push_back(h.value());
+        }
+        report.probe().stageItems("capture", caps);
     }
 
     // Oracle phase: one dependence graph per benchmark scores the
@@ -171,6 +182,20 @@ main(int argc, char **argv)
     report.add("index_builds/sweep-phase",
                {{"builds", static_cast<double>(sweep_builds)}});
 
+    // Replay digests are taken before the oracle fills pruned points
+    // with predictions: only genuinely simulated results count.
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> digests;
+        for (std::size_t b = 0; b < sweep_benchmarks.size(); ++b) {
+            digests.push_back(det::hashRunResult(seqs[b]));
+            for (std::size_t j = 0; j < grid; ++j)
+                if (simulate[b][j])
+                    digests.push_back(
+                        det::hashRunResult(points[b][j].run));
+        }
+        report.probe().stageItems("replay", digests);
+    }
+
     // Calibrate the analyzer per benchmark on the BASELINE point and
     // fill the pruned points with the calibrated prediction; the band
     // error is the worst disagreement on frontier points that were
@@ -250,6 +275,21 @@ main(int argc, char **argv)
                        static_cast<unsigned long long>(p.spacing)),
                 std::move(fields));
         }
+    }
+    if (report.probe().enabled()) {
+        std::vector<std::uint64_t> agg;
+        for (std::size_t b = 0; b < sweep_benchmarks.size(); ++b) {
+            det::Hash h;
+            h.str(tpcc::txnTypeName(sweep_benchmarks[b]));
+            h.u64(seqs[b].makespan);
+            for (std::size_t j = 0; j < grid; ++j) {
+                h.u64(points[b][j].subthreads);
+                h.u64(points[b][j].spacing);
+                h.u64(points[b][j].run.makespan);
+            }
+            agg.push_back(h.value());
+        }
+        report.probe().stageItems("aggregate", agg);
     }
     return session.finish();
 }

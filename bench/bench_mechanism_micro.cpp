@@ -23,6 +23,7 @@
 #include "base/log.h"
 #include "bench/benchutil.h"
 #include "core/machine.h"
+#include "core/resulthash.h"
 #include "core/site.h"
 #include "core/tracer.h"
 
@@ -35,6 +36,17 @@ namespace {
 // (and recorded in the JSON) for a uniform bench interface.
 bench::BenchReport *g_report = nullptr;
 std::string g_section;
+
+// --det-probe digests, collected as each workload is built and each
+// run lands, folded into probe stages at the end of main().
+std::vector<std::uint64_t> g_captureDigests;
+std::vector<std::uint64_t> g_replayDigests;
+
+bool
+probing()
+{
+    return g_report && g_report->probe().enabled();
+}
 
 class MicroBuilder
 {
@@ -62,7 +74,10 @@ class MicroBuilder
         }
         t.loopEnd();
         t.txnEnd();
-        return t.takeWorkload();
+        WorkloadTrace w = t.takeWorkload();
+        if (probing())
+            g_captureDigests.push_back(det::hashWorkloadTrace(w));
+        return w;
     }
 
   private:
@@ -89,6 +104,8 @@ report(const char *label, const RunResult &r)
                 static_cast<unsigned long long>(r.rewoundInsts),
                 static_cast<unsigned long long>(r.primaryViolations +
                                                 r.secondaryViolations));
+    if (probing())
+        g_replayDigests.push_back(det::hashRunResult(r));
     if (g_report) {
         g_report->addSimulatedCycles(static_cast<double>(r.makespan));
         g_report->addReplayRecords(
@@ -254,6 +271,8 @@ ablationVictim()
         std::printf("  %-34s overflows %llu, makespan %llu\n", label,
                     static_cast<unsigned long long>(r.overflowEvents),
                     static_cast<unsigned long long>(r.makespan));
+        if (probing())
+            g_replayDigests.push_back(det::hashRunResult(r));
         if (g_report) {
             g_report->addSimulatedCycles(
                 static_cast<double>(r.makespan));
@@ -317,5 +336,9 @@ main(int argc, char **argv)
     figure4();
     ablationVictim();
     ablationAdaptive();
+    if (probing()) {
+        session.report.probe().stageItems("capture", g_captureDigests);
+        session.report.probe().stageItems("replay", g_replayDigests);
+    }
     return session.finish();
 }

@@ -194,6 +194,23 @@ main(int argc, char **argv)
     report.setModelcheck(static_cast<double>(states),
                          static_cast<double>(schedules), reduction,
                          violations);
+    if (report.probe().enabled()) {
+        // Timing fields (seconds, states/s) are excluded: the probe
+        // digests only the schedule-exploration counts, which must be
+        // identical for any --jobs value.
+        det::Hash h;
+        h.u64(states);
+        h.u64(schedules);
+        h.f64(reduction);
+        h.u64(violations);
+        h.u64(naive_scheds);
+        h.u64(dpor_scheds);
+        h.u64(bs.samples);
+        h.u64(bs.modelSteps);
+        h.u64(bs.auditChecks);
+        h.u64(bs.failures);
+        report.probe().stage("aggregate", h.value());
+    }
     if (violations) {
         std::fprintf(stderr, "bench_modelcheck: %u violations\n",
                      violations);

@@ -21,6 +21,7 @@
 
 #include "base/log.h"
 #include "bench/benchutil.h"
+#include "core/resulthash.h"
 #include "sim/report.h"
 
 using namespace tlsim;
@@ -44,6 +45,12 @@ main(int argc, char **argv)
     std::vector<sim::ExperimentConfig> cfgs(benches.size());
     std::vector<sim::SharedTraces> traces(benches.size());
     std::vector<sim::Table2Row> rows(benches.size());
+    // Per-index probe digests filled from inside the pipeline stages
+    // (index-assigned slots, so the pipelined overlap cannot reorder
+    // them) and folded after the barrier below.
+    std::vector<std::uint64_t> capDigests(benches.size());
+    std::vector<std::uint64_t> rowDigests(benches.size());
+    bool probing = report.probe().enabled();
     ex.pipeline(
         benches.size(),
         [&](std::size_t i) {
@@ -51,14 +58,36 @@ main(int argc, char **argv)
                          tpcc::txnTypeName(benches[i]));
             cfgs[i] = bench::configFor(benches[i], args);
             traces[i] = bench::capture(benches[i], cfgs[i], args);
+            if (probing) {
+                det::Hash h;
+                h.u64(det::hashWorkloadTrace(traces[i]->original));
+                h.u64(det::hashWorkloadTrace(traces[i]->tls));
+                capDigests[i] = h.value();
+            }
         },
         [&](std::size_t i) {
             rows[i] = sim::table2Row(benches[i], cfgs[i], *traces[i]);
+            if (probing) {
+                const sim::Table2Row &r = rows[i];
+                det::Hash h;
+                h.str(tpcc::txnTypeName(r.type));
+                h.f64(r.execMcycles);
+                h.f64(r.coverage);
+                h.f64(r.threadSizeInsts);
+                h.f64(r.specInstsPerThread);
+                h.f64(r.threadsPerTxn);
+                h.u64(r.epochs);
+                rowDigests[i] = h.value();
+            }
             // The shared traces are only needed for this row; free
             // them as the pipeline advances to bound live memory at
             // the prefetch window.
             traces[i] = sim::SharedTraces{};
         });
+    if (probing) {
+        report.probe().stageItems("capture", capDigests);
+        report.probe().stageItems("replay", rowDigests);
+    }
 
     sim::printTable2(std::cout, rows);
     for (const auto &r : rows) {

@@ -17,12 +17,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "base/config.h"
+#include "base/dethash.h"
 #include "base/log.h"
 #include "base/simd.h"
 #include "base/stats.h"
@@ -56,6 +58,9 @@ struct BenchArgs
     /** Sub-thread start-point policy: "fixed" spacing or predicted
      *  exposed-load "risk" records (TlsConfig::riskPlacement). */
     std::string placement = "fixed";
+    /** Hash the canonical result stream after each stage and emit the
+     *  digests in the `determinism` JSON block (base/dethash.h). */
+    bool detProbe = false;
 };
 
 [[noreturn]] inline void
@@ -67,7 +72,7 @@ usage(const char *prog, int code)
                  "[--json=FILE] [--trace-cache=DIR] "
                  "[--no-trace-index] [--audit=off|commit|full] "
                  "[--force-scalar] [--prune=none|oracle] "
-                 "[--placement=fixed|risk]\n"
+                 "[--placement=fixed|risk] [--det-probe]\n"
                  "  --quick            reduced TPC-C scale (CI)\n"
                  "  --txns=N           transactions per capture\n"
                  "  --jobs=N           parallel simulation points "
@@ -85,7 +90,9 @@ usage(const char *prog, int code)
                  "grid points with the critical-path analyzer and "
                  "simulates only the predicted frontier\n"
                  "  --placement=POLICY sub-thread start points: 'fixed' "
-                 "spacing or predicted-'risk' records\n",
+                 "spacing or predicted-'risk' records\n"
+                 "  --det-probe        hash the canonical result stream "
+                 "per stage into the 'determinism' JSON block\n",
                  prog);
     std::exit(code);
 }
@@ -142,6 +149,8 @@ parseArgs(int argc, char **argv)
             args.prune = value("--prune=");
         else if (a.rfind("--placement=", 0) == 0)
             args.placement = value("--placement=");
+        else if (a == "--det-probe")
+            args.detProbe = true;
         else if (a == "--help" || a == "-h")
             usage(argv[0], 0);
         else {
@@ -252,10 +261,13 @@ class BenchReport
     BenchReport(std::string bench, const BenchArgs &args,
                 unsigned resolved_jobs)
         : bench_(std::move(bench)), quick_(args.quick),
-          jobs_(resolved_jobs),
+          jobs_(resolved_jobs), probe_(args.detProbe),
           start_(std::chrono::steady_clock::now())
     {
     }
+
+    /** The --det-probe stage-digest collector (no-op when disabled). */
+    det::Probe &probe() { return probe_; }
 
     /** Add one named result row; every field must be numeric. */
     void
@@ -334,9 +346,9 @@ class BenchReport
     double
     wallSeconds() const
     {
-        return std::chrono::duration<double>(
-                   std::chrono::steady_clock::now() - start_)
-            .count();
+        // tlsdet:allow(D2): timing-only wall_seconds/records_per_second
+        auto end = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(end - start_).count();
     }
 
     /** Write the report; returns false (with a message) on I/O error. */
@@ -391,15 +403,23 @@ class BenchReport
                 os << ", \"" << escape(name.substr(7)) << "\": " << val;
         }
         os << "},\n";
-        os << "  \"results\": [";
-        for (std::size_t i = 0; i < results_.size(); ++i) {
-            os << (i ? ",\n    {" : "\n    {");
-            os << "\"name\": \"" << escape(results_[i].first) << "\"";
-            for (const auto &[k, v] : results_[i].second)
-                os << ", \"" << escape(k) << "\": " << v;
-            os << "}";
+        std::string rendered = renderResults();
+        if (probe_.enabled()) {
+            // The serialize-stage digest covers the exact bytes about
+            // to be written for the results array — the final,
+            // printf-formatted form of the canonical result stream.
+            det::Hash ser;
+            ser.str(rendered);
+            os << "  \"determinism\": {\"jobs_invariant\": "
+               << (probe_.jobsInvariant() ? "true" : "false")
+               << ", \"stages\": {";
+            for (const auto &[name, digest] : probe_.stages())
+                os << "\"" << escape(name) << "\": \"" << hex64(digest)
+                   << "\", ";
+            os << "\"serialize\": \"" << hex64(ser.value())
+               << "\"}},\n";
         }
-        os << "\n  ]\n}\n";
+        os << "  \"results\": [" << rendered << "\n  ]\n}\n";
         return static_cast<bool>(os);
     }
 
@@ -411,6 +431,31 @@ class BenchReport
     }
 
   private:
+    /** Render the results array body exactly as write() emits it. */
+    std::string
+    renderResults() const
+    {
+        std::ostringstream os;
+        for (std::size_t i = 0; i < results_.size(); ++i) {
+            os << (i ? ",\n    {" : "\n    {");
+            os << "\"name\": \"" << escape(results_[i].first) << "\"";
+            for (const auto &[k, v] : results_[i].second)
+                os << ", \"" << escape(k) << "\": " << v;
+            os << "}";
+        }
+        return os.str();
+    }
+
+    static std::string
+    hex64(std::uint64_t v)
+    {
+        static const char digits[] = "0123456789abcdef";
+        std::string out(16, '0');
+        for (int i = 0; i < 16; ++i)
+            out[i] = digits[(v >> (60 - 4 * i)) & 0xF];
+        return out;
+    }
+
     static std::string
     escape(const std::string &s)
     {
@@ -433,6 +478,7 @@ class BenchReport
     std::string bench_;
     bool quick_;
     unsigned jobs_;
+    det::Probe probe_;
     std::chrono::steady_clock::time_point start_;
     double simulatedCycles_ = 0;
     double replayRecords_ = 0;

@@ -29,7 +29,10 @@ namespace tlsim {
 class LineSet
 {
   public:
-    LineSet() : slots_(kMinCapacity), mask_(kMinCapacity - 1) {}
+    LineSet() : slots_(kMinCapacity), mask_(kMinCapacity - 1)
+    {
+        list_.reserve(kMinCapacity); // arena: grows to peak, then flat
+    }
 
     /** Add `line`; returns true if it was not already present. */
     bool
@@ -100,6 +103,21 @@ class LineSet
             slots_.assign(slots_.size(), Slot{});
             gen_ = 1;
         }
+    }
+
+    /**
+     * Test seam: empty the set and jump the generation stamp so the
+     * uint32 wraparound path in clear() is reachable without 2^32
+     * real clears. Slots are wiped, so no stale stamp can collide
+     * with the chosen generation.
+     */
+    void
+    debugSetGeneration(std::uint32_t g)
+    {
+        list_.clear();
+        occupied_ = 0;
+        slots_.assign(slots_.size(), Slot{});
+        gen_ = g == 0 ? 1 : g;
     }
 
   private:

@@ -199,6 +199,9 @@ void
 TlsMachine::resetAccounting()
 {
     stats_ = RunResult{};
+    // One-time sizing: violation lines are appended on the replay
+    // hot path; reserving here keeps the common case allocation-free.
+    stats_.violatedLines.reserve(64);
     for (auto &c : cores_)
         c.breakdown() = Breakdown{};
     baseL1Hits_ = 0;
@@ -320,6 +323,7 @@ TlsMachine::acquireRun()
     // makes the steady-state run loop allocation-free.
     run->cps.reserve(cfg_.tls.subthreadsPerThread + 1);
     run->heldLatches.reserve(16);
+    run->deferredChecks.reserve(64);
     return run;
 }
 

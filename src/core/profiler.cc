@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <tuple>
 
+#include "base/detorder.h"
 #include "core/site.h"
 
 namespace tlsim {
@@ -46,10 +48,12 @@ std::vector<DependenceProfiler::PairCost>
 DependenceProfiler::report() const
 {
     std::vector<PairCost> out(pairs_.begin(), pairs_.end());
-    std::sort(out.begin(), out.end(),
-              [](const PairCost &a, const PairCost &b) {
-                  return a.failedCycles > b.failedCycles;
-              });
+    // Costliest first; equal-cost pairs break by site so the table is
+    // identical run to run (a raw descending comparator leaves ties
+    // in unspecified order).
+    det::canonicalSort(out, [](const PairCost &p) {
+        return std::make_tuple(~p.failedCycles, p.loadPc, p.storePc);
+    });
     return out;
 }
 

@@ -17,6 +17,11 @@ SpecState::SpecState(unsigned num_contexts)
     if (num_contexts > kMaxContexts)
         panic("SpecState supports at most %u contexts (asked for %u)",
               kMaxContexts, num_contexts);
+    // One-time sizing: the per-context line lists grow on the replay
+    // hot path and are cleared with capacity kept (clearContext), so
+    // reserving here makes steady state allocation-free.
+    for (unsigned c = 0; c < num_contexts; ++c)
+        ctxLines_[c].reserve(kMinCapacity);
 }
 
 std::uint64_t
@@ -247,6 +252,7 @@ SpecState::clearContext(ContextId ctx, std::uint64_t thread_mask,
             smRow(idx)[ctx] = 0;
         ls.smOwners &= ~bit;
         if (had_sm && (ls.smOwners & thread_mask) == 0)
+            // tlsa:allow(A3): reused caller scratch, capacity kept
             dead->push_back(line);
         if (ls.empty())
             eraseAt(idx);

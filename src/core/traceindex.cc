@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "base/addr.h"
+#include "base/detorder.h"
 #include "base/log.h"
 #include "base/narrow.h"
 
@@ -142,7 +143,7 @@ TraceIndex::analyse(EpochFlags &flags)
                 }
             }
 
-            for (const auto &[line, li] : lines) {
+            for (const auto &[line, li] : det::OrderedView(lines)) {
                 if (li.minStore != kNoEpochIdx &&
                     li.lastEpoch > li.minStore)
                     ++totals_.conflict;

@@ -1,0 +1,40 @@
+// A3 member-resolution fixture: the hot root calls through a member
+// (`sink_.flush()`) whose spelling shares no substring with its class
+// name, and two classes define flush() — only the declared-member
+// type map can attribute the edge into the allocating callee.
+
+class Journal
+{
+  public:
+    void flush();
+
+  private:
+    Entry *pending_ = nullptr;
+};
+
+class Wal
+{
+  public:
+    void flush() {}
+};
+
+class Engine
+{
+  public:
+    TLSIM_HOT void step();
+
+  private:
+    Journal sink_;
+};
+
+TLSIM_HOT void
+Engine::step()
+{
+    sink_.flush();
+}
+
+void
+Journal::flush()
+{
+    pending_ = new Entry[kBatch];
+}

@@ -1,0 +1,23 @@
+// D1 fixture (seeded iteration-order nondeterminism): a result sink
+// iterates a std::unordered_map both by range-for and via .begin();
+// bucket order differs across libstdc++ versions and insert history.
+
+void
+Report::write()
+{
+    std::unordered_map<int, int> counts;
+    for (const auto &kv : counts)
+        emit(kv);
+    auto it = counts.begin();
+    emit(*it);
+    if (counts.find(7) != counts.end())
+        emit(7); // lookup, not iteration: no diagnostic
+}
+
+void
+Report::cold()
+{
+    std::unordered_map<int, int> offside;
+    for (const auto &kv : offside)
+        emit(kv); // not on a sink path: no diagnostic
+}

@@ -1,0 +1,13 @@
+// D1 fixture (pointer keys): an ordered map keyed by Node* in a file
+// that owns a sink-path function — iteration order is address order,
+// which varies run to run.
+
+std::map<Node *, int> byNode;
+std::map<int, Node *> byId; // pointer *value* is fine: never ordered
+
+void
+Report::write()
+{
+    for (const auto &kv : byId)
+        emit(kv);
+}

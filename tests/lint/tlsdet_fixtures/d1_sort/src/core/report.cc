@@ -1,0 +1,11 @@
+// D1 fixture (hand-written comparator): raw std::sort leaves equal
+// elements in unspecified order on a result path.
+
+void
+Report::write()
+{
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.cost < b.cost; });
+    std::sort(keys.begin(), keys.end()); // total order: no diagnostic
+    emit(rows);
+}

@@ -1,0 +1,16 @@
+// D2 fixture (seeded clock nondeterminism): a wall-clock read feeds a
+// result path; a re-run cannot reproduce the value.
+
+void
+Report::write()
+{
+    auto t = std::chrono::steady_clock::now();
+    emit(stamp(t));
+}
+
+void
+Report::cold()
+{
+    auto t = std::chrono::steady_clock::now(); // off the sink path
+    log(t);
+}

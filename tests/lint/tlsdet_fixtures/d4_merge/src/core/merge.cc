@@ -1,0 +1,14 @@
+// D4 fixture (seeded non-commutative merge): the manifest declares
+// Merger::fold order-insensitive, but its body appends to a vector,
+// folds with -=, and accumulates a double.
+
+double sum_ = 0.0;
+
+void
+Merger::fold(const Shard &s)
+{
+    items_.push_back(s.item);
+    total_ -= s.delta;
+    sum_ += s.weight;
+    count_ += s.count; // commutative integer add: no diagnostic
+}

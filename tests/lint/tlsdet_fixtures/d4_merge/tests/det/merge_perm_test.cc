@@ -1,0 +1,3 @@
+// Fixture stand-in for the permutation property test: naming
+// Merger::fold here satisfies the d4-untested requirement so the
+// fixture isolates the structural D4 diagnostics.

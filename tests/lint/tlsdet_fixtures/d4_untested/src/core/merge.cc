@@ -1,0 +1,10 @@
+// D4 fixture (untested merger): the body is structurally commutative,
+// but no permutation property test in tests/det/ exercises it, so the
+// claim is unproven.
+
+void
+Merger::fold(const Shard &s)
+{
+    count_ += s.count;
+    lines_ |= s.lines;
+}

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/tlsdet.py.
+
+Each fixture under tlsdet_fixtures/ is a miniature repository root
+carrying its own manifests (tools/detsinks.txt for the D1-D3 sink
+closure, tools/detmergers.txt for the D4 subjects, and a tests/det/
+stand-in where a case needs the permutation-test corpus). The corpus
+seeds one instance of every nondeterminism class the analyzer claims
+to catch — iteration order, wall clock, float reduction order,
+non-commutative shard merge — and every known-bad case must produce
+its exact expected diagnostics (path, check id, line). The analyzer
+passes on the real tree vacuously if its checks stop firing; this
+driver is what keeps them honest.
+
+Runs the lex engine explicitly so results are identical with and
+without the libclang bindings; a second pass exercises whatever
+`--engine=auto` resolves to and requires identical diagnostics from
+both engines on every fixture.
+
+Usage: tlsdet_test.py [--tlsdet PATH] [--fixtures DIR]
+Exit: 0 all expectations met, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): "
+                     r"\[(?P<check>[\w-]+)\] ")
+
+# fixture dir -> (expected [(path, check, line), ...], exit code,
+#                 expected suppression count)
+EXPECTATIONS = {
+    # Seeded iteration-order nondeterminism: a sink range-fors an
+    # unordered_map and grabs .begin(); the off-path copy is silent.
+    "d1_iteration": ([("src/core/report.cc", "D1", 9),
+                      ("src/core/report.cc", "D1", 11)], 1, 0),
+    # Pointer-keyed map declared in a file owning a sink-path
+    # function; the pointer-valued map next to it is fine.
+    "d1_ptrkey": ([("src/core/report.cc", "D1", 5)], 1, 0),
+    # Raw std::sort with a hand-written comparator; the two-argument
+    # total-order sort is fine.
+    "d1_sort": ([("src/core/report.cc", "D1", 7)], 1, 0),
+    # Seeded clock nondeterminism: steady_clock::now() on the sink
+    # path; the same read off the path is silent.
+    "d2_clock": ([("src/core/report.cc", "D2", 7)], 1, 0),
+    # Seeded float-order nondeterminism: double accumulated inside a
+    # parallelFor task; declared-commutative integer, per-index slot
+    # and task-local accumulator are all silent.
+    "d3_float": ([("src/core/report.cc", "D3", 12)], 1, 0),
+    # Seeded non-commutative merge: a declared merger appends,
+    # -=-folds and float-accumulates (its permutation-test stand-in
+    # keeps d4-untested out of the way).
+    "d4_merge": ([("src/core/merge.cc", "D4", 10),
+                  ("src/core/merge.cc", "D4", 11),
+                  ("src/core/merge.cc", "D4", 12)], 1, 0),
+    # Structurally clean merger with no permutation property test:
+    # the claim is unproven.
+    "d4_untested": ([("src/core/merge.cc", "D4", 6)], 1, 0),
+    # Reasoned allow: quiet, counted in the census.
+    "supp_allow_ok": ([], 0, 1),
+    # Bare allow: hard error AND the violation still fires.
+    "supp_allow_bare": ([("src/core/report.cc", "allow-syntax", 7),
+                         ("src/core/report.cc", "D2", 8)], 1, 0),
+}
+
+# Fixtures run WITHOUT --require-manifests (each declares exactly the
+# manifests its scenario needs). The untested-merger case carries only
+# detmergers.txt, so the flag must add the missing-detsinks error.
+REQUIRE_MANIFESTS_CASE = "d4_untested"
+REQUIRE_MANIFESTS_EXTRA = [("tools/detsinks.txt", "D1", 0)]
+
+
+def run_tlsdet(tlsdet, root, engine, extra=(), json_path=None):
+    cmd = [sys.executable, tlsdet, f"--root={root}",
+           f"--engine={engine}", *extra]
+    if json_path:
+        cmd += ["--json", json_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((m.group("path"), m.group("check"),
+                          int(m.group("line"))))
+    return proc, diags
+
+
+def count_sources(root):
+    n = 0
+    for d in ("src", "bench", "tools"):
+        for _, _, files in os.walk(os.path.join(root, d)):
+            n += sum(f.endswith((".h", ".cc", ".cpp")) for f in files)
+    return n
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tlsdet",
+                    default=os.path.join(root, "tools", "tlsdet.py"))
+    ap.add_argument("--fixtures",
+                    default=os.path.join(here, "tlsdet_fixtures"))
+    args = ap.parse_args()
+
+    failures = []
+
+    def check(cond, what):
+        tag = "ok" if cond else "FAIL"
+        print(f"  [{tag}] {what}")
+        if not cond:
+            failures.append(what)
+
+    for name, (want, want_rc, want_supp) in sorted(
+            EXPECTATIONS.items()):
+        fixdir = os.path.join(args.fixtures, name)
+        print(f"fixture {name}:")
+        if not os.path.isdir(fixdir):
+            check(False, f"{name}: fixture directory exists")
+            continue
+
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tf:
+            json_path = tf.name
+        try:
+            proc, diags = run_tlsdet(args.tlsdet, fixdir, "lex",
+                                     json_path=json_path)
+            check(sorted(diags) == sorted(want),
+                  f"{name}: diagnostics {sorted(diags)} == "
+                  f"{sorted(want)}")
+            check(proc.returncode == want_rc,
+                  f"{name}: exit {proc.returncode} == {want_rc}")
+            with open(json_path, encoding="utf-8") as f:
+                doc = json.load(f)
+            sa = doc.get("staticanalysis", {})
+            check(doc.get("schema") == "tlsim-bench-v1",
+                  f"{name}: json schema tag")
+            check(sa.get("violations") == len(want),
+                  f"{name}: json violations {sa.get('violations')} "
+                  f"== {len(want)}")
+            check(sa.get("suppressions") == want_supp,
+                  f"{name}: json suppressions "
+                  f"{sa.get('suppressions')} == {want_supp}")
+            census = sa.get("suppressions_by_check")
+            check(isinstance(census, dict) and
+                  sum(census.values()) == sa.get("suppressions"),
+                  f"{name}: json suppression census {census} sums to "
+                  "the suppression count")
+            check(sa.get("checks_run") == 4 and
+                  sa.get("files_scanned") == count_sources(fixdir),
+                  f"{name}: json files/checks counts")
+        finally:
+            os.unlink(json_path)
+
+        # Engine parity: auto (libclang when importable, else lex
+        # again) must agree exactly.
+        proc_auto, diags_auto = run_tlsdet(args.tlsdet, fixdir, "auto")
+        check(sorted(diags_auto) == sorted(want),
+              f"{name}: auto-engine diagnostics match lex")
+
+    # --require-manifests turns a missing manifest into an error: the
+    # untested-merger fixture has no detsinks.txt, so D1 complains.
+    fixdir = os.path.join(args.fixtures, REQUIRE_MANIFESTS_CASE)
+    print(f"fixture {REQUIRE_MANIFESTS_CASE} (--require-manifests):")
+    want = sorted(EXPECTATIONS[REQUIRE_MANIFESTS_CASE][0] +
+                  REQUIRE_MANIFESTS_EXTRA)
+    proc, diags = run_tlsdet(args.tlsdet, fixdir, "lex",
+                             extra=["--require-manifests"])
+    check(sorted(diags) == want,
+          f"require-manifests: diagnostics {sorted(diags)} == {want}")
+    check(proc.returncode == 1, "require-manifests: exit 1")
+
+    if failures:
+        print(f"\n{len(failures)} expectation(s) FAILED")
+        return 1
+    print(f"\nall fixture expectations met "
+          f"({len(EXPECTATIONS)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,12 +23,19 @@ Options:
                               a silently-vacuous gate is worse than a
                               failing one.
   --expect-identical          exit 1 unless every shared result metric,
-                              simulated_cycles, and replay_records are
-                              exactly equal (wall-clock fields and rate
-                              fields derived from them are exempt).
-                              Used by the golden-equivalence check:
-                              replay with and without the conflict
-                              oracle must produce the same simulation.
+                              simulated_cycles, replay_records, and any
+                              'determinism' probe blocks are exactly
+                              equal (wall-clock fields and rate fields
+                              derived from them are exempt). Used by
+                              the golden-equivalence check: replay with
+                              and without the conflict oracle must
+                              produce the same simulation.
+  --require-det               exit 1 unless both reports carry a
+                              'determinism' block (i.e. both runs used
+                              --det-probe) with jobs_invariant true.
+                              The `det` ctest label passes this so a
+                              probe that silently stopped being wired
+                              cannot fake a passing hash comparison.
   --quiet                     only print problems and the final verdict
 
 Exit status: 0 ok, 1 structural mismatch or --expect-identical
@@ -79,8 +86,51 @@ def fmt_delta(base, cur):
     return f"{base:g} -> {cur:g}  ({delta:+g})"
 
 
+def compare_determinism(base_path, cur_path, base_doc, cur_doc, *,
+                        require_det, quiet):
+    """Compare 'determinism' probe blocks; return a list of problems."""
+    problems = []
+    blocks = {}
+    for path, doc in ((base_path, base_doc), (cur_path, cur_doc)):
+        det = doc.get("determinism")
+        if det is None:
+            if require_det:
+                problems.append(
+                    f"{path}: no 'determinism' block (--require-det "
+                    "needs both runs probed with --det-probe)")
+            continue
+        if not isinstance(det, dict) or \
+                not isinstance(det.get("stages"), dict):
+            problems.append(f"{path}: malformed 'determinism' block")
+            continue
+        if det.get("jobs_invariant") is not True:
+            problems.append(
+                f"{path}: determinism jobs_invariant is "
+                f"{det.get('jobs_invariant')!r} (a shard merge in "
+                "that run was order-sensitive)")
+        blocks[path] = det["stages"]
+    if len(blocks) != 2:
+        return problems
+    base_stages, cur_stages = blocks[base_path], blocks[cur_path]
+    for stage in sorted(base_stages.keys() | cur_stages.keys()):
+        if stage not in cur_stages:
+            problems.append(f"determinism stage {stage!r} only in "
+                            "baseline")
+        elif stage not in base_stages:
+            problems.append(f"determinism stage {stage!r} only in "
+                            "current")
+        elif base_stages[stage] != cur_stages[stage]:
+            problems.append(
+                f"determinism stage {stage!r} digest differs: "
+                f"{base_stages[stage]} vs {cur_stages[stage]}")
+        elif not quiet:
+            print(f"  determinism / {stage}: {base_stages[stage]} == "
+                  f"{cur_stages[stage]}")
+    return problems
+
+
 def compare_pair(base_path, cur_path, base_doc, cur_doc, *, max_wall_pct,
-                 ratio_gates, expect_identical, quiet):
+                 ratio_gates, expect_identical, require_det, quiet):
     """Compare one baseline against the current report; return status."""
     base_rows = rows_by_name(base_doc, base_path)
     cur_rows = rows_by_name(cur_doc, cur_path)
@@ -146,6 +196,12 @@ def compare_pair(base_path, cur_path, base_doc, cur_doc, *, max_wall_pct,
                 identical_violations.append(
                     f"{key} differs ({b!r} vs {c!r})")
 
+    if expect_identical or require_det:
+        for p in compare_determinism(base_path, cur_path, base_doc,
+                                     cur_doc, require_det=require_det,
+                                     quiet=quiet):
+            identical_violations.append(p)
+
     wall_b, wall_c = base_doc.get("wall_seconds"), cur_doc.get("wall_seconds")
     if is_num(wall_b) and is_num(wall_c) and not quiet:
         print(f"  wall_seconds: {fmt_delta(wall_b, wall_c)}")
@@ -179,6 +235,7 @@ def main(argv):
     max_wall_pct = None
     ratio_gates = []
     expect_identical = False
+    require_det = False
     quiet = False
     paths = []
     for a in argv[1:]:
@@ -200,6 +257,8 @@ def main(argv):
             ratio_gates.append((rx, ratio))
         elif a == "--expect-identical":
             expect_identical = True
+        elif a == "--require-det":
+            require_det = True
         elif a == "--quiet":
             quiet = True
         elif a in ("-h", "--help"):
@@ -223,6 +282,7 @@ def main(argv):
                                   max_wall_pct=max_wall_pct,
                                   ratio_gates=ratio_gates,
                                   expect_identical=expect_identical,
+                                  require_det=require_det,
                                   quiet=quiet))
     return status
 

@@ -29,7 +29,13 @@ Every bench binary writes this schema when invoked with --json=FILE:
         "points_total": <number > 0>,
         "points_simulated": <number >= 1>     # must prune >= 2x
       },
-      "staticanalysis": {             # optional; tlslint/tlsa --json
+      "determinism": {                # optional; present iff --det-probe
+        "jobs_invariant": true,       # fwd/rev commutative-fold self-check
+        "stages": {                   # canonical result-stream digests
+          "<stage>": "<16 hex>", ...  # capture/replay/aggregate/serialize
+        }
+      },
+      "staticanalysis": {             # optional; tlslint/tlsa/tlsdet --json
         "engine": "libclang"|"lex",
         "checks_run": <int >= 4>,     # the tool's full check set ran
         "files_scanned": <int > 0>,
@@ -160,6 +166,33 @@ def check_critpath(path, cp):
     return ok
 
 
+def check_determinism(path, det):
+    if not isinstance(det, dict):
+        return fail(path, "'determinism' is not an object")
+    ok = True
+    inv = det.get("jobs_invariant")
+    if inv is not True:
+        # The probe self-checks combineUnordered's order-insensitivity
+        # on the real per-item digests; false means a shard merge in
+        # this very run was order-sensitive.
+        ok = fail(path, "determinism 'jobs_invariant' must be true, "
+                        f"got {inv!r}")
+    stages = det.get("stages")
+    if not isinstance(stages, dict) or not stages:
+        return fail(path, "determinism 'stages' must be a non-empty "
+                          f"object, got {stages!r}")
+    for name, digest in stages.items():
+        if not isinstance(name, str) or not name:
+            ok = fail(path, f"determinism stage name {name!r} must be "
+                            "a non-empty string")
+        if not isinstance(digest, str) or len(digest) != 16 or \
+                not all(c in "0123456789abcdef" for c in digest):
+            ok = fail(path, f"determinism stage {name!r} digest must "
+                            f"be 16 lowercase hex digits, got "
+                            f"{digest!r}")
+    return ok
+
+
 def check_staticanalysis(path, sa):
     if not isinstance(sa, dict):
         return fail(path, "'staticanalysis' is not an object")
@@ -274,6 +307,8 @@ def check_file(path):
         ok = check_modelcheck(path, doc["modelcheck"]) and ok
     if "critpath" in doc:
         ok = check_critpath(path, doc["critpath"]) and ok
+    if "determinism" in doc:
+        ok = check_determinism(path, doc["determinism"]) and ok
     if "staticanalysis" in doc:
         ok = check_staticanalysis(path, doc["staticanalysis"]) and ok
     if "replay" in doc:

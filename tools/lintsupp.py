@@ -1,32 +1,35 @@
 """Shared infrastructure for the repo's static-analysis tools.
 
-tlslint (token-level repo invariants, PR 5) and tlsa (whole-program
-semantic passes) share one suppression grammar, one diagnostic shape,
-and one token shape, all defined here so the two tools cannot drift:
+tlslint (token-level repo invariants, PR 5), tlsa (whole-program
+semantic passes) and tlsdet (determinism-discipline passes) share one
+suppression grammar, one diagnostic shape, and one token shape, all
+defined here so the tools cannot drift:
 
     // <tool>:allow(<check>): <reason>
 
-where <tool> is `tlslint` or `tlsa` and <check> is a check id (T1..T4
-for tlslint, A1..A4 for tlsa). The reason is mandatory in BOTH tools:
-a bare allow — from either tool's grammar — is a hard `allow-syntax`
-error wherever it is seen, so the tree never accumulates unexplained
-exemptions even for the tool that is not currently running.
+where <tool> is `tlslint`, `tlsa` or `tlsdet` and <check> is a check
+id (T1..T4 for tlslint, A1..A4 for tlsa, D1..D4 for tlsdet). The
+reason is mandatory in ALL tools: a bare allow — from any tool's
+grammar — is a hard `allow-syntax` error wherever it is seen, so the
+tree never accumulates unexplained exemptions even for the tool that
+is not currently running.
 
 Each tool only *honours* suppressions written in its own grammar (a
 tlsa:allow cannot silence a tlslint check and vice versa; the check-id
-namespaces are disjoint anyway), but both tools *count* every reasoned
+namespaces are disjoint anyway), but all tools *count* every reasoned
 allow they see, per check id, into the combined suppression census
 that `--json` reports as `staticanalysis.suppressions_by_check`.
 """
 
 import re
 
-#: Both tools' allow grammar. `tool` scopes which linter the allow is
-#: addressed to; `check` is deliberately loose (any word) so that a
-#: typoed check id still parses — and then suppresses nothing, which
-#: surfaces as the original diagnostic still firing.
+#: The tools' shared allow grammar. `tool` scopes which linter the
+#: allow is addressed to; `check` is deliberately loose (any word) so
+#: that a typoed check id still parses — and then suppresses nothing,
+#: which surfaces as the original diagnostic still firing.
 ALLOW_RE = re.compile(
-    r"(?P<tool>tlslint|tlsa):\s*allow\(\s*(?P<check>[A-Za-z][\w-]*)"
+    r"(?P<tool>tlslint|tlsa|tlsdet):"
+    r"\s*allow\(\s*(?P<check>[A-Za-z][\w-]*)"
     r"\s*\)\s*(?::\s*(?P<reason>\S.*))?")
 
 

@@ -15,7 +15,12 @@
 #   3. the three seeded protocol mutations, each of which must be
 #      caught at its documented minimal bound;
 #   4. the whole-thread (Figure 4(a), no start table) protocol variant
-#      at the CI bounds.
+#      at the CI bounds;
+#   5. a probe-hash equality check: Figure 5 with --det-probe at
+#      --jobs=1 and --jobs=2 over one shared trace cache must produce
+#      identical per-stage canonical digests (bench_compare
+#      --expect-identical --require-det), the nightly restatement of
+#      the `det` ctest label.
 #
 # Usage: tools/run_modelcheck.sh [BUILD_DIR] [SHARDS]
 #   BUILD_DIR  tree containing tools/tlsmc (default: build)
@@ -70,5 +75,20 @@ echo "=== whole-thread (Figure 4(a)) variant at the CI bounds ==="
     --json="$out/sweep_whole_thread.json"
 "$tlsmc" --sweep --whole-thread --epochs=3 --len=1 \
     --json="$out/sweep_whole_thread_3ep.json"
+
+echo "=== determinism: probe-hash equality across --jobs ==="
+fig5=$build/bench/bench_figure5_overall
+if [[ ! -x $fig5 ]]; then
+    echo "run_modelcheck.sh: $fig5 not found; build the" \
+         "'bench_figure5_overall' target first" >&2
+    exit 2
+fi
+"$fig5" --quick --txns=3 --jobs=1 --det-probe \
+    --trace-cache="$out/det-tc" --json="$out/det_probe_jobs1.json"
+"$fig5" --quick --txns=3 --jobs=2 --det-probe \
+    --trace-cache="$out/det-tc" --json="$out/det_probe_jobs2.json"
+python3 "$root/tools/bench_compare.py" \
+    --expect-identical --require-det --quiet \
+    "$out/det_probe_jobs1.json" "$out/det_probe_jobs2.json"
 
 echo "=== all modelcheck phases passed; results in $out ==="

@@ -105,6 +105,11 @@ run_static() {
         --json "$root/build-tlsa-report.json"
     python3 "$root/tools/check_bench_json.py" \
         "$root/build-tlsa-report.json"
+    echo "=== static: tlsdet ==="
+    python3 "$root/tools/tlsdet.py" --root "$root" --require-manifests \
+        --json "$root/build-tlsdet-report.json"
+    python3 "$root/tools/check_bench_json.py" \
+        "$root/build-tlsdet-report.json"
 }
 
 case "$mode" in

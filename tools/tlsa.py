@@ -227,6 +227,7 @@ class FileModel:
         self.funcs = []
         self.node_members = set()  # member names declared node-based
         self.reserved = set()      # receivers .reserve()d in this file
+        self.member_types = {}     # (class, member name) -> type name
 
 
 def _match_forward(code, i, open_t, close_t):
@@ -429,6 +430,34 @@ def build_file_model(relpath, tokens, lines):
             i += 3
             continue
 
+        # Member-variable declarations at class scope: `Type name;`,
+        # `Type *name = nullptr;`, `Type name{...};`. Recorded so a
+        # call through the member (`f_.bar()`) resolves to the
+        # *declared* receiver type instead of a name hint.
+        if (tok.kind == "id" and t not in KEYWORDS
+                and cur_func() is None and cur_class() is not None
+                and i >= 1 and i + 1 < n
+                and code[i + 1].text in (";", "{", "=")):
+            p = i - 1
+            if code[p].text in ("*", "&"):
+                p -= 1
+            if p >= 0 and code[p].kind == "id" and \
+                    code[p].text not in KEYWORDS and \
+                    (p < 1 or code[p - 1].text not in
+                     ("<", ",", ".", "->")):
+                # Not inside a parameter list (default-argument
+                # `Type x = v` in a prototype is not a member).
+                b = i - 1
+                depth = 0
+                while b >= 0 and code[b].text not in (";", "{", "}"):
+                    if code[b].text == ")":
+                        depth += 1
+                    elif code[b].text == "(":
+                        depth -= 1
+                    b -= 1
+                if depth >= 0:
+                    fm.member_types[(cur_class(), t)] = code[p].text
+
         # Function definitions only at namespace/class scope.
         in_body = cur_func() is not None
         if (not in_body and tok.kind == "id" and t not in KEYWORDS
@@ -594,13 +623,18 @@ class Program:
         self.node_members = set()
         self.reserved = set()
         self.class_words = {}  # class -> lowercase words, len >= 4
+        self.member_types = {}  # (class, member) -> declared type
         for fm in files.values():
             self.funcs.extend(fm.funcs)
             self.node_members |= fm.node_members
             self.reserved |= fm.reserved
+            self.member_types.update(fm.member_types)
+        self.classes = set()
         for fn in self.funcs:
             self.by_qual.setdefault(fn.qual, fn)
             self.by_name.setdefault(fn.name, []).append(fn)
+            if fn.cls:
+                self.classes.add(fn.cls)
             if fn.cls and fn.cls not in self.class_words:
                 words = [w.lower() for w in
                          re.findall(r"[A-Z][a-z0-9]+|[A-Z]{2,}",
@@ -608,7 +642,7 @@ class Program:
                          if len(w) >= 4]
                 self.class_words[fn.cls] = words
 
-    def resolve(self, call):
+    def resolve(self, call, caller=None):
         """CallSite -> FuncDef or None. Edges only when attribution
         is unambiguous; see DESIGN.md §4.8 for what this misses."""
         if call.recv_class:
@@ -623,6 +657,15 @@ class Program:
             return cands[0] if len(cands) == 1 else None
         cands = self.by_name.get(call.name, [])
         if call.recv:
+            # A declared member type beats any name hint: `Foo f_;`
+            # in the caller's class makes `f_.bar()` resolve to
+            # Foo::bar — or to nothing if Foo defines no bar, rather
+            # than falling through to a substring guess the
+            # declaration just contradicted.
+            if caller is not None and caller.cls:
+                mt = self.member_types.get((caller.cls, call.recv))
+                if mt is not None and mt in self.classes:
+                    return self.by_qual.get(f"{mt}::{call.name}")
             methods = [f for f in cands if f.cls]
             recv_l = call.recv.lower().replace("_", "")
             hinted = [f for f in methods
@@ -635,6 +678,12 @@ class Program:
             if len(methods) == 1:
                 return methods[0]
             return None
+        # Unqualified call inside a method: the caller's own class
+        # wins, as in C++ name lookup.
+        if caller is not None and caller.cls:
+            own = self.by_qual.get(f"{caller.cls}::{call.name}")
+            if own is not None:
+                return own
         if call.name in GENERIC_METHODS:
             return None
         return cands[0] if len(cands) == 1 else None
@@ -683,7 +732,7 @@ def may_acquire(prog):
            for fn in prog.funcs}
     resolved = {}
     for fn in prog.funcs:
-        resolved[fn.qual] = [prog.resolve(c) for c in fn.calls]
+        resolved[fn.qual] = [prog.resolve(c, fn) for c in fn.calls]
     changed = True
     while changed:
         changed = False
@@ -835,7 +884,7 @@ def check_a2(prog, seam, require_manifests, report):
                     "seam cannot observe this write"))
 
     # reaches_primitive: downward closure over resolved calls.
-    resolved = {fn.qual: [prog.resolve(c) for c in fn.calls]
+    resolved = {fn.qual: [prog.resolve(c, fn) for c in fn.calls]
                 for fn in prog.funcs}
     reach = {q: True for q in prims}
     changed = True
@@ -904,7 +953,7 @@ def check_a2(prog, seam, require_manifests, report):
 
 def check_a3(prog, supp_of, report):
     code_of = {rel: fm.code for rel, fm in prog.files.items()}
-    resolved = {fn.qual: [prog.resolve(c) for c in fn.calls]
+    resolved = {fn.qual: [prog.resolve(c, fn) for c in fn.calls]
                 for fn in prog.funcs}
     roots = [fn for fn in prog.funcs if fn.hot]
     # BFS from hot roots; `via` records the call chain for messages.

@@ -1,0 +1,23 @@
+# ctest script for lint_tlsdet_json: run the tlsdet determinism
+# analyzer over the tree with --json (manifests required — the
+# real-tree CI configuration), then validate the report with
+# check_bench_json.py. Two steps, one test, so a schema drift between
+# the two tools fails CI immediately.
+#
+# Inputs: -DPYTHON=... -DSOURCE_DIR=... -DOUT=...
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/tlsdet.py
+            --root ${SOURCE_DIR} --require-manifests --json ${OUT} -q
+    RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR "tlsdet found violations (exit ${lint_rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/check_bench_json.py ${OUT}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_bench_json rejected the tlsdet report (exit ${check_rc})")
+endif()

@@ -23,6 +23,7 @@
  *   --audit=off|commit|full    protocol invariant auditor level
  *   --warmup=N         transactions excluded from statistics
  *   --profile          print the dependence profiler afterwards
+ *   --det-probe        print canonical capture/replay result digests
  */
 
 #include <cstdio>
@@ -34,6 +35,7 @@
 
 #include "base/log.h"
 #include "core/machine.h"
+#include "core/resulthash.h"
 #include "sim/executor.h"
 #include "sim/experiment.h"
 #include "sim/report.h"
@@ -271,6 +273,17 @@ cmdReplay(const Args &a)
         std::printf("audit              %llu invariant checks, 0 "
                     "violations\n",
                     static_cast<unsigned long long>(r.auditChecks));
+    if (a.has("det-probe")) {
+        // Canonical per-stage digests (base/dethash.h): the capture
+        // digest covers the loaded trace bytes, the replay digest the
+        // full RunResult. Two replays of the same trace file must
+        // print identical lines whatever the machine's thread count.
+        std::printf("det-probe          capture=%016llx replay=%016llx\n",
+                    static_cast<unsigned long long>(
+                        det::hashWorkloadTrace(w)),
+                    static_cast<unsigned long long>(
+                        det::hashRunResult(r)));
+    }
     printRun(r);
     if (a.has("profile"))
         std::printf("\n%s", m.profiler().reportText(12).c_str());
