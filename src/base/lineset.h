@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/poison.h"
 #include "base/types.h"
 
 namespace tlsim {
@@ -103,6 +104,13 @@ class LineSet
             slots_.assign(slots_.size(), Slot{});
             gen_ = 1;
         }
+#if TLSIM_POISON
+        // Every slot is dead now; scribble the canary line so a probe
+        // that bypasses the generation stamp can only ever match
+        // poison, never a stale real line.
+        for (Slot &s : slots_)
+            s.line = static_cast<Addr>(poison::kLine);
+#endif
     }
 
     /**

@@ -314,11 +314,18 @@ TlsMachine::acquireRun()
         auto run = std::move(runPool_.back());
         runPool_.pop_back();
         run->recycle();
+#if TLSIM_POISON
+        run->assertRecycled(); // recycle() beat every release canary?
+        run->poisonTok.markAcquired("EpochRun");
+#endif
         ++poolHits_;
         return run;
     }
     ++poolAllocs_;
     auto run = std::make_unique<EpochRun>();
+#if TLSIM_POISON
+    run->poisonTok.markAcquired("EpochRun");
+#endif
     // One-time sizing: recycle() keeps capacity, so reserving here
     // makes the steady-state run loop allocation-free.
     run->cps.reserve(cfg_.tls.subthreadsPerThread + 1);
@@ -330,8 +337,13 @@ TlsMachine::acquireRun()
 void
 TlsMachine::releaseRun(CpuId cpu)
 {
-    if (runs_[cpu])
+    if (runs_[cpu]) {
+#if TLSIM_POISON
+        runs_[cpu]->poisonTok.markReleased("EpochRun");
+        runs_[cpu]->poisonScalars();
+#endif
         runPool_.push_back(std::move(runs_[cpu]));
+    }
     cpuSeqs_[cpu] = kNoEpoch;
 }
 
@@ -584,6 +596,9 @@ TlsMachine::stepCpu(CpuId cpu)
 {
     EpochRun &run = *runs_[cpu];
     Core &core = cores_[cpu];
+#if TLSIM_POISON
+    run.poisonTok.assertLive("EpochRun");
+#endif
 
     if (run.pendingSquash) {
         applySquash(run);

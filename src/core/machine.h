@@ -36,6 +36,7 @@
 
 #include "base/config.h"
 #include "base/lineset.h"
+#include "base/poison.h"
 #include "base/types.h"
 #include "core/audithooks.h"
 #include "core/profiler.h"
@@ -240,6 +241,60 @@ class TlsMachine : public TlsHooks
             startTable.clear();
             deferredChecks.clear();
         }
+
+#if TLSIM_POISON
+        poison::Token poisonTok; ///< pool lifecycle canary
+
+        /**
+         * Release-time scribble: every scalar recycle() must restore
+         * gets a canary, so a field the reset path misses still holds
+         * it at the next acquire and assertRecycled() names the bug.
+         * Vectors are left alone — recycle() clears them and their
+         * retained capacity is the pool's whole point.
+         */
+        void
+        poisonScalars()
+        {
+            seq = poison::kU64;
+            cpu = poison::kU32;
+            cursor = poison::kU32;
+            curSub = poison::kU32;
+            specInsts = poison::kU64;
+            nextSpawn = poison::kU64;
+            spacing = poison::kU64;
+            spawnIdx = poison::kU32;
+            escapedDone = poison::kU32;
+            latchesHeld = poison::kU32;
+            squashSub = poison::kU32;
+            squashAt = poison::kU64;
+            squashStorePc = poison::kU32;
+            squashLine = poison::kU64;
+            waitLatch = poison::kU64;
+        }
+
+        /** Acquire-time cross-check: recycle() restored every field
+         *  to its checkout baseline (no canary survived, no vector
+         *  kept elements). The runtime twin of tlslife's P2 pass. */
+        void
+        assertRecycled() const
+        {
+            bool clean = !trace && !view && seq == 0 && cpu == 0 &&
+                         cursor == 0 && st == RunState::Running &&
+                         curSub == 0 && cps.empty() &&
+                         specInsts == 0 && nextSpawn == 0 &&
+                         spacing == 0 && spawnPoints.empty() &&
+                         spawnIdx == 0 && !inEscape &&
+                         escapedDone == 0 && latchesHeld == 0 &&
+                         !pendingSquash && squashSub == 0 &&
+                         squashAt == 0 && squashStorePc == 0 &&
+                         squashLine == 0 && !squashSecondary &&
+                         waitLatch == 0 && heldLatches.empty() &&
+                         startTable.empty() && deferredChecks.empty();
+            if (!clean)
+                panic("poison: EpochRun acquired with stale state "
+                      "(recycle() missed a field)");
+        }
+#endif
     };
 
     struct LatchState

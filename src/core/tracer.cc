@@ -248,6 +248,13 @@ Tracer::takeWorkload()
         panic("takeWorkload inside an open transaction");
     WorkloadTrace out = std::move(workload_);
     workload_ = WorkloadTrace{};
+    // Loop-structure state is per-transaction, but an aborted capture
+    // (txnEnd never reached) would leak it into the next workload's
+    // first transaction: a stale inLoop_ turns its opening section
+    // parallel. Recycle it with the capture.
+    inLoop_ = false;
+    pendingLoop_ = false;
+    escapeDepth_ = 0;
     auto &gc = stats::GlobalCounters::instance();
     gc.add("replay.captureEpochs", captureEpochs_);
     gc.add("replay.captureBufReuses", captureBufReuses_);

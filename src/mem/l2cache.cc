@@ -2,6 +2,7 @@
 
 #include "base/addr.h"
 #include "base/log.h"
+#include "base/poison.h"
 
 namespace tlsim {
 
@@ -177,8 +178,23 @@ L2Cache::reset()
 {
     // Generation bump invalidates every entry without touching them.
     // Stale lru stamps never compete: dead ways are claimed before any
-    // LRU comparison happens (insert pass 1).
-    ++gen_;
+    // LRU comparison happens (insert pass 1). Entries keep valid=true
+    // forever, so when the stamp wraps a pre-wrap entry would read as
+    // live again — wipe the ways and re-seed, like LineSet::clear().
+    if (++gen_ == 0) {
+        entries_.assign(entries_.size(), Entry{});
+        gen_ = 1;
+    }
+#if TLSIM_POISON
+    // Every way is dead now (fresh generation); scribble the canary
+    // line so a lookup that bypasses the generation check can only
+    // ever match poison, never a stale real line.
+    for (Entry &e : entries_)
+        if (!live(e))
+            e.lineNum = static_cast<Addr>(poison::kLine);
+#endif
+    overflowSet_.clear(); // stale overflow victims must not leak into
+                          // the next run's squash decisions
     useClock_ = 0;
     hits_ = 0;
     misses_ = 0;

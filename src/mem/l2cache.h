@@ -98,6 +98,21 @@ class L2Cache
      */
     void reset();
 
+    /**
+     * Test seam: wipe the cache and jump the generation stamp so the
+     * uint32 wraparound path in reset() is reachable without 2^32
+     * real resets. Ways are wiped, so no stale stamp can collide with
+     * the chosen generation (mirrors LineSet::debugSetGeneration).
+     */
+    void
+    debugSetGeneration(std::uint32_t g)
+    {
+        entries_.assign(entries_.size(), Entry{});
+        overflowSet_.clear();
+        useClock_ = 0;
+        gen_ = g == 0 ? 1 : g;
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t specEvictions() const { return specEvictions_; }

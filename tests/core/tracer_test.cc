@@ -194,6 +194,33 @@ TEST(Tracer, TakeWorkloadResets)
     EXPECT_TRUE(t.workload().txns.empty());
 }
 
+TEST(Tracer, TakeWorkloadRecyclesLoopStructureState)
+{
+    // takeWorkload() is the Tracer's declared recycle point (see
+    // tools/poolreset.txt): the capture that leaves must take its
+    // loop-structure state with it, so the next workload's opening
+    // section can never inherit a stale parallel context.
+    Tracer t(parallelOpts());
+    int x = 0;
+    t.txnBegin();
+    t.loopBegin();
+    t.iterBegin();
+    t.load(1, &x, 4);
+    t.loopEnd();
+    t.txnEnd();
+    WorkloadTrace first = t.takeWorkload();
+    ASSERT_EQ(first.txns.size(), 1u);
+
+    t.txnBegin();
+    t.compute(1, 10);
+    t.txnEnd();
+    WorkloadTrace second = t.takeWorkload();
+    ASSERT_EQ(second.txns.size(), 1u);
+    ASSERT_EQ(second.txns[0].sections.size(), 1u);
+    EXPECT_FALSE(second.txns[0].sections[0].parallel)
+        << "loop state leaked across takeWorkload()";
+}
+
 TEST(TracerDeathTest, LatchOutsideEscapePanics)
 {
     Tracer t;

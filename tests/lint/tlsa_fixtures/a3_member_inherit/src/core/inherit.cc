@@ -1,0 +1,44 @@
+// A3 base-class member-inheritance fixture: the hot root lives in a
+// derived class and calls through a member its *base* declares
+// (`sink_.flush()`); only the base-chain member lookup can type the
+// receiver and attribute the edge into the allocating callee. The
+// decoy Wal::flush() must not absorb the call.
+
+class Journal
+{
+  public:
+    void flush();
+
+  private:
+    Entry *pending_ = nullptr;
+};
+
+class Wal
+{
+  public:
+    void flush() {}
+};
+
+class EngineBase
+{
+  protected:
+    Journal sink_;
+};
+
+class Engine : public EngineBase
+{
+  public:
+    TLSIM_HOT void step();
+};
+
+TLSIM_HOT void
+Engine::step()
+{
+    sink_.flush();
+}
+
+void
+Journal::flush()
+{
+    pending_ = new Entry[kBatch];
+}

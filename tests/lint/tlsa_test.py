@@ -58,6 +58,10 @@ EXPECTATIONS = {
     # with its class, and flush() is multiply defined: only the
     # declared-member type map resolves the allocating edge.
     "a3_member": ([("src/core/member.cc", "A3", 39)], 1, 0),
+    # Hot root in a derived class calls through a member its base
+    # declares: the base-chain member lookup must type the receiver
+    # past the decoy flush().
+    "a3_member_inherit": ([("src/core/inherit.cc", "A3", 43)], 1, 0),
     # Decoded varint indexes a table with no narrowing in between.
     "a4_index": ([("src/sim/traceio.cc", "A4", 10)], 1, 0),
     # Decoded varint used as a shift amount.

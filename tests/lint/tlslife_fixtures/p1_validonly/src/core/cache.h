@@ -1,0 +1,38 @@
+// P1 fixture (seeded valid-only read): a generation-stamped cache
+// probes `.valid` without comparing the stamp, so a stale entry
+// reads as live after the first reset. The blessed live() spelling
+// next to it must stay silent.
+
+#include <cstdint>
+#include <vector>
+
+namespace t {
+
+class Cache
+{
+  public:
+    bool
+    has(unsigned i) const
+    {
+        return slots_[i].valid; // stale across resets
+    }
+
+    bool
+    live(unsigned i) const
+    {
+        const Slot &s = slots_[i];
+        return s.valid && s.gen == gen_;
+    }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        std::uint32_t gen = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint32_t gen_ = 1;
+};
+
+} // namespace t

@@ -1,0 +1,45 @@
+// P1 fixture (seeded wrap hazards): a bare `++gen_` on a uint32
+// counter with no wrap handling, and an ordering comparison between
+// generation stamps. The guarded clear() next to them must stay
+// silent.
+
+#include <cstdint>
+#include <vector>
+
+namespace t {
+
+class Table
+{
+  public:
+    void
+    reset()
+    {
+        ++gen_; // resurrects every pre-wrap entry after 2^32 resets
+    }
+
+    void
+    clear()
+    {
+        if (++gen_ == 0) {
+            slots_.assign(slots_.size(), Slot{});
+            gen_ = 1;
+        }
+    }
+
+    bool
+    newer(unsigned i) const
+    {
+        return slots_[i].gen < gen_; // mis-orders across the wrap
+    }
+
+  private:
+    struct Slot
+    {
+        std::uint32_t gen = 0;
+    };
+
+    std::vector<Slot> slots_;
+    std::uint32_t gen_ = 1;
+};
+
+} // namespace t

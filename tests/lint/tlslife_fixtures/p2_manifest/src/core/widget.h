@@ -1,0 +1,21 @@
+// P2 manifest fixture: the source is clean; every diagnostic comes
+// from the malformed manifest next door.
+
+#include <cstdint>
+
+namespace t {
+
+class Widget
+{
+  public:
+    void
+    reset()
+    {
+        a_ = 0;
+    }
+
+  private:
+    std::uint64_t a_ = 0;
+};
+
+} // namespace t

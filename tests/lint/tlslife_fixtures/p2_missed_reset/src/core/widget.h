@@ -1,0 +1,30 @@
+// P2 fixture (seeded missed reset): both counters advance during a
+// checkout, but reset() restores only one — the other leaks into
+// the next checkout.
+
+#include <cstdint>
+
+namespace t {
+
+class Widget
+{
+  public:
+    void
+    bump(std::uint64_t v)
+    {
+        a_ += v;
+        b_ += v;
+    }
+
+    void
+    reset()
+    {
+        a_ = 0;
+    }
+
+  private:
+    std::uint64_t a_ = 0;
+    std::uint64_t b_ = 0;
+};
+
+} // namespace t

@@ -1,0 +1,32 @@
+// P3 fixture (seeded member escape): a borrowed pooled handle is
+// parked in a member, outliving the checkout; the value copy out of
+// the same handle must stay silent.
+
+namespace t {
+
+class Widget
+{
+  public:
+    void reset() { seq_ = 0; }
+    int seq() const { return seq_; }
+
+  private:
+    int seq_ = 0;
+};
+
+class Manager
+{
+  public:
+    void
+    adopt(Widget *w)
+    {
+        lastSeq_ = w->seq(); // value copy: escapes nothing
+        cur_ = w;            // the handle itself escapes
+    }
+
+  private:
+    Widget *cur_ = nullptr;
+    int lastSeq_ = 0;
+};
+
+} // namespace t

@@ -1,0 +1,44 @@
+// P3 fixture (seeded task capture): a queued executor task captures
+// a borrowed pooled handle; the task may run after the object is
+// recycled. The index-passing variant must stay silent.
+
+namespace t {
+
+class Widget
+{
+  public:
+    void reset() { seq_ = 0; }
+    void touch() { ++seq_; }
+
+  private:
+    int seq_ = 0;
+};
+
+class Executor
+{
+  public:
+    void submit(int job);
+};
+
+class Runner
+{
+  public:
+    void
+    schedule(Widget *w)
+    {
+        exec_.submit([w] { w->touch(); }); // pooled borrow in a task
+    }
+
+    void
+    scheduleByIndex(int slot)
+    {
+        exec_.submit([slot] { run(slot); }); // copies: fine
+    }
+
+    static void run(int slot);
+
+  private:
+    Executor exec_;
+};
+
+} // namespace t

@@ -1,0 +1,32 @@
+// P3 fixture (seeded use-after-release): a borrowed handle is read
+// after the declared release call returned the object to the pool.
+
+namespace t {
+
+class Widget
+{
+  public:
+    void reset() { value_ = 0; }
+    int value() const { return value_; }
+
+  private:
+    int value_ = 0;
+};
+
+class Pool
+{
+  public:
+    Widget *acquireWidget();
+    void releaseWidget(Widget *w);
+
+    int
+    drain()
+    {
+        Widget *w = acquireWidget();
+        int v = w->value(); // fine: still checked out
+        releaseWidget(w);
+        return v + w->value(); // already back in the pool
+    }
+};
+
+} // namespace t

@@ -1,0 +1,33 @@
+// P4 fixture (seeded reference invalidation): a reference bound into
+// a growable container is used after an append that may reallocate
+// it. The re-taken reference and the reserve-vouched append must
+// stay silent.
+
+#include <vector>
+
+namespace t {
+
+class Log
+{
+  public:
+    void
+    add(int v)
+    {
+        int &slot = buf_[0];
+        buf_.push_back(v); // may reallocate buf_
+        slot = v;          // dangling reference
+    }
+
+    void
+    addRetaken(int v)
+    {
+        buf_.push_back(v);
+        int &slot = buf_[0]; // re-taken after the growth: fine
+        slot = v;
+    }
+
+  private:
+    std::vector<int> buf_;
+};
+
+} // namespace t

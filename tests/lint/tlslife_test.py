@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/tlslife.py.
+
+Each fixture under tlslife_fixtures/ is a miniature repository root,
+carrying its own tools/poolreset.txt where the scenario needs pooled
+declarations (P1/P4 run manifest-free). The corpus seeds one instance
+of every lifetime-discipline class the analyzer claims to catch —
+valid-only generation reads, wrap-unsafe counters, missed reset
+fields, manifest grammar abuse, pooled-handle escapes (member store,
+use-after-release, task capture), and reference invalidation across
+container growth — and every known-bad case must produce its exact
+expected diagnostics (path, check id, line). The analyzer passes on
+the real tree vacuously if its checks stop firing; this driver is
+what keeps them honest.
+
+Runs the lex engine explicitly so results are identical with and
+without the libclang bindings; a second pass exercises whatever
+`--engine=auto` resolves to and requires identical diagnostics from
+both engines on every fixture.
+
+Usage: tlslife_test.py [--tlslife PATH] [--fixtures DIR]
+Exit: 0 all expectations met, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+DIAG_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): "
+                     r"\[(?P<check>[\w-]+)\] ")
+
+# fixture dir -> (expected [(path, check, line), ...], exit code,
+#                 expected suppression count)
+EXPECTATIONS = {
+    # Seeded valid-only read: `.valid` probed with no generation
+    # comparison; the blessed live() spelling next door is silent.
+    "p1_validonly": ([("src/core/cache.h", "P1", 17)], 1, 0),
+    # Seeded wrap hazards: bare ++gen_ on a uint32 counter, and an
+    # ordering comparison between stamps; the guarded clear() is
+    # silent.
+    "p1_wrap": ([("src/core/table.h", "P1", 17),
+                 ("src/core/table.h", "P1", 32)], 1, 0),
+    # Seeded missed reset: two fields advance during checkout,
+    # reset() restores one; the leak reports at the field's
+    # declaration.
+    "p2_missed_reset": ([("src/core/widget.h", "P2", 27)], 1, 0),
+    # Manifest grammar abuse: a pooled line with no reset=, an
+    # unknown pooled type, a persist with no reason.
+    "p2_manifest": ([("tools/poolreset.txt", "P2", 1),
+                     ("tools/poolreset.txt", "P2", 2),
+                     ("tools/poolreset.txt", "P2", 3)], 1, 0),
+    # Seeded member escape: a borrowed handle parked in an undeclared
+    # member; the value copy out of the handle is silent.
+    "p3_escape_member": ([("src/core/manager.cc", "P3", 24)], 1, 0),
+    # Seeded use-after-release: the handle is read after the declared
+    # release call; the pre-release read is silent.
+    "p3_use_after_release": ([("src/core/pool.cc", "P3", 28)], 1, 0),
+    # Seeded task capture: a pooled borrow rides into a queued
+    # executor task; the index-passing variant is silent.
+    "p3_task_capture": ([("src/core/runner.cc", "P3", 29)], 1, 0),
+    # Seeded reference invalidation: a reference into a growable
+    # container used across push_back; the re-taken reference is
+    # silent.
+    "p4_ref_growth": ([("src/core/log.cc", "P4", 18)], 1, 0),
+    # Reasoned allow: quiet, counted in the census.
+    "supp_allow_ok": ([], 0, 1),
+    # Bare allow: hard error AND the violation still fires.
+    "supp_allow_bare": ([("src/core/cache.h", "allow-syntax", 15),
+                         ("src/core/cache.h", "P1", 16)], 1, 0),
+}
+
+# Fixtures run WITHOUT --require-manifests (each declares exactly the
+# manifests its scenario needs). The valid-only case carries no
+# poolreset.txt, so the flag must add the missing-manifest error.
+REQUIRE_MANIFESTS_CASE = "p1_validonly"
+REQUIRE_MANIFESTS_EXTRA = [("tools/poolreset.txt", "P2", 0)]
+
+
+def run_tlslife(tlslife, root, engine, extra=(), json_path=None):
+    cmd = [sys.executable, tlslife, f"--root={root}",
+           f"--engine={engine}", *extra]
+    if json_path:
+        cmd += ["--json", json_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    diags = []
+    for line in proc.stdout.splitlines():
+        m = DIAG_RE.match(line)
+        if m:
+            diags.append((m.group("path"), m.group("check"),
+                          int(m.group("line"))))
+    return proc, diags
+
+
+def count_sources(root):
+    n = 0
+    for d in ("src", "bench", "tools"):
+        for _, _, files in os.walk(os.path.join(root, d)):
+            n += sum(f.endswith((".h", ".cc", ".cpp")) for f in files)
+    return n
+
+
+def main():
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(here))
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tlslife",
+                    default=os.path.join(root, "tools", "tlslife.py"))
+    ap.add_argument("--fixtures",
+                    default=os.path.join(here, "tlslife_fixtures"))
+    args = ap.parse_args()
+
+    failures = []
+
+    def check(cond, what):
+        tag = "ok" if cond else "FAIL"
+        print(f"  [{tag}] {what}")
+        if not cond:
+            failures.append(what)
+
+    for name, (want, want_rc, want_supp) in sorted(
+            EXPECTATIONS.items()):
+        fixdir = os.path.join(args.fixtures, name)
+        print(f"fixture {name}:")
+        if not os.path.isdir(fixdir):
+            check(False, f"{name}: fixture directory exists")
+            continue
+
+        with tempfile.NamedTemporaryFile(suffix=".json",
+                                         delete=False) as tf:
+            json_path = tf.name
+        try:
+            proc, diags = run_tlslife(args.tlslife, fixdir, "lex",
+                                      json_path=json_path)
+            check(sorted(diags) == sorted(want),
+                  f"{name}: diagnostics {sorted(diags)} == "
+                  f"{sorted(want)}")
+            check(proc.returncode == want_rc,
+                  f"{name}: exit {proc.returncode} == {want_rc}")
+            with open(json_path, encoding="utf-8") as f:
+                doc = json.load(f)
+            lt = doc.get("lifetime", {})
+            check(doc.get("schema") == "tlsim-bench-v1",
+                  f"{name}: json schema tag")
+            check(lt.get("violations") == len(want),
+                  f"{name}: json violations {lt.get('violations')} "
+                  f"== {len(want)}")
+            check(lt.get("suppressions") == want_supp,
+                  f"{name}: json suppressions "
+                  f"{lt.get('suppressions')} == {want_supp}")
+            census = lt.get("suppressions_by_check")
+            check(isinstance(census, dict) and
+                  sum(census.values()) == lt.get("suppressions"),
+                  f"{name}: json suppression census {census} sums to "
+                  "the suppression count")
+            check(lt.get("checks_run") == 4 and
+                  lt.get("files_scanned") == count_sources(fixdir),
+                  f"{name}: json files/checks counts")
+            check(all(isinstance(lt.get(k), int) for k in
+                      ("pooled_types", "persistent_fields", "views")),
+                  f"{name}: json manifest census fields are ints")
+        finally:
+            os.unlink(json_path)
+
+        # Engine parity: auto (libclang when importable, else lex
+        # again) must agree exactly.
+        proc_auto, diags_auto = run_tlslife(args.tlslife, fixdir,
+                                            "auto")
+        check(sorted(diags_auto) == sorted(want),
+              f"{name}: auto-engine diagnostics match lex")
+
+    # --require-manifests turns a missing manifest into an error: the
+    # valid-only fixture has no poolreset.txt, so P2 complains.
+    fixdir = os.path.join(args.fixtures, REQUIRE_MANIFESTS_CASE)
+    print(f"fixture {REQUIRE_MANIFESTS_CASE} (--require-manifests):")
+    want = sorted(EXPECTATIONS[REQUIRE_MANIFESTS_CASE][0] +
+                  REQUIRE_MANIFESTS_EXTRA)
+    proc, diags = run_tlslife(args.tlslife, fixdir, "lex",
+                              extra=["--require-manifests"])
+    check(sorted(diags) == want,
+          f"require-manifests: diagnostics {sorted(diags)} == {want}")
+    check(proc.returncode == 1, "require-manifests: exit 1")
+
+    if failures:
+        print(f"\n{len(failures)} expectation(s) FAILED")
+        return 1
+    print(f"\nall fixture expectations met "
+          f"({len(EXPECTATIONS)} fixtures)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

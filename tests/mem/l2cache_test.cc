@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "base/dethash.h"
 #include "mem/l2cache.h"
 
 namespace tlsim {
@@ -172,6 +173,92 @@ TEST_F(L2Fixture, ResetClearsEverything)
     l2.reset();
     EXPECT_FALSE(l2.presentLine(10));
     EXPECT_EQ(l2.hits(), 0u);
+}
+
+TEST_F(L2Fixture, ResetClearsOverflowSet)
+{
+    // Fill set 0 plus the victim cache so the next insert overflows.
+    for (Addr a = 0; a < 4; ++a) {
+        ASSERT_TRUE(l2.insert(a * 2, 0));
+        hooks.specLines.insert(a * 2);
+    }
+    for (Addr a = 4; a < 6; ++a) {
+        ASSERT_TRUE(l2.insert(a * 2, 0));
+        hooks.specLines.insert(a * 2);
+    }
+    ASSERT_FALSE(l2.insert(100, 0));
+    ASSERT_FALSE(l2.overflowSet().empty());
+
+    // The overflow report is per-run scratch; a reset between
+    // experiment runs must not leak the old victims into the next
+    // run's squash decisions.
+    l2.reset();
+    EXPECT_TRUE(l2.overflowSet().empty());
+}
+
+/** Canonical digest of the cache's live (line, version) entries. */
+std::uint64_t
+digestOf(const L2Cache &l2)
+{
+    det::Hash h;
+    l2.forEachEntry([&h](Addr line, std::uint8_t version) {
+        h.u64(line);
+        h.u64(version);
+    });
+    return h.value();
+}
+
+TEST_F(L2Fixture, ResetWrapsWithoutResurrectingStaleEntries)
+{
+    l2.debugSetGeneration(~std::uint32_t{0}); // next reset() wraps
+    for (Addr a = 0; a < 8; ++a)
+        ASSERT_TRUE(l2.insert(a, kCommittedVersion));
+
+    l2.reset(); // ++gen_ overflows to 0: the wrap path must run
+    for (Addr a = 0; a < 8; ++a) {
+        EXPECT_FALSE(l2.presentLine(a))
+            << "stale line " << a << " resurfaced after the wrap";
+        EXPECT_FALSE(l2.hasEntry(a, kCommittedVersion));
+    }
+
+    // The restarted generation must behave like a fresh cache.
+    EXPECT_TRUE(l2.insert(5, kCommittedVersion));
+    EXPECT_TRUE(l2.presentLine(5));
+    EXPECT_TRUE(l2.accessLine(5));
+}
+
+TEST_F(L2Fixture, WrapSurvivesRepeatedResets)
+{
+    l2.debugSetGeneration(~std::uint32_t{0} - 3);
+    // Straddle the wrap with several insert/reset rounds; each round
+    // must see an empty cache and clean inserts.
+    for (int round = 0; round < 8; ++round) {
+        for (Addr a = 0; a < 8; ++a) {
+            EXPECT_FALSE(l2.presentLine(a)) << "round " << round;
+            EXPECT_TRUE(l2.insert(a, kCommittedVersion))
+                << "round " << round;
+        }
+        l2.reset();
+    }
+}
+
+TEST_F(L2Fixture, DigestInvariantAcrossWrap)
+{
+    // The canonical digest of identical insertion sequences must not
+    // depend on which side of the generation wrap the cache is on.
+    for (Addr a = 0; a < 8; ++a)
+        ASSERT_TRUE(l2.insert(a, a % 2 ? 0 : kCommittedVersion));
+    const std::uint64_t expected = digestOf(l2);
+
+    VictimCache victim2(2);
+    L2Cache wrapped(makeCfg(), victim2);
+    wrapped.setHooks(&hooks);
+    wrapped.debugSetGeneration(~std::uint32_t{0});
+    wrapped.insert(42, 0); // dirty the pre-wrap generation
+    wrapped.reset();       // wrap
+    for (Addr a = 0; a < 8; ++a)
+        ASSERT_TRUE(wrapped.insert(a, a % 2 ? 0 : kCommittedVersion));
+    EXPECT_EQ(expected, digestOf(wrapped));
 }
 
 } // namespace

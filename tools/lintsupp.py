@@ -1,14 +1,16 @@
 """Shared infrastructure for the repo's static-analysis tools.
 
 tlslint (token-level repo invariants, PR 5), tlsa (whole-program
-semantic passes) and tlsdet (determinism-discipline passes) share one
-suppression grammar, one diagnostic shape, and one token shape, all
-defined here so the tools cannot drift:
+semantic passes), tlsdet (determinism-discipline passes) and tlslife
+(object-lifetime / recycle-discipline passes) share one suppression
+grammar, one diagnostic shape, and one token shape, all defined here
+so the tools cannot drift:
 
     // <tool>:allow(<check>): <reason>
 
-where <tool> is `tlslint`, `tlsa` or `tlsdet` and <check> is a check
-id (T1..T4 for tlslint, A1..A4 for tlsa, D1..D4 for tlsdet). The
+where <tool> is `tlslint`, `tlsa`, `tlsdet` or `tlslife` and <check>
+is a check id (T1..T4 for tlslint, A1..A4 for tlsa, D1..D4 for
+tlsdet, P1..P4 for tlslife). The
 reason is mandatory in ALL tools: a bare allow — from any tool's
 grammar — is a hard `allow-syntax` error wherever it is seen, so the
 tree never accumulates unexplained exemptions even for the tool that
@@ -28,7 +30,7 @@ import re
 #: that a typoed check id still parses — and then suppresses nothing,
 #: which surfaces as the original diagnostic still firing.
 ALLOW_RE = re.compile(
-    r"(?P<tool>tlslint|tlsa|tlsdet):"
+    r"(?P<tool>tlslint|tlsa|tlsdet|tlslife):"
     r"\s*allow\(\s*(?P<check>[A-Za-z][\w-]*)"
     r"\s*\)\s*(?::\s*(?P<reason>\S.*))?")
 

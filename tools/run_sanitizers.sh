@@ -16,6 +16,14 @@
 #               at all), proving the scalar fallback builds and passes
 #               the SIMD-sensitive suites on its own.
 #
+# One poison-instrumented variant build:
+#   build-poison  -DTLSIM_POISON=ON: pooled objects carry lifecycle
+#               tokens, released storage is scribbled with canaries,
+#               and the acquire path verifies reset completeness
+#               (base/poison.h — the runtime half of tools/tlslife.py).
+#               Runs the pool-discipline suites plus a quick Figure 5
+#               under the full invariant auditor.
+#
 # The static mode needs no execution at all:
 #   build-tsa   Clang thread-safety analysis (-Wthread-safety as
 #               errors via -DTLSIM_THREAD_SAFETY=ON) - compile-time
@@ -24,7 +32,7 @@
 #               installed; tlslint (pure python) runs either way, with
 #               its --json report validated by check_bench_json.py.
 #
-# Usage: tools/run_sanitizers.sh [asan|tsan|static|simd-off|all]
+# Usage: tools/run_sanitizers.sh [asan|tsan|static|simd-off|poison|all]
 # (default: all; --static is accepted as a synonym for static.)
 #
 # Any sanitizer report is fatal: the builds use
@@ -110,6 +118,33 @@ run_static() {
         --json "$root/build-tlsdet-report.json"
     python3 "$root/tools/check_bench_json.py" \
         "$root/build-tlsdet-report.json"
+    echo "=== static: tlslife ==="
+    python3 "$root/tools/tlslife.py" --root "$root" --require-manifests \
+        --json "$root/build-tlslife-report.json"
+    python3 "$root/tools/check_bench_json.py" \
+        "$root/build-tlslife-report.json"
+}
+
+run_poison() {
+    echo "=== poison: configure (TLSIM_POISON=ON) ==="
+    cmake -S "$root" -B "$root/build-poison" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DTLSIM_POISON=ON
+    echo "=== poison: build ==="
+    cmake --build "$root/build-poison" -j "$jobs"
+    echo "=== poison: pool-discipline suites under canaries ==="
+    ctest --test-dir "$root/build-poison" --output-on-failure \
+        -j "$jobs" -R 'Poison|Machine|L2|LineSet|Tracer'
+    # The end-to-end cross-check: the quick Figure 5 run cycles every
+    # EpochRun through the pool thousands of times with the full I1-I6
+    # auditor watching; any recycle-discipline slip trips a canary
+    # panic or an audit failure, not a wrong number.
+    echo "=== poison: quick Figure 5 under full audit ==="
+    "$root/build-poison/bench/bench_figure5_overall" \
+        --quick --txns=3 --jobs=2 --audit=full \
+        "--json=$root/build-poison/figure5_poison.json"
+    python3 "$root/tools/check_bench_json.py" \
+        "$root/build-poison/figure5_poison.json"
 }
 
 case "$mode" in
@@ -117,8 +152,11 @@ case "$mode" in
   tsan)          run_tsan ;;
   static|--static) run_static ;;
   simd-off)      run_simd_off ;;
-  all)           run_asan; run_tsan; run_simd_off; run_static ;;
-  *) echo "usage: $0 [asan|tsan|static|simd-off|all]" >&2; exit 2 ;;
+  poison)        run_poison ;;
+  all)           run_asan; run_tsan; run_simd_off; run_poison; \
+                 run_static ;;
+  *) echo "usage: $0 [asan|tsan|static|simd-off|poison|all]" >&2
+     exit 2 ;;
 esac
 
 echo "sanitizers: all clean"

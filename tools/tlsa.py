@@ -170,6 +170,15 @@ KEYWORDS = {
     "override",
 }
 
+#: Builtin type spellings that may head a member declaration. They
+#: are KEYWORDS (so they never parse as member *names*) but tlslife's
+#: reset-completeness walk needs `bool valid;`-style members in the
+#: member map just like class-typed ones.
+BUILTIN_TYPES = {
+    "bool", "char", "short", "int", "long", "float", "double",
+    "signed", "unsigned",
+}
+
 
 # --- program model -------------------------------------------------------
 
@@ -199,7 +208,7 @@ class FuncDef:
     __slots__ = ("qual", "name", "cls", "relpath", "line", "hot",
                  "body", "calls", "acqs", "nested_edges",
                  "calls_under", "node_locals", "local_reserved",
-                 "aliases")
+                 "aliases", "sig")
 
     def __init__(self, qual, name, cls, relpath, line, hot):
         self.qual = qual          # e.g. "TlsMachine::stepCpuBatch"
@@ -209,6 +218,7 @@ class FuncDef:
         self.line = line
         self.hot = hot            # carries TLSIM_HOT
         self.body = None          # (start, end) code-token indices
+        self.sig = None           # (open, close) of the param parens
         self.calls = []           # [CallSite]
         self.acqs = []            # [LockAcq]
         self.nested_edges = []    # [(outer_id, inner_id, line)]
@@ -228,6 +238,8 @@ class FileModel:
         self.node_members = set()  # member names declared node-based
         self.reserved = set()      # receivers .reserve()d in this file
         self.member_types = {}     # (class, member name) -> type name
+        self.member_decls = {}     # (class, member) -> (relpath, line)
+        self.bases = {}            # class -> tuple of base-class names
 
 
 def _match_forward(code, i, open_t, close_t):
@@ -244,6 +256,23 @@ def _match_forward(code, i, open_t, close_t):
                 return i
         i += 1
     return n
+
+
+def _match_back(code, i, open_t, close_t):
+    """Index of the token opening code[i] (a `close_t`), or -1.
+    Counts characters, not tokens, so libclang's single `>>` token
+    closes two template-argument lists."""
+    depth = 0
+    while i >= 0:
+        t = code[i].text
+        if close_t in t:
+            depth += t.count(close_t)
+        elif open_t in t:
+            depth -= t.count(open_t)
+            if depth <= 0:
+                return i
+        i -= 1
+    return -1
 
 
 def _receiver_of(code, i):
@@ -400,12 +429,33 @@ def build_file_model(relpath, tokens, lines):
             if t == "enum" and j < n and code[j].text == "class":
                 j += 1
             name = None
+            bases = []
+            seg_last = None       # last id of the current base segment
+            after_colon = False
             while j < n and code[j].text not in ("{", ";", "("):
-                if code[j].kind == "id" and name is None:
-                    name = code[j].text
+                tj = code[j]
+                if tj.text == "<":
+                    j = _match_forward(code, j, "<", ">") + 1
+                    continue
+                if tj.text == ":":
+                    after_colon = True
+                elif tj.text == ",":
+                    if seg_last:
+                        bases.append(seg_last)
+                        seg_last = None
+                elif tj.kind == "id":
+                    if not after_colon:
+                        if name is None:
+                            name = tj.text
+                    elif tj.text not in KEYWORDS:
+                        seg_last = tj.text  # skips public/virtual/...
                 j += 1
+            if seg_last:
+                bases.append(seg_last)
             if j < n and code[j].text == "{":
                 ctx.append(("class", name or "<anon>"))
+                if name and bases and t in ("class", "struct"):
+                    fm.bases[name] = tuple(bases)
                 # Node-container member declarations: scan handled
                 # inline below as we walk the class body.
                 i = j + 1
@@ -441,10 +491,22 @@ def build_file_model(relpath, tokens, lines):
             p = i - 1
             if code[p].text in ("*", "&"):
                 p -= 1
-            if p >= 0 and code[p].kind == "id" and \
-                    code[p].text not in KEYWORDS and \
+            mtype = None
+            if p >= 1 and code[p].text in (">", ">>"):
+                # Template-typed member: `std::vector<T> name;`. The
+                # recorded type is the template head (`vector`) —
+                # enough for tlslife's field walks; resolve() ignores
+                # it because no class is spelled that way.
+                q = _match_back(code, p, "<", ">")
+                if q >= 1 and code[q - 1].kind == "id":
+                    mtype = code[q - 1].text
+            elif p >= 0 and code[p].kind == "id" and \
+                    (code[p].text not in KEYWORDS or
+                     code[p].text in BUILTIN_TYPES) and \
                     (p < 1 or code[p - 1].text not in
                      ("<", ",", ".", "->")):
+                mtype = code[p].text
+            if mtype is not None:
                 # Not inside a parameter list (default-argument
                 # `Type x = v` in a prototype is not a member).
                 b = i - 1
@@ -456,7 +518,9 @@ def build_file_model(relpath, tokens, lines):
                         depth -= 1
                     b -= 1
                 if depth >= 0:
-                    fm.member_types[(cur_class(), t)] = code[p].text
+                    fm.member_types[(cur_class(), t)] = mtype
+                    fm.member_decls.setdefault(
+                        (cur_class(), t), (relpath, tok.line))
 
         # Function definitions only at namespace/class scope.
         in_body = cur_func() is not None
@@ -542,6 +606,7 @@ def build_file_model(relpath, tokens, lines):
                         hot = True
                 fn = FuncDef(qual, t, cls, relpath, tok.line, hot)
                 fn.body = (body_open, None)
+                fn.sig = (i + 1, close)
                 fm.funcs.append(fn)
                 # The 'func' entry itself stands for the body brace:
                 # its matching '}' pops it and closes fn.body.
@@ -624,11 +689,15 @@ class Program:
         self.reserved = set()
         self.class_words = {}  # class -> lowercase words, len >= 4
         self.member_types = {}  # (class, member) -> declared type
+        self.member_decls = {}  # (class, member) -> (relpath, line)
+        self.bases = {}         # class -> direct base-class names
         for fm in files.values():
             self.funcs.extend(fm.funcs)
             self.node_members |= fm.node_members
             self.reserved |= fm.reserved
             self.member_types.update(fm.member_types)
+            self.member_decls.update(fm.member_decls)
+            self.bases.update(fm.bases)
         self.classes = set()
         for fn in self.funcs:
             self.by_qual.setdefault(fn.qual, fn)
@@ -641,6 +710,38 @@ class Program:
                                     fn.cls)
                          if len(w) >= 4]
                 self.class_words[fn.cls] = words
+
+    def base_chain(self, cls):
+        """`cls` plus its transitive bases, nearest-first."""
+        out, seen, work = [], set(), [cls]
+        while work:
+            c = work.pop(0)
+            if c in seen:
+                continue
+            seen.add(c)
+            out.append(c)
+            work.extend(self.bases.get(c, ()))
+        return out
+
+    def member_type(self, cls, member):
+        """Declared member type, searching `cls` then its bases."""
+        for c in self.base_chain(cls):
+            mt = self.member_types.get((c, member))
+            if mt is not None:
+                return mt
+        return None
+
+    def members_of(self, cls):
+        """Every declared member of `cls`, inherited ones included:
+        name -> (type, relpath, line). Nearest declaration wins."""
+        out = {}
+        for c in self.base_chain(cls):
+            for (owner, name), mtype in self.member_types.items():
+                if owner == c and name not in out:
+                    where = self.member_decls.get(
+                        (owner, name), ("", 0))
+                    out[name] = (mtype, where[0], where[1])
+        return out
 
     def resolve(self, call, caller=None):
         """CallSite -> FuncDef or None. Edges only when attribution
@@ -663,7 +764,7 @@ class Program:
             # than falling through to a substring guess the
             # declaration just contradicted.
             if caller is not None and caller.cls:
-                mt = self.member_types.get((caller.cls, call.recv))
+                mt = self.member_type(caller.cls, call.recv)
                 if mt is not None and mt in self.classes:
                     return self.by_qual.get(f"{mt}::{call.name}")
             methods = [f for f in cands if f.cls]

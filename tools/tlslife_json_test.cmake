@@ -1,0 +1,23 @@
+# ctest script for lint_tlslife_json: run the tlslife object-lifetime
+# analyzer over the tree with --json (manifests required — the
+# real-tree CI configuration), then validate the report with
+# check_bench_json.py. Two steps, one test, so a schema drift between
+# the two tools fails CI immediately.
+#
+# Inputs: -DPYTHON=... -DSOURCE_DIR=... -DOUT=...
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/tlslife.py
+            --root ${SOURCE_DIR} --require-manifests --json ${OUT} -q
+    RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+    message(FATAL_ERROR "tlslife found violations (exit ${lint_rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${SOURCE_DIR}/tools/check_bench_json.py ${OUT}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+        "check_bench_json rejected the tlslife report (exit ${check_rc})")
+endif()
